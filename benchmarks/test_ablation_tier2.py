@@ -1,0 +1,86 @@
+"""Ablation — Same-rail aggregation at tier 2 vs full interconnection.
+
+The paper's own deployment history (§5): Astral first tried a fully
+interconnected tier 2 (as Alibaba HPN does) and abandoned it because it
+reduced the number of GPUs reachable over same-rail paths and worsened
+hash polarization.  The ablation compares same-rail (cross-block,
+same-rank) collective throughput and hop counts on both designs, plus
+the rail-only variant's missing cross-rail connectivity.
+"""
+
+from repro.network import (
+    Endpoint,
+    Fabric,
+    make_flow,
+    reset_flow_ids,
+    run_collective,
+)
+from repro.topology import (
+    AstralParams,
+    DeviceKind,
+    build_astral,
+    build_full_interconnect_tier2,
+    build_rail_only,
+)
+
+PARAMS = AstralParams.small()
+HOSTS = [f"p0.b{b}.h{h}" for b in range(2) for h in range(8)]
+
+
+def _same_rail_throughput(topology) -> float:
+    reset_flow_ids()
+    fabric = Fabric(topology, host_line_rate_gbps=PARAMS.nic_port_gbps)
+    endpoints = [Endpoint(host, 0) for host in HOSTS]
+    result = run_collective(fabric, endpoints, 64e9, "all_to_all")
+    return result.algo_bandwidth_gbps
+
+
+def test_ablation_tier2_same_rail_throughput(benchmark, series_printer):
+    astral = _same_rail_throughput(build_astral(PARAMS))
+    full = benchmark(
+        _same_rail_throughput, build_full_interconnect_tier2(PARAMS))
+
+    series_printer(
+        "Ablation: tier-2 design vs same-rail A2A throughput",
+        [("Astral (same-rail aggregation)", astral),
+         ("fully interconnected tier 2", full)],
+        ["tier-2 design", "throughput (Gbps)"])
+
+    # Same-rail aggregation must not lose to full interconnection on
+    # same-rail traffic (it is what the design is optimized for).
+    assert astral >= full * 0.99
+
+
+def test_ablation_rail_only_loses_cross_rail(benchmark):
+    """Meta's rail-only design cannot carry cross-rail traffic on the
+    fabric at all — the limitation §2.1 calls out for MoE all-to-all."""
+    rail_only = benchmark(build_rail_only, PARAMS)
+    fabric = Fabric(rail_only)
+    cross_rail = make_flow("p0.b0.h0", "p0.b0.h1", rail=0,
+                           size_bits=8e9, dst_rail=1)
+    assert not fabric.router.reachable(cross_rail)
+
+    astral = build_astral(PARAMS)
+    fabric = Fabric(astral)
+    reset_flow_ids()
+    cross_rail = make_flow("p0.b0.h0", "p0.b0.h1", rail=0,
+                           size_bits=8e9, dst_rail=1)
+    assert fabric.router.reachable(cross_rail)
+
+
+def test_ablation_same_rail_hop_count(benchmark):
+    """Astral same-rail cross-block paths use exactly 3 switch hops
+    (ToR-Agg-ToR) and never touch Core."""
+    topology = build_astral(PARAMS)
+    fabric = Fabric(topology)
+
+    def hops():
+        reset_flow_ids()
+        flow = make_flow("p0.b0.h0", "p0.b1.h0", rail=0,
+                         size_bits=8e9)
+        return fabric.router.path(flow)
+
+    path = benchmark(hops)
+    assert path.switch_hops == 3
+    kinds = [topology.devices[d].kind for d in path.devices]
+    assert DeviceKind.CORE not in kinds

@@ -1,0 +1,82 @@
+"""Appendix B — Cross-datacenter fabric and fiber economics.
+
+The flow-level counterpart to the Seer study of Figure 18: cross-DC
+flows on the stitched topology traverse exactly one DCI pair, the
+long-haul link caps their aggregate rate by the oversubscription ratio,
+and the fiber rental model reproduces the paper's ~250 K$/year record
+for a 300 km run.
+"""
+
+import pytest
+
+from repro.network import Fabric, make_flow, reset_flow_ids
+from repro.topology import (
+    CrossDcParams,
+    DeviceKind,
+    FiberCostModel,
+    build_cross_dc,
+)
+
+
+def _aggregate_cross_dc_gbps(fiber_gbps: float) -> float:
+    reset_flow_ids()
+    params = CrossDcParams(fiber_gbps=fiber_gbps,
+                           dci_per_datacenter=2)
+    topology = build_cross_dc(params)
+    fabric = Fabric(topology)
+    flows = [
+        make_flow(f"dc0.p{p}.b{b}.h{h}", f"dc1.p{p}.b{b}.h{h}",
+                  rail=0, size_bits=8e9, src_port=50_000 + h + 8 * b)
+        for p in range(2) for b in range(2) for h in range(2)
+    ]
+    paths = {flow.flow_id: fabric.router.path(flow, max_hops=24)
+             for flow in flows}
+    rates = fabric.max_min_rates(flows, paths)
+    return sum(rates.values())
+
+
+def test_appx_b_long_haul_caps_throughput(benchmark, series_printer):
+    wide = _aggregate_cross_dc_gbps(fiber_gbps=1600.0)
+    narrow = benchmark(_aggregate_cross_dc_gbps, 200.0)
+
+    series_printer(
+        "Appendix B: aggregate cross-DC throughput vs fiber capacity",
+        [("2 x 1600G fibers", wide), ("2 x 200G fibers", narrow)],
+        ["long-haul provisioning", "aggregate Gbps"])
+
+    assert narrow < wide
+    # The narrow case is fiber-bound: total <= DCI pairs x capacity.
+    assert narrow <= 2 * 200.0 + 1e-6
+
+
+def test_appx_b_cross_dc_flows_use_one_dci_pair(benchmark):
+    reset_flow_ids()
+    topology = build_cross_dc(CrossDcParams())
+    fabric = Fabric(topology)
+
+    def route():
+        reset_flow_ids()
+        flow = make_flow("dc0.p0.b0.h0", "dc1.p0.b0.h0", rail=0,
+                         size_bits=8e9)
+        return fabric.router.path(flow, max_hops=24)
+
+    path = benchmark(route)
+    dci_hops = [d for d in path.devices
+                if topology.devices[d].kind is DeviceKind.DCI]
+    assert len(dci_hops) == 2
+    assert {topology.devices[d].datacenter for d in dci_hops} == {0, 1}
+
+
+def test_appx_b_fiber_economics(benchmark, series_printer):
+    model = FiberCostModel()
+    yearly = benchmark(model.yearly_cost_usd, 300.0)
+    fibers_needed = model.fibers_for_bandwidth(1600.0)
+    series_printer(
+        "Appendix B: long-distance fiber rental",
+        [("300 km, 1 fiber, yearly", f"${yearly:,.0f}"),
+         ("fibers for 1.6 Tbps @400G", fibers_needed),
+         ("300 km, 1.6 Tbps, yearly",
+          f"${model.yearly_cost_usd(300.0, fibers_needed):,.0f}")],
+        ["item", "value"])
+    # Paper's record: ~250 K$ for 300 km per year.
+    assert yearly == pytest.approx(250_000.0, rel=0.05)

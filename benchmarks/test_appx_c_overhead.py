@@ -1,0 +1,36 @@
+"""Appendix C — Monitoring system overheads.
+
+ms-level QP monitoring mirrors ~0.8 Mbps per node: ~10 Gbps for a
+100K-GPU cluster, ~0.00005% of total link bandwidth; INT pings add
+~173 GB/day of storage at 10K GPUs, retained 15 days.
+"""
+
+import pytest
+
+from repro.monitoring import MonitoringOverhead
+
+
+def test_appx_c_overheads(benchmark, series_printer):
+    overhead = MonitoringOverhead()
+    report = benchmark(overhead.report, 100_000)
+
+    series_printer(
+        "Appendix C: monitoring overheads",
+        [("mirror traffic @100K GPUs",
+          f"{report['mirror_gbps']:.1f} Gbps"),
+         ("share of fabric bandwidth",
+          f"{report['mirror_fraction']:.7%}"),
+         ("INT storage @10K GPUs",
+          f"{overhead.int_storage_bytes_per_day(10_000) / 1e9:.0f} "
+          "GB/day"),
+         ("retained (15 days)",
+          f"{overhead.int_storage_bytes_retained(10_000) / 1e12:.2f} "
+          "TB")],
+        ["overhead", "value"])
+
+    assert report["mirror_gbps"] == pytest.approx(10.0)
+    assert report["mirror_fraction"] == pytest.approx(5e-7, rel=0.05)
+    assert overhead.int_storage_bytes_per_day(10_000) \
+        == pytest.approx(173e9)
+    # Negligible by any measure.
+    assert report["mirror_fraction"] < 1e-5

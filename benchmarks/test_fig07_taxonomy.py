@@ -1,0 +1,57 @@
+"""Figure 7 — Anomalies identified in the Astral network.
+
+A large fault-injection campaign drawn from the taxonomy must
+reproduce the published joint distribution: fail-stop 66%, fail-hang
+17%, fail-slow 13%, fail-on-start 4%; with host environment &
+configuration as the dominant root cause (32%).
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.monitoring import (
+    MANIFESTATION_PREVALENCE,
+    Manifestation,
+    ROOT_CAUSE_PREVALENCE,
+    RootCause,
+    sample_faults,
+)
+
+CAMPAIGN = 5000
+
+
+def test_fig07_taxonomy_distribution(benchmark, series_printer):
+    faults = benchmark(sample_faults, CAMPAIGN, 42)
+
+    manifestation_counts = Counter(f.manifestation for f in faults)
+    cause_counts = Counter(f.cause for f in faults)
+
+    rows = [
+        (m.value, f"{MANIFESTATION_PREVALENCE[m]:.0%}",
+         f"{manifestation_counts[m] / CAMPAIGN:.1%}")
+        for m in Manifestation
+    ]
+    series_printer("Figure 7 (outer): failure manifestations", rows,
+                   ["manifestation", "paper", "measured"])
+
+    rows = [
+        (c.value, f"{ROOT_CAUSE_PREVALENCE[c]:.1%}",
+         f"{cause_counts[c] / CAMPAIGN:.1%}")
+        for c in sorted(RootCause,
+                        key=lambda c: -ROOT_CAUSE_PREVALENCE[c])
+    ]
+    series_printer("Figure 7 (inner): root causes", rows,
+                   ["root cause", "paper", "measured"])
+
+    for manifestation, expected in MANIFESTATION_PREVALENCE.items():
+        observed = manifestation_counts[manifestation] / CAMPAIGN
+        assert observed == pytest.approx(expected, abs=0.05)
+    for cause, expected in ROOT_CAUSE_PREVALENCE.items():
+        observed = cause_counts[cause] / CAMPAIGN
+        assert observed == pytest.approx(expected, abs=0.03)
+    # Ordering claims: fail-stop dominates; host env/config leads.
+    assert manifestation_counts[Manifestation.FAIL_STOP] \
+        == max(manifestation_counts.values())
+    assert cause_counts[RootCause.HOST_ENV_CONFIG] \
+        == max(cause_counts.values())

@@ -1,0 +1,90 @@
+"""Figure 14 — Performance impacts of the intra-host network scale
+(§4.4 Case #2).
+
+Sweeping the high-bandwidth (NVSwitch) domain from 8 to 64 GPUs:
+
+* (a) GPT-3-175B training gains modestly;
+* (b) MoE training gains more (all-to-all moves onto NVLink);
+* (c)/(d) MoE inference prefill and decoding both improve.
+"""
+
+from repro.seer import (
+    DEEPSEEK_MOE,
+    GPT3_175B,
+    HUNYUAN_MOE,
+    NetworkSuite,
+    ParallelismConfig,
+    Seer,
+)
+
+HB_SIZES = (8, 16, 32, 64)
+
+GPT3_PAR = ParallelismConfig(tp=8, pp=4, dp=2, microbatches=8)
+MOE_PAR = ParallelismConfig(tp=4, pp=4, dp=2, ep=16, microbatches=8)
+#: high-sparsity MoE: EP=64 keeps gaining all the way to HB=64.
+DEEP_PAR = ParallelismConfig(tp=1, pp=1, dp=2, ep=64, microbatches=8)
+MOE_INFER_PAR = ParallelismConfig(tp=8, pp=1, dp=1, ep=16)
+
+
+def _seer(hb_size: int) -> Seer:
+    return Seer(gpu="H800",
+                network=NetworkSuite().with_intra_host_size(hb_size))
+
+
+def _sweep():
+    results = {"gpt3": {}, "moe": {}, "deep_moe": {}, "prefill": {},
+               "decode": {}}
+    for hb in HB_SIZES:
+        seer = _seer(hb)
+        results["gpt3"][hb] = seer.forecast_training(
+            GPT3_175B, GPT3_PAR).tokens_per_s
+        results["moe"][hb] = seer.forecast_training(
+            HUNYUAN_MOE, MOE_PAR).tokens_per_s
+        results["deep_moe"][hb] = seer.forecast_training(
+            DEEPSEEK_MOE, DEEP_PAR).tokens_per_s
+        inference = seer.forecast_inference(
+            HUNYUAN_MOE, MOE_INFER_PAR, batch=16, context_len=2048)
+        results["prefill"][hb] = inference.prefill_tokens_per_s
+        results["decode"][hb] = inference.decode_tokens_per_s
+    return results
+
+
+def test_fig14_intra_host_scale(benchmark, series_printer):
+    results = benchmark(_sweep)
+
+    def norm(series):
+        base = series[HB_SIZES[0]]
+        return {hb: value / base for hb, value in series.items()}
+
+    rows = []
+    for hb in HB_SIZES:
+        rows.append((
+            hb,
+            f"{norm(results['gpt3'])[hb]:.3f}",
+            f"{norm(results['moe'])[hb]:.3f}",
+            f"{norm(results['deep_moe'])[hb]:.3f}",
+            f"{norm(results['prefill'])[hb]:.3f}",
+            f"{norm(results['decode'])[hb]:.3f}",
+        ))
+    series_printer(
+        "Figure 14: throughput vs intra-host network scale "
+        "(normalized to HB=8)",
+        rows, ["HB size", "(a) GPT-3 train", "(b) MoE train",
+               "(b') EP64 MoE", "(c) MoE prefill", "(d) MoE decode"])
+
+    for series in results.values():
+        values = [series[hb] for hb in HB_SIZES]
+        # Larger intra-host networks never hurt.
+        assert all(b >= a * 0.999 for a, b in zip(values, values[1:]))
+
+    gpt3_gain = norm(results["gpt3"])[64] - 1.0
+    moe_gain = norm(results["moe"])[64] - 1.0
+    deep_gain = norm(results["deep_moe"])[64] - 1.0
+    # (b) vs (a): the MoE model benefits more from a large HB domain.
+    assert moe_gain > gpt3_gain
+    # The higher the EP degree, the longer the gains continue.
+    assert deep_gain > moe_gain
+    assert norm(results["deep_moe"])[64] > norm(results["deep_moe"])[16]
+    # (c)/(d): inference also gains.
+    assert norm(results["prefill"])[64] > 1.0
+    assert norm(results["decode"])[64] >= 1.0

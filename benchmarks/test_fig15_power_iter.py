@@ -1,0 +1,61 @@
+"""Figure 15 — GPU power usage over multiple iterations.
+
+(a) Training: peak power reaches the GPU's TDP during forward and
+backward computation and drops in the communication phase.
+(b) Inference: power peaks near TDP during prefill and sits well below
+TDP during decoding.  Peaks reaching/exceeding TDP motivate the 30%
+rack power elasticity of the distributed HVDC system.
+"""
+
+import numpy as np
+from repro.power import (
+    GpuSpec,
+    inference_request_phases,
+    synthesize_trace,
+    training_iteration_phases,
+)
+
+GPU = GpuSpec(name="H20-class", tdp_watts=500.0)
+
+
+def test_fig15a_training_power(benchmark, series_printer):
+    trace = benchmark(synthesize_trace, GPU,
+                      training_iteration_phases(), 4)
+    series_printer(
+        "Figure 15a: GPU power during training iterations",
+        [("peak (W)", trace.peak_watts),
+         ("mean (W)", trace.mean_watts),
+         ("TDP (W)", trace.tdp_watts),
+         ("peak/TDP", trace.peak_watts / trace.tdp_watts)],
+        ["metric", "value"])
+    # Peak power goes up to (and beyond) TDP during compute phases.
+    assert trace.exceeds_tdp
+    assert trace.peak_watts < 1.4 * GPU.tdp_watts
+    # Communication dips pull the mean well below peak.
+    assert trace.mean_watts < 0.95 * trace.peak_watts
+
+
+def test_fig15a_communication_dip(benchmark):
+    trace = benchmark(synthesize_trace, GPU,
+                      training_iteration_phases(), 1, 100.0, 0.0)
+    comm_window = (trace.times_s > 0.72) & (trace.times_s < 0.82)
+    compute_window = trace.times_s < 0.55
+    assert np.mean(trace.watts[comm_window]) \
+        < 0.7 * np.mean(trace.watts[compute_window])
+
+
+def test_fig15b_inference_power(benchmark, series_printer):
+    trace = benchmark(synthesize_trace, GPU,
+                      inference_request_phases(), 3, 100.0, 0.0)
+    prefill = trace.watts[trace.times_s % 1.4 < 0.15]
+    decode = trace.watts[(trace.times_s % 1.4 > 0.6)
+                         & (trace.times_s % 1.4 < 1.3)]
+    series_printer(
+        "Figure 15b: GPU power during inference",
+        [("prefill mean (W)", float(np.mean(prefill))),
+         ("decode mean (W)", float(np.mean(decode))),
+         ("TDP (W)", GPU.tdp_watts)],
+        ["phase", "power"])
+    # Prefill approaches TDP; decoding sits far below it.
+    assert np.mean(prefill) > 0.85 * GPU.tdp_watts
+    assert np.mean(decode) < 0.5 * GPU.tdp_watts

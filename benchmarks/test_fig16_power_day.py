@@ -1,0 +1,66 @@
+"""Figure 16 — GPU power usage over a day (tidal effect).
+
+Inference power is high during the day and gradually declines between
+22:00 and 08:00 (interactive use drops overnight).  The operator signed
+a constant-power utility contract, so training is scheduled into the
+nightly trough — the night-discount sales model — which flattens total
+consumption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    NightTrainingScheduler,
+    TidalProfile,
+    daily_inference_power,
+)
+
+PROFILE = TidalProfile(peak_mw=100.0, trough_frac=0.35)
+HOURS = np.linspace(0.0, 24.0, 24 * 60, endpoint=False)
+
+
+def test_fig16_tidal_pattern(benchmark, series_printer):
+    power = benchmark(daily_inference_power, PROFILE, HOURS)
+    sample_hours = range(0, 24, 3)
+    series_printer(
+        "Figure 16: inference power over a day (MW)",
+        [(f"{h:02d}:00", float(power[h * 60])) for h in sample_hours],
+        ["hour", "inference MW"])
+
+    noon = power[(HOURS > 11) & (HOURS < 14)]
+    night = power[(HOURS > 1) & (HOURS < 6)]
+    # Daytime plateau vs deep-night trough.
+    assert np.min(noon) == pytest.approx(PROFILE.peak_mw)
+    assert np.max(night) == pytest.approx(
+        PROFILE.peak_mw * PROFILE.trough_frac)
+    # Decline begins at 22:00: 23:30 already below 21:30.
+    assert power[int(23.5 * 60)] < power[int(21.5 * 60)]
+
+
+def test_fig16_night_training_flattens(benchmark, series_printer):
+    scheduler = NightTrainingScheduler(PROFILE)
+    schedule = benchmark(scheduler.schedule, HOURS)
+    flatness = scheduler.flatness(HOURS)
+    inference_cv = float(np.std(schedule["inference_mw"])
+                         / np.mean(schedule["inference_mw"]))
+    series_printer(
+        "Figure 16: constant-power scheduling",
+        [("inference-only CV", inference_cv),
+         ("with night training CV", flatness),
+         ("peak total (MW)", float(np.max(schedule["total_mw"]))),
+         ("training energy share",
+          float(np.sum(schedule["training_mw"])
+                / np.sum(schedule["total_mw"])))],
+        ["metric", "value"])
+
+    # Night training flattens total consumption by >10x.
+    assert flatness < inference_cv / 10
+    # The contract line is never exceeded.
+    assert np.max(schedule["total_mw"]) \
+        <= scheduler.contract_mw + 1e-9
+    # Training lands predominantly at night (cheap-rate window).
+    night_mask = np.array([PROFILE.is_night(h) for h in HOURS])
+    night_training = float(np.sum(schedule["training_mw"][night_mask]))
+    day_training = float(np.sum(schedule["training_mw"][~night_mask]))
+    assert night_training > 5 * day_training

@@ -1,0 +1,51 @@
+"""Figure 19 (Appendix) — Training performance at scale.
+
+Hunyuan-MoE training efficiency stays almost consistent with GPU-scale
+expansion: the paper reports only a 0.6% performance loss at 8K GPUs.
+The per-GPU throughput is swept over data-parallel scale-out and
+normalized to the smallest deployment.
+"""
+
+from repro.seer import (
+    HUNYUAN_MOE,
+    NetworkSuite,
+    ParallelismConfig,
+    Seer,
+)
+
+DP_SWEEP = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _scaling_series():
+    seer = Seer(gpu="H800", network=NetworkSuite())
+    series = []
+    for dp in DP_SWEEP:
+        parallel = ParallelismConfig(tp=4, pp=4, dp=dp, ep=16,
+                                     microbatches=8)
+        forecast = seer.forecast_training(HUNYUAN_MOE, parallel)
+        series.append((parallel.world_size,
+                       forecast.throughput_per_gpu))
+    return series
+
+
+def test_fig19_near_linear_scaling(benchmark, series_printer):
+    series = benchmark(_scaling_series)
+    base = series[0][1]
+    rows = [(gpus, per_gpu, f"{per_gpu / base:.2%}",
+             f"{1 - per_gpu / base:.2%}")
+            for gpus, per_gpu in series]
+    series_printer(
+        "Figure 19: Hunyuan-MoE training efficiency at scale",
+        rows, ["GPUs", "tokens/s/GPU", "efficiency", "loss"])
+
+    efficiencies = [per_gpu / base for _, per_gpu in series]
+    # Sub-3% loss at the largest scale (paper: 0.6% at 8K GPUs).
+    assert efficiencies[-1] > 0.97
+    # The marginal loss flattens: scaling out further costs almost
+    # nothing once the DP sync pattern is established.
+    increments = [a - b for a, b in zip(efficiencies[1:-1],
+                                        efficiencies[2:])]
+    assert all(increment < 0.01 for increment in increments)
+    # Efficiency is monotone non-increasing with scale.
+    assert all(b <= a + 1e-9
+               for a, b in zip(efficiencies, efficiencies[1:]))

@@ -1,0 +1,53 @@
+"""Headline — Seer forecasts at the paper's 512K-GPU cluster scale.
+
+"Astral ... is capable of interconnecting half a million GPUs" and
+"Seer forecasts the performance of LLM training and inference within
+seconds."  Both at once: a full training-iteration forecast for a
+524,288-GPU deployment (TP8 x PP16 x DP4096) completes in well under
+the paper's seconds budget, where packet-level simulators took a day
+for 1K GPUs (§5).
+"""
+
+import time
+
+from repro.seer import (
+    HUNYUAN_MOE,
+    NetworkSuite,
+    ParallelismConfig,
+    Seer,
+)
+
+PAPER_SCALE = ParallelismConfig(tp=8, pp=16, dp=4096, ep=16,
+                                microbatches=64)
+
+
+def test_headline_half_million_gpu_forecast(benchmark, series_printer):
+    seer = Seer(gpu="H800", network=NetworkSuite())
+
+    start = time.monotonic()
+    forecast = benchmark.pedantic(
+        seer.forecast_training, args=(HUNYUAN_MOE, PAPER_SCALE),
+        rounds=1, iterations=1)
+    elapsed = time.monotonic() - start
+
+    series_printer(
+        "Headline: Seer at 512K-GPU scale (Hunyuan-MoE)",
+        [("world size", f"{PAPER_SCALE.world_size:,} GPUs"),
+         ("iteration time", f"{forecast.iteration_time_s:.3f} s"),
+         ("cluster tokens/s", f"{forecast.tokens_per_s:,.0f}"),
+         ("scheduled operators", len(forecast.timeline.entries)),
+         ("forecast wall-clock", f"{elapsed:.2f} s")],
+        ["metric", "value"])
+
+    assert PAPER_SCALE.world_size == 524_288
+    assert forecast.iteration_time_s > 0
+    # "within seconds": far below the minute, let alone ASTRA-sim's day.
+    assert elapsed < 30.0
+
+    # Per-GPU efficiency at 512K remains within a few percent of the
+    # small-cluster baseline (near-linear scaling, Figure 19's limit).
+    small = seer.forecast_training(
+        HUNYUAN_MOE, ParallelismConfig(tp=8, pp=16, dp=1, ep=16,
+                                       microbatches=64))
+    efficiency = forecast.throughput_per_gpu / small.throughput_per_gpu
+    assert efficiency > 0.95

@@ -1,0 +1,58 @@
+"""Extension — inference serving under load (Figures 14c/d context).
+
+The prefill/decode costs Seer forecasts become serving metrics once a
+continuous-batching engine interleaves them: TTFT stays flat until the
+deployment saturates, then queueing explodes it, while token throughput
+saturates at the decode-bound ceiling.
+"""
+
+from repro.seer import (
+    HUNYUAN_MOE,
+    NetworkSuite,
+    ParallelismConfig,
+    Seer,
+    ServingConfig,
+    ServingSimulator,
+)
+
+PARALLEL = ParallelismConfig(tp=8, pp=1, dp=1, ep=16)
+RATES = (0.5, 2.0, 8.0, 16.0)
+
+
+def test_serving_load_sweep(benchmark, series_printer):
+    seer = Seer(gpu="H800", network=NetworkSuite())
+
+    def sweep():
+        reports = {}
+        for rate in RATES:
+            config = ServingConfig(arrival_rate_per_s=rate,
+                                   duration_s=120.0, batch_max=16,
+                                   output_len_mean=128)
+            reports[rate] = ServingSimulator(
+                seer, HUNYUAN_MOE, PARALLEL, config).run()
+        return reports
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (rate,
+         f"{reports[rate].mean_ttft_s():.2f}",
+         f"{reports[rate].p99_ttft_s():.2f}",
+         f"{reports[rate].mean_tpot_s() * 1e3:.1f}",
+         f"{reports[rate].output_tokens_per_s():.0f}")
+        for rate in RATES
+    ]
+    series_printer(
+        "Serving metrics vs offered load (Hunyuan-MoE, TP8, batch 16)",
+        rows, ["req/s", "TTFT mean (s)", "TTFT p99 (s)",
+               "TPOT (ms)", "tokens/s"])
+
+    light, heavy = reports[RATES[0]], reports[RATES[-1]]
+    # Below saturation TTFT is flat and small.
+    assert reports[2.0].mean_ttft_s() < 3 * light.mean_ttft_s()
+    # Past saturation TTFT blows up but throughput has saturated.
+    assert heavy.mean_ttft_s() > 10 * light.mean_ttft_s()
+    assert heavy.output_tokens_per_s() \
+        < 1.5 * reports[8.0].output_tokens_per_s()
+    # Everything offered is eventually served (closed horizon).
+    for report in reports.values():
+        assert report.completion_rate == 1.0

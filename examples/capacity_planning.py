@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Capacity planning with Seer (the §4.4 case studies).
+
+Three planning questions an infrastructure provider answers offline:
+
+* Case #1a — which parallelism traffic should cross datacenters?
+* Case #1b — what cross-DC bandwidth oversubscription is acceptable?
+* Case #2  — how large should the intra-host (NVSwitch) domain be?
+
+Plus a parallelism-tuning sweep: Seer ranks candidate TP/PP/DP layouts
+for a fixed GPU budget before anything is deployed.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.seer import (
+    GPT3_175B,
+    HUNYUAN_MOE,
+    LLAMA3_70B,
+    NetworkSuite,
+    ParallelismConfig,
+    Seer,
+    ServingConfig,
+    ServingSimulator,
+    sweep_parallelism,
+)
+
+
+def case1_cross_dc() -> None:
+    print("== Case #1: training across two datacenters ==")
+    baseline = Seer(gpu="H800", network=NetworkSuite()) \
+        .forecast_training(
+            LLAMA3_70B,
+            ParallelismConfig(tp=8, pp=4, dp=4, microbatches=16)) \
+        .iteration_time_s
+
+    print("  which traffic should cross (8:1 oversubscription)?")
+    for label, dim, zero in (("PP across DC", "pp", 0),
+                             ("DP across DC", "dp", 0),
+                             ("ZeRO-DP across DC", "dp", 3)):
+        network = NetworkSuite().with_cross_dc(8.0, rtt_ms=3.0)
+        parallel = ParallelismConfig(tp=8, pp=4, dp=4, microbatches=16,
+                                     zero_stage=zero,
+                                     cross_dc_dimension=dim)
+        t = Seer(gpu="H800", network=network) \
+            .forecast_training(LLAMA3_70B, parallel).iteration_time_s
+        print(f"    {label:<20} efficiency {baseline / t:6.1%}")
+
+    print("  how much oversubscription can the long-haul link take?")
+    for ratio in (1, 4, 8, 16, 32):
+        network = NetworkSuite().with_cross_dc(float(ratio),
+                                               rtt_ms=3.0)
+        parallel = ParallelismConfig(tp=8, pp=4, dp=4, microbatches=16,
+                                     cross_dc_dimension="dp")
+        t = Seer(gpu="H800", network=network) \
+            .forecast_training(LLAMA3_70B, parallel).iteration_time_s
+        print(f"    {ratio:>3}:1  efficiency {baseline / t:6.1%}")
+    print("  -> the knee sits around 16:1, matching Figure 13.\n")
+
+
+def case2_intra_host() -> None:
+    print("== Case #2: how large should the intra-host network be? ==")
+    configs = {
+        "GPT-3 train": (GPT3_175B, ParallelismConfig(
+            tp=8, pp=4, dp=2, microbatches=8)),
+        "MoE train": (HUNYUAN_MOE, ParallelismConfig(
+            tp=4, pp=4, dp=2, ep=16, microbatches=8)),
+    }
+    print(f"    {'HB size':<8}" + "".join(f"{k:>14}" for k in configs))
+    base = {}
+    for hb in (8, 16, 32, 64):
+        seer = Seer(gpu="H800",
+                    network=NetworkSuite().with_intra_host_size(hb))
+        row = f"    {hb:<8}"
+        for key, (model, parallel) in configs.items():
+            tput = seer.forecast_training(model, parallel).tokens_per_s
+            base.setdefault(key, tput)
+            row += f"{tput / base[key]:>13.2%} "
+        print(row)
+    print("  -> the MoE model benefits more (all-to-all moves onto "
+          "NVLink), as in Figure 14.\n")
+
+
+def parallelism_tuning(budget_gpus: int = 128) -> None:
+    print(f"== Parallelism tuning: best layout for {budget_gpus} "
+          "GPUs (LLaMA-3-70B) ==")
+    seer = Seer(gpu="H800", network=NetworkSuite())
+    candidates = sweep_parallelism(seer, LLAMA3_70B, budget_gpus,
+                                   microbatches=16)
+    for rank, candidate in enumerate(candidates[:5], start=1):
+        marker = "  <- deploy this" if rank == 1 else ""
+        print(f"    #{rank} {candidate.label:<14} "
+              f"{candidate.tokens_per_s:>10,.0f} tokens/s  "
+              f"{candidate.memory_gb:5.1f} GB/GPU{marker}")
+    print("    (layouts that do not fit the H800's 80 GB HBM are "
+          "excluded)\n")
+
+
+def inference_planning() -> None:
+    print("== Inference serving: prefill vs decode budget ==")
+    seer = Seer(gpu="H800", network=NetworkSuite())
+    for batch in (1, 8, 32):
+        forecast = seer.forecast_inference(
+            HUNYUAN_MOE, ParallelismConfig(tp=8, pp=1, dp=1, ep=16),
+            batch=batch, context_len=2048)
+        print(f"    batch {batch:>2}: TTFT {forecast.prefill_time_s:6.3f} s, "
+              f"decode {forecast.decode_tokens_per_s:8.1f} tok/s")
+
+    print("\n== Serving under load (continuous batching) ==")
+    parallel = ParallelismConfig(tp=8, pp=1, dp=1, ep=16)
+    print(f"    {'req/s':<7}{'TTFT p99':<11}{'TPOT':<9}{'tok/s':<8}")
+    for rate in (0.5, 2.0, 8.0):
+        config = ServingConfig(arrival_rate_per_s=rate,
+                               duration_s=120.0, batch_max=16,
+                               output_len_mean=128)
+        report = ServingSimulator(seer, HUNYUAN_MOE, parallel,
+                                  config).run()
+        print(f"    {rate:<7}{report.p99_ttft_s():<11.2f}"
+              f"{report.mean_tpot_s() * 1e3:<9.1f}"
+              f"{report.output_tokens_per_s():<8.0f}")
+    print("    -> size the fleet for the TTFT SLO at the expected "
+          "load, not the saturated throughput.")
+
+
+def main() -> None:
+    case1_cross_dc()
+    case2_intra_host()
+    parallelism_tuning()
+    inference_planning()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Datacenter operations: power, cooling, ECMP, and commissioning.
+
+The physical-deployment half of the paper (§2.2, §5, appendices):
+
+* GPU power characterization and the HVDC rack-elasticity policy;
+* the daily tidal pattern and the constant-power night scheduler;
+* airflow optimization and the PUE story;
+* the optimized-ECMP controller relieving a congestion hotspot;
+* offline commissioning before handing hosts to a customer.
+
+Run:  python examples/datacenter_operations.py
+"""
+
+import numpy as np
+
+from repro.core import AstralInfrastructure
+from repro.cooling import AirflowConfig, temperature_spread
+from repro.monitoring import HostConfig, HostHealth
+from repro.network import EcmpController, Fabric, make_flow
+from repro.power import (
+    GpuSpec,
+    HvdcUnit,
+    NightTrainingScheduler,
+    PowerAllocationError,
+    RackSpec,
+    RenewableMix,
+    TidalProfile,
+    synthesize_trace,
+    training_iteration_phases,
+)
+from repro.topology import AstralParams, build_astral
+
+
+def power_section() -> None:
+    print("== GPU power & HVDC elasticity ==")
+    gpu = GpuSpec(tdp_watts=500.0)
+    trace = synthesize_trace(gpu, training_iteration_phases(),
+                             repeats=4)
+    print(f"  training peak {trace.peak_watts:.0f} W vs TDP "
+          f"{gpu.tdp_watts:.0f} W (exceeds TDP: {trace.exceeds_tdp})")
+
+    unit = HvdcUnit([RackSpec(f"rack{i}", 40_000.0) for i in range(4)])
+    unit.request("rack0", 52_000.0)   # 1.3x TDP, allowed
+    print(f"  rack0 elastically granted 52 kW (limit "
+          f"{unit.rack_limit_watts(unit.racks[0]) / 1e3:.0f} kW); "
+          f"row budget {unit.budget_watts / 1e3:.0f} kW")
+    try:
+        unit.request("rack1", 53_000.0)
+    except PowerAllocationError as error:
+        print(f"  rack1 denied: {error}")
+
+    mix = RenewableMix()
+    yearly_kwh = 1.2e9
+    print(f"  renewables offset {mix.renewable_fraction:.0%} of load: "
+          f"{mix.carbon_saved_kg(yearly_kwh) / 1e6:,.0f} kt CO2 saved"
+          f" on {yearly_kwh:,.0f} kWh\n")
+
+
+def tidal_section() -> None:
+    print("== Tidal scheduling (constant-power contract) ==")
+    profile = TidalProfile(peak_mw=100.0)
+    scheduler = NightTrainingScheduler(profile)
+    hours = np.linspace(0, 24, 24 * 60, endpoint=False)
+    schedule = scheduler.schedule(hours)
+    inference_cv = float(np.std(schedule["inference_mw"])
+                         / np.mean(schedule["inference_mw"]))
+    print(f"  inference-only variability (CV): {inference_cv:.3f}")
+    print(f"  with night training:             "
+          f"{scheduler.flatness(hours):.4f}")
+    share = float(np.sum(schedule["training_mw"])
+                  / np.sum(schedule["total_mw"]))
+    print(f"  night-discounted training carries {share:.0%} of daily "
+          "energy\n")
+
+
+def cooling_section() -> None:
+    print("== Airflow optimization & PUE ==")
+    loads = np.full(16, 20_000.0)
+    side = temperature_spread(loads, AirflowConfig.side())
+    bottom = temperature_spread(loads, AirflowConfig.bottom_up())
+    print(f"  side intake spread     : {side:.2f} degC")
+    print(f"  bottom-up spread       : {bottom:.2f} degC")
+    report = AstralInfrastructure.pue_report()
+    for label, pue in report["evolution"]:
+        print(f"  PUE {label:<28}: {pue:.3f}")
+    print(f"  improvement vs traditional: "
+          f"{report['improvement_frac']:.2%}\n")
+
+
+def ecmp_section() -> None:
+    print("== Optimized ECMP: relieving a polarization hotspot ==")
+    fabric = Fabric(build_astral(AstralParams.small()))
+    flows = [
+        make_flow(f"p0.b0.h{src}", f"p0.b1.h{(src * 3 + k) % 8}",
+                  rail=0, size_bits=8e9, src_port=50000)
+        for src in range(8) for k in range(2)
+    ]
+    controller = EcmpController(fabric)
+    for report in controller.run(flows, rounds=6):
+        print(f"  round {report.round_index}: ECN "
+              f"{report.total_ecn_marks_before:,.0f} -> "
+              f"{report.total_ecn_marks_after:,.0f} "
+              f"({report.flows_moved} flows reassigned)")
+    print()
+
+
+def commissioning_section() -> None:
+    print("== Commissioning hosts before delivery ==")
+    infra = AstralInfrastructure(params=AstralParams.tiny())
+    hosts = [h.name for h in infra.topology.hosts()][:4]
+    configs = {host: HostConfig() for host in hosts}
+    configs[hosts[2]] = HostConfig(driver_version="550.54.14")
+    health = {hosts[1]: HostHealth(pcie_degraded=True)}
+    report = infra.commission(hosts, configs=configs, health=health)
+    print(f"  ready for delivery: {report.ready_for_delivery}")
+    for issue in report.config_inconsistencies:
+        print(f"  config: {issue.host} {issue.fieldname}="
+              f"{issue.value} (majority {issue.majority_value})")
+    for failure in report.stress_failures:
+        print(f"  stress: {failure.host} failed {failure.tool}: "
+              f"{failure.detail}")
+
+
+def main() -> None:
+    power_section()
+    tidal_section()
+    cooling_section()
+    ecmp_section()
+    commissioning_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: build an Astral deployment and exercise all three pillars.
+
+Walks the Figure-1 loop in a few dozen lines:
+
+1. build the Astral network architecture and inspect its scale;
+2. forecast a LLaMA-3 training iteration with Seer;
+3. run a monitored training job with an injected GPU fault and let the
+   hierarchical analyzer localize it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AstralInfrastructure, PlacementPolicy
+from repro.monitoring import FaultSpec, Manifestation, RootCause
+from repro.seer import LLAMA3_70B, ParallelismConfig
+from repro.topology import AstralParams
+
+
+def main() -> None:
+    # 1. The network architecture (laptop-scale parameters; the same
+    #    builder produces the paper's 512K-GPU deployment).
+    infra = AstralInfrastructure(params=AstralParams.small(),
+                                 gpu="H800")
+    print("== Astral deployment ==")
+    for key, value in infra.describe().items():
+        print(f"  {key}: {value}")
+    paper = AstralParams()  # published dimensions
+    print(f"  (paper-scale params would give {paper.total_gpus:,} "
+          f"GPUs, {paper.rail_size:,} per rail)")
+
+    # 2. Seer: forecast one training iteration.
+    parallel = ParallelismConfig(tp=8, pp=4, dp=4, microbatches=8)
+    forecast = infra.forecast_training(LLAMA3_70B, parallel)
+    print("\n== Seer forecast: LLaMA-3-70B, TPxPPxDP = 8x4x4 ==")
+    print(f"  iteration time : {forecast.iteration_time_s:.3f} s")
+    print(f"  tokens/s       : {forecast.tokens_per_s:,.0f}")
+    print(f"  exposed comm   : {forecast.exposed_comm_fraction():.1%} "
+          "of communication time")
+    deviation = infra.seer.accuracy_deviation(LLAMA3_70B, parallel)
+    print(f"  vs testbed     : {deviation:.2%} deviation")
+    from repro.seer import render_timeline
+    print("\n  stage-0 operator timeline "
+          "(# compute, m memory, = communication):")
+    art = render_timeline(forecast.timeline, width=60,
+                          devices=["stage0"])
+    for line in art.splitlines():
+        print(f"  {line}")
+
+    # 3. Monitoring: inject a GPU fault, diagnose from telemetry alone.
+    allocation = infra.allocate("train0", n_hosts=4,
+                                policy=PlacementPolicy.PACKED)
+    victim = allocation.hosts[2]
+    fault = FaultSpec(RootCause.GPU_HARDWARE, Manifestation.FAIL_STOP,
+                      victim, at_iteration=3)
+    result = infra.run_monitored_job("train0", fault=fault,
+                                     iterations=6)
+    diagnosis = infra.diagnose("train0")
+    print(f"\n== Monitored job (fault injected on {victim}) ==")
+    print(f"  completed iterations : {result.completed_iterations}")
+    print(f"  manifestation        : {diagnosis.manifestation.value}")
+    print(f"  root cause           : {diagnosis.inferred_cause} "
+          f"on {diagnosis.root_cause_device}")
+    print(f"  action               : {diagnosis.recommended_action}")
+    print("  evidence chain:")
+    for step in diagnosis.evidence:
+        print(f"    -> {step}")
+    assert diagnosis.root_cause_device == victim
+
+    # Bonus: facility-level report.
+    pue = infra.pue_report()
+    print("\n== Facility ==")
+    print(f"  traditional PUE : {pue['traditional_pue']:.3f}")
+    print(f"  Astral PUE      : {pue['astral_pue']:.3f} "
+          f"({pue['improvement_frac']:.2%} better)")
+
+
+if __name__ == "__main__":
+    main()

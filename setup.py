@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Configuration lives in pyproject.toml; this shim enables legacy
+# editable installs on offline environments without the `wheel` package.
+setup()

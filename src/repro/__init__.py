@@ -1,0 +1,38 @@
+"""repro — a reproduction of the Astral LLM datacenter infrastructure.
+
+Paper: "Astral: A Datacenter Infrastructure for Large Language Model
+Training at Scale", SIGCOMM 2025.
+
+Subpackages:
+
+* :mod:`repro.simcore` — discrete-event simulation kernel.
+* :mod:`repro.topology` — Astral and baseline fabric builders.
+* :mod:`repro.network` — flow-level fabric, ECMP, congestion, collectives.
+* :mod:`repro.power` — HVDC power system and GPU power traces.
+* :mod:`repro.cooling` — airflow / air-liquid cooling and PUE models.
+* :mod:`repro.monitoring` — full-stack telemetry, fault injection, and
+  the cross-host + hierarchical correlation analyzer.
+* :mod:`repro.seer` — operator-granular timeline forecasting.
+* :mod:`repro.core` — the public facade tying everything together.
+"""
+
+__version__ = "0.1.0"
+
+
+def __getattr__(name):
+    """Lazy top-level conveniences: ``repro.AstralInfrastructure`` etc.
+
+    Imports stay deferred so ``import repro`` remains cheap.
+    """
+    lazy = {
+        "AstralInfrastructure": ("repro.core", "AstralInfrastructure"),
+        "AstralParams": ("repro.topology", "AstralParams"),
+        "Seer": ("repro.seer", "Seer"),
+        "FaultSpec": ("repro.monitoring", "FaultSpec"),
+    }
+    if name in lazy:
+        import importlib
+
+        module, attr = lazy[name]
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

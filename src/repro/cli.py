@@ -1,0 +1,298 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map to the library's main entry points:
+
+* ``describe``  — scale numbers of an Astral deployment;
+* ``forecast``  — Seer training forecast for a model + parallelism;
+* ``inference`` — Seer inference forecast (prefill/decode);
+* ``memory``    — HBM footprint of a layout;
+* ``sweep``     — rank parallelism layouts for a GPU budget;
+* ``pue``       — the Figure-6 PUE evolution report;
+* ``taxonomy``  — sample a Figure-7 fault campaign;
+* ``overhead``  — Appendix-C monitoring overhead for a cluster size;
+* ``goodput``   — training goodput vs scale, manual vs Astral MTTLF;
+* ``diagnose-demo`` — inject a fault and print the diagnosis chain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+_MODELS = {
+    "gpt3-175b": "GPT3_175B",
+    "llama2-70b": "LLAMA2_70B",
+    "llama3-70b": "LLAMA3_70B",
+    "hunyuan-moe": "HUNYUAN_MOE",
+    "deepseek-moe": "DEEPSEEK_MOE",
+}
+
+
+def _resolve_model(name: str):
+    from repro import seer
+    try:
+        return getattr(seer, _MODELS[name])
+    except KeyError:
+        raise SystemExit(
+            f"unknown model {name!r}; choose from "
+            f"{', '.join(sorted(_MODELS))}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Astral (SIGCOMM 2025) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="deployment scale numbers") \
+        .add_argument("--paper-scale", action="store_true",
+                      help="use the published 512K-GPU dimensions")
+
+    forecast = sub.add_parser("forecast",
+                              help="Seer training forecast")
+    forecast.add_argument("--model", default="llama3-70b",
+                          choices=sorted(_MODELS))
+    forecast.add_argument("--gpu", default="H800")
+    forecast.add_argument("--tp", type=int, default=8)
+    forecast.add_argument("--pp", type=int, default=4)
+    forecast.add_argument("--dp", type=int, default=4)
+    forecast.add_argument("--ep", type=int, default=1)
+    forecast.add_argument("--microbatches", type=int, default=8)
+    forecast.add_argument("--uncorrected", action="store_true",
+                          help="disable self-correction (basic model)")
+
+    inference = sub.add_parser("inference",
+                               help="Seer inference forecast")
+    inference.add_argument("--model", default="llama3-70b",
+                           choices=sorted(_MODELS))
+    inference.add_argument("--gpu", default="H800")
+    inference.add_argument("--tp", type=int, default=8)
+    inference.add_argument("--ep", type=int, default=1)
+    inference.add_argument("--batch", type=int, default=8)
+    inference.add_argument("--context", type=int, default=2048)
+
+    memory = sub.add_parser("memory", help="HBM footprint of a layout")
+    memory.add_argument("--model", default="llama3-70b",
+                        choices=sorted(_MODELS))
+    memory.add_argument("--gpu", default="H800")
+    memory.add_argument("--tp", type=int, default=8)
+    memory.add_argument("--pp", type=int, default=4)
+    memory.add_argument("--dp", type=int, default=4)
+    memory.add_argument("--ep", type=int, default=1)
+    memory.add_argument("--zero", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep", help="rank parallelism layouts for a GPU budget")
+    sweep.add_argument("--model", default="llama3-70b",
+                       choices=sorted(_MODELS))
+    sweep.add_argument("--gpu", default="H800")
+    sweep.add_argument("--gpus", type=int, default=64)
+    sweep.add_argument("--microbatches", type=int, default=16)
+    sweep.add_argument("--top", type=int, default=5)
+
+    sub.add_parser("pue", help="PUE evolution report (Figure 6)")
+
+    taxonomy = sub.add_parser("taxonomy",
+                              help="sample a fault campaign (Fig. 7)")
+    taxonomy.add_argument("--count", type=int, default=1000)
+    taxonomy.add_argument("--seed", type=int, default=0)
+
+    overhead = sub.add_parser(
+        "overhead", help="monitoring overhead (Appendix C)")
+    overhead.add_argument("--gpus", type=int, default=100_000)
+
+    goodput = sub.add_parser(
+        "goodput",
+        help="training goodput vs scale, manual vs Astral MTTLF")
+    goodput.add_argument("--gpus", type=int, nargs="+",
+                         default=[1024, 8192, 65536])
+
+    sub.add_parser("diagnose-demo",
+                   help="inject a fault and print the diagnosis")
+
+    return parser
+
+
+def _cmd_describe(args) -> int:
+    from repro.core import AstralInfrastructure
+    from repro.topology import AstralParams
+    if args.paper_scale:
+        params = AstralParams()
+        print("Astral at published scale (not instantiated):")
+        print(f"  total GPUs      : {params.total_gpus:,}")
+        print(f"  GPUs per pod    : {params.gpus_per_pod:,}")
+        print(f"  GPUs per rail   : {params.rail_size:,}")
+        print(f"  pods            : {params.pods}")
+        return 0
+    infra = AstralInfrastructure(params=AstralParams.small())
+    for key, value in infra.describe().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_forecast(args) -> int:
+    from repro.seer import NetworkSuite, ParallelismConfig, Seer
+    model = _resolve_model(args.model)
+    parallel = ParallelismConfig(tp=args.tp, pp=args.pp, dp=args.dp,
+                                 ep=args.ep,
+                                 microbatches=args.microbatches)
+    seer = Seer(gpu=args.gpu, network=NetworkSuite(),
+                corrected=not args.uncorrected)
+    forecast = seer.forecast_training(model, parallel)
+    print(f"model            : {model.name}")
+    print(f"world size       : {parallel.world_size} GPUs "
+          f"(TP{args.tp} x PP{args.pp} x DP{args.dp})")
+    print(f"iteration time   : {forecast.iteration_time_s:.4f} s")
+    print(f"tokens/s         : {forecast.tokens_per_s:,.0f}")
+    print(f"tokens/s/GPU     : {forecast.throughput_per_gpu:,.1f}")
+    print(f"exposed comm     : {forecast.exposed_comm_fraction():.1%}")
+    if not args.uncorrected:
+        deviation = seer.accuracy_deviation(model, parallel)
+        print(f"vs testbed       : {deviation:.3%} deviation")
+    return 0
+
+
+def _cmd_inference(args) -> int:
+    from repro.seer import NetworkSuite, ParallelismConfig, Seer
+    model = _resolve_model(args.model)
+    seer = Seer(gpu=args.gpu, network=NetworkSuite())
+    forecast = seer.forecast_inference(
+        model, ParallelismConfig(tp=args.tp, pp=1, dp=1, ep=args.ep),
+        batch=args.batch, context_len=args.context)
+    print(f"model            : {model.name}")
+    print(f"time to 1st token: {forecast.prefill_time_s:.4f} s")
+    print(f"prefill tokens/s : {forecast.prefill_tokens_per_s:,.0f}")
+    print(f"decode tokens/s  : {forecast.decode_tokens_per_s:,.1f}")
+    return 0
+
+
+def _cmd_memory(args) -> int:
+    from repro.seer import ParallelismConfig, estimate_memory, gpu_suite
+    model = _resolve_model(args.model)
+    parallel = ParallelismConfig(tp=args.tp, pp=args.pp, dp=args.dp,
+                                 ep=args.ep, zero_stage=args.zero)
+    estimate = estimate_memory(model, parallel)
+    gpu = gpu_suite(args.gpu)
+    print(f"model        : {model.name}")
+    print(f"weights      : {estimate.weights / 1e9:8.2f} GB")
+    print(f"gradients    : {estimate.gradients / 1e9:8.2f} GB")
+    print(f"optimizer    : {estimate.optimizer / 1e9:8.2f} GB")
+    print(f"activations  : {estimate.activations / 1e9:8.2f} GB")
+    print(f"total        : {estimate.total_gb:8.2f} GB")
+    verdict = "fits" if estimate.fits(gpu) else "DOES NOT FIT"
+    print(f"on {gpu.name} ({gpu.hbm_gb:.0f} GB): {verdict}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.seer import NetworkSuite, Seer, sweep_parallelism
+    model = _resolve_model(args.model)
+    seer = Seer(gpu=args.gpu, network=NetworkSuite())
+    candidates = sweep_parallelism(seer, model, args.gpus,
+                                   microbatches=args.microbatches)
+    if not candidates:
+        print("no feasible layout fits this GPU's HBM")
+        return 1
+    print(f"top layouts for {model.name} on {args.gpus} x {args.gpu}:")
+    for rank, candidate in enumerate(candidates[:args.top], start=1):
+        print(f"  #{rank} {candidate.label:<18} "
+              f"{candidate.tokens_per_s:>12,.0f} tok/s   "
+              f"{candidate.memory_gb:6.1f} GB/GPU")
+    return 0
+
+
+def _cmd_pue(args) -> int:
+    from repro.power import astral_vs_traditional, pue_evolution
+    for report in pue_evolution():
+        print(f"  {report.label:<30} PUE {report.pue:.3f}")
+    comparison = astral_vs_traditional()
+    print(f"  improvement vs traditional: "
+          f"{comparison['improvement_frac']:.2%}")
+    return 0
+
+
+def _cmd_taxonomy(args) -> int:
+    from collections import Counter
+
+    from repro.monitoring import sample_faults
+    faults = sample_faults(args.count, seed=args.seed)
+    manifestations = Counter(f.manifestation.value for f in faults)
+    causes = Counter(f.cause.value for f in faults)
+    print("manifestations:")
+    for name, count in manifestations.most_common():
+        print(f"  {name:<15} {count / args.count:6.1%}")
+    print("root causes:")
+    for name, count in causes.most_common():
+        print(f"  {name:<18} {count / args.count:6.1%}")
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    from repro.monitoring import MonitoringOverhead
+    report = MonitoringOverhead().report(args.gpus)
+    print(f"cluster          : {report['n_gpus']:,} GPUs")
+    print(f"mirror traffic   : {report['mirror_gbps']:.1f} Gbps "
+          f"({report['mirror_fraction']:.7%} of fabric)")
+    print(f"INT storage      : {report['int_gb_per_day']:,.0f} GB/day, "
+          f"{report['int_gb_retained']:,.0f} GB retained")
+    return 0
+
+
+def _cmd_goodput(args) -> int:
+    from repro.core import training_goodput
+    print(f"{'GPUs':>8} {'MTBF(h)':>9} {'manual':>8} {'Astral':>8} "
+          f"{'gain':>7}")
+    for n_gpus in args.gpus:
+        manual = training_goodput(n_gpus, localization="manual")
+        auto = training_goodput(n_gpus, localization="automated")
+        print(f"{n_gpus:>8,} {auto.mtbf_hours:>9.1f} "
+              f"{manual.goodput_fraction:>8.1%} "
+              f"{auto.goodput_fraction:>8.1%} "
+              f"{auto.goodput_fraction - manual.goodput_fraction:>+7.1%}")
+    return 0
+
+
+def _cmd_diagnose_demo(args) -> int:
+    from repro.core import AstralInfrastructure
+    from repro.monitoring import FaultSpec, Manifestation, RootCause
+    from repro.topology import AstralParams
+    infra = AstralInfrastructure(params=AstralParams.small())
+    allocation = infra.allocate("demo", 4)
+    fault = FaultSpec(RootCause.GPU_HARDWARE, Manifestation.FAIL_STOP,
+                      allocation.hosts[1], at_iteration=2)
+    infra.run_monitored_job("demo", fault=fault, iterations=4)
+    diagnosis = infra.diagnose("demo")
+    print(f"injected    : {fault.cause.value} on {fault.target}")
+    print(f"manifested  : {diagnosis.manifestation.value}")
+    print(f"localized to: {diagnosis.root_cause_device} "
+          f"({diagnosis.inferred_cause})")
+    print(f"action      : {diagnosis.recommended_action}")
+    for step in diagnosis.evidence:
+        print(f"  -> {step}")
+    return 0
+
+
+_HANDLERS = {
+    "describe": _cmd_describe,
+    "forecast": _cmd_forecast,
+    "inference": _cmd_inference,
+    "memory": _cmd_memory,
+    "pue": _cmd_pue,
+    "sweep": _cmd_sweep,
+    "taxonomy": _cmd_taxonomy,
+    "overhead": _cmd_overhead,
+    "goodput": _cmd_goodput,
+    "diagnose-demo": _cmd_diagnose_demo,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Cooling substrate: airflow, cold plates, integrated system, legacy."""
+
+from .airflow import (
+    AirflowConfig,
+    IntakeGeometry,
+    delivered_fractions,
+    rack_temperatures,
+    temperature_spread,
+)
+from .integrated import AirCoolingPlant, IntegratedCoolingSystem
+from .legacy import COOLING_GENERATIONS, CoolingGeneration
+from .liquid import ColdPlateLoop, ImmersionCooling
+
+__all__ = [
+    "AirCoolingPlant",
+    "AirflowConfig",
+    "COOLING_GENERATIONS",
+    "ColdPlateLoop",
+    "CoolingGeneration",
+    "ImmersionCooling",
+    "IntakeGeometry",
+    "IntegratedCoolingSystem",
+    "delivered_fractions",
+    "rack_temperatures",
+    "temperature_spread",
+]

@@ -1,0 +1,116 @@
+"""Air-cooling airflow model (paper §2.2, Figure 5).
+
+The paper's Optimization #1 rests on a fluid-dynamics argument: with a
+constant airflow capacity, air velocity is inversely proportional to the
+duct cross-sectional area.  The original *side* intake (air entering
+from both sides of the rack row) produces a high outlet velocity that
+starves nearby racks of cool air, yielding an inter-rack temperature
+spread of about 1 degC; switching to *bottom-up* intake through the much
+larger floor cross-section moderates the velocity and flattens the
+distribution to about 0.11 degC.
+
+This module models a rack row as heat sources sharing an air supply.
+Each rack receives a delivered-airflow fraction that dips near the air
+outlet; the dip amplitude scales with the square of the duct velocity,
+which is where the cross-section enters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "IntakeGeometry",
+    "AirflowConfig",
+    "delivered_fractions",
+    "rack_temperatures",
+    "temperature_spread",
+]
+
+_AIR_DENSITY = 1.2          # kg/m^3
+_AIR_HEAT_CAPACITY = 1005.0  # J/(kg K)
+
+
+class IntakeGeometry(enum.Enum):
+    """Where cool air enters the rack row."""
+
+    SIDE = "side"          # traditional: both sides of the row
+    BOTTOM_UP = "bottom"   # optimized: vertical bottom-up
+
+
+@dataclass(frozen=True)
+class AirflowConfig:
+    """Physical parameters of the row's air loop."""
+
+    geometry: IntakeGeometry = IntakeGeometry.SIDE
+    #: total cool-air volume per rack, m^3/s (constant across geometries:
+    #: "when airflow capacity is constant in fluid dynamics").
+    airflow_per_rack_m3s: float = 1.1
+    #: effective duct cross-section, m^2; the bottom plenum is much
+    #: larger than the side inlets.
+    cross_section_m2: float = 0.5
+    supply_air_c: float = 25.0
+    #: empirical starvation coefficient (maps squared velocity to the
+    #: worst-case delivered-airflow deficit).
+    starvation_coeff: float = 0.0135
+
+    @classmethod
+    def side(cls) -> "AirflowConfig":
+        return cls(geometry=IntakeGeometry.SIDE, cross_section_m2=0.5)
+
+    @classmethod
+    def bottom_up(cls) -> "AirflowConfig":
+        return cls(geometry=IntakeGeometry.BOTTOM_UP,
+                   cross_section_m2=1.5)
+
+    @property
+    def duct_velocity_ms(self) -> float:
+        """v = Q / A — the inverse-proportionality the paper invokes."""
+        return self.airflow_per_rack_m3s / self.cross_section_m2
+
+    @property
+    def starvation_amplitude(self) -> float:
+        """Worst-case fractional airflow deficit near the outlet."""
+        return self.starvation_coeff * self.duct_velocity_ms ** 2
+
+
+def delivered_fractions(n_racks: int, config: AirflowConfig) -> np.ndarray:
+    """Fraction of nominal airflow actually reaching each rack.
+
+    The deficit is a Gaussian bump centred on the air outlet (the middle
+    of the row for side intake); its amplitude is the geometry-dependent
+    starvation amplitude.  Bottom-up intake distributes through the
+    floor, so the same functional form applies with a far smaller
+    amplitude (velocity is 3x lower => deficit is ~9x smaller).
+    """
+    if n_racks < 1:
+        raise ValueError("need at least one rack")
+    positions = np.linspace(0.0, 1.0, n_racks)
+    outlet = 0.5
+    width = 0.18
+    deficit = config.starvation_amplitude \
+        * np.exp(-((positions - outlet) ** 2) / (2 * width ** 2))
+    return 1.0 - deficit
+
+
+def rack_temperatures(loads_watts: np.ndarray,
+                      config: AirflowConfig) -> np.ndarray:
+    """Steady-state exhaust temperature of each rack (degC).
+
+    delta-T = Q / (rho * cp * V_delivered); starved racks run hotter.
+    """
+    loads_watts = np.asarray(loads_watts, dtype=float)
+    fractions = delivered_fractions(len(loads_watts), config)
+    delivered = config.airflow_per_rack_m3s * fractions
+    delta = loads_watts / (_AIR_DENSITY * _AIR_HEAT_CAPACITY * delivered)
+    return config.supply_air_c + delta
+
+
+def temperature_spread(loads_watts: np.ndarray,
+                       config: AirflowConfig) -> float:
+    """Max-min inter-rack temperature variation (the Figure 5 metric)."""
+    temps = rack_temperatures(loads_watts, config)
+    return float(np.max(temps) - np.min(temps))

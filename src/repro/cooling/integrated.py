@@ -1,0 +1,74 @@
+"""Air-liquid integrated cooling system (paper §2.2, Optimization #2).
+
+Air cooling handles overall heat dissipation while cold plates target
+the localized high-power components.  Because the liquid-to-air power
+ratio depends on the workload (GPU- vs CPU-intensive) and is hard to
+predict over a ~10-year facility life, Astral integrates both into one
+system sharing a primary cold source that provides **100% of the
+cooling capacity** to either side — otherwise the plant could not adapt
+to shifting workload patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .liquid import ColdPlateLoop
+
+__all__ = ["AirCoolingPlant", "IntegratedCoolingSystem"]
+
+
+@dataclass(frozen=True)
+class AirCoolingPlant:
+    """The air side: CRAH/fan-wall plant with its effective COP."""
+
+    cop: float = 6.5
+
+    def cooling_power_watts(self, heat_watts: float) -> float:
+        if heat_watts < 0:
+            raise ValueError("heat load cannot be negative")
+        return heat_watts / self.cop
+
+
+@dataclass(frozen=True)
+class IntegratedCoolingSystem:
+    """Unified air + liquid system with a shared primary cold source."""
+
+    air: AirCoolingPlant = field(default_factory=AirCoolingPlant)
+    liquid: ColdPlateLoop = field(default_factory=ColdPlateLoop)
+    #: the shared primary cold source is sized for the full load on
+    #: either side (1.0 = 100% capacity each way).
+    primary_source_capacity_frac: float = 1.0
+
+    def split_heat(self, it_watts: float, liquid_ratio: float
+                   ) -> tuple[float, float]:
+        """(liquid_watts, air_watts) for a workload's power ratio."""
+        if not 0.0 <= liquid_ratio <= 1.0:
+            raise ValueError(f"liquid ratio out of range: {liquid_ratio}")
+        max_liquid = self.liquid.extractable_watts(it_watts)
+        liquid_watts = min(it_watts * liquid_ratio, max_liquid)
+        return liquid_watts, it_watts - liquid_watts
+
+    def cooling_power_watts(self, it_watts: float,
+                            liquid_ratio: float = 0.70) -> float:
+        """Plant power to remove *it_watts* of heat at the given split."""
+        liquid_watts, air_watts = self.split_heat(it_watts, liquid_ratio)
+        return (self.liquid.cooling_power_watts(liquid_watts)
+                + self.air.cooling_power_watts(air_watts))
+
+    def can_adapt(self, liquid_ratio: float) -> bool:
+        """Can the plant serve this split without re-engineering?
+
+        With the shared primary source at 100% capacity, any split in
+        [0, 1] is servable; an undersized source could not follow
+        workload shifts — the paper's stated failure mode.
+        """
+        if not 0.0 <= liquid_ratio <= 1.0:
+            return False
+        demand_frac = max(liquid_ratio, 1.0 - liquid_ratio)
+        return demand_frac <= self.primary_source_capacity_frac + 1e-9
+
+    def effective_cop(self, it_watts: float,
+                      liquid_ratio: float = 0.70) -> float:
+        power = self.cooling_power_watts(it_watts, liquid_ratio)
+        return it_watts / power if power > 0 else float("inf")

@@ -1,0 +1,42 @@
+"""Historical cooling generations of the operator's datacenters (§5).
+
+The paper recounts three pre-LLM cooling upgrades — direct-expansion air
+conditioning (2006), centralized chilled water (2010), and distributed
+air-cooling air handling units (2018) — before the Astral air-liquid
+integrated system.  These feed the PUE-evolution comparison (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["CoolingGeneration", "COOLING_GENERATIONS"]
+
+
+@dataclass(frozen=True)
+class CoolingGeneration:
+    """One generation of the cooling plant."""
+
+    year: int
+    name: str
+    cop: float
+    description: str
+
+    def cooling_power_watts(self, heat_watts: float) -> float:
+        if heat_watts < 0:
+            raise ValueError("heat load cannot be negative")
+        return heat_watts / self.cop
+
+
+COOLING_GENERATIONS: List[CoolingGeneration] = [
+    CoolingGeneration(
+        year=2006, name="direct-expansion", cop=2.6,
+        description="Direct expansion air conditioning system"),
+    CoolingGeneration(
+        year=2010, name="chilled-water", cop=3.6,
+        description="Centralized chilled water system"),
+    CoolingGeneration(
+        year=2018, name="distributed-ahu", cop=5.0,
+        description="Distributed air-cooling air handling units"),
+]

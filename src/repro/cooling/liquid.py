@@ -1,0 +1,59 @@
+"""Cold-plate liquid cooling (paper §2.2, Optimization #2).
+
+The paper selects cold plates over immersion for supply-chain maturity,
+serviceability, and compatibility with existing air-cooled facilities
+(§5, cooling system selection).  A cold-plate loop extracts heat from
+the highest-power components (GPUs) directly into the coolant, with a
+much better coefficient of performance than moving the same heat with
+air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ColdPlateLoop", "ImmersionCooling"]
+
+
+@dataclass(frozen=True)
+class ColdPlateLoop:
+    """A cold-plate liquid loop.
+
+    ``cop`` is the heat moved per unit of pumping/chilling power;
+    ``max_extraction_frac`` bounds how much of a server's heat the
+    plates can capture (the rest — DIMMs, NICs, VRMs — stays on air).
+    """
+
+    cop: float = 13.0
+    max_extraction_frac: float = 0.75
+    coolant_supply_c: float = 32.0  # warm-water loop
+
+    def cooling_power_watts(self, heat_watts: float) -> float:
+        if heat_watts < 0:
+            raise ValueError("heat load cannot be negative")
+        return heat_watts / self.cop
+
+    def extractable_watts(self, server_heat_watts: float) -> float:
+        return server_heat_watts * self.max_extraction_frac
+
+
+@dataclass(frozen=True)
+class ImmersionCooling:
+    """Immersion cooling — modelled for the paper's comparison only.
+
+    Slightly better COP than cold plates, but the paper rejects it over
+    material compatibility, corrosion, toxicity, and ecosystem maturity;
+    those are captured as qualitative flags used in documentation and
+    the selection example.
+    """
+
+    cop: float = 14.0
+    max_extraction_frac: float = 1.0
+    mature_ecosystem: bool = False
+    easy_maintenance: bool = False
+    compatible_with_air_cooled_fleet: bool = False
+
+    def cooling_power_watts(self, heat_watts: float) -> float:
+        if heat_watts < 0:
+            raise ValueError("heat load cannot be negative")
+        return heat_watts / self.cop

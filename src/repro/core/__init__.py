@@ -1,0 +1,28 @@
+"""Public facade tying the Astral pillars together."""
+
+from .infrastructure import AstralInfrastructure, CommissionReport
+from .reliability import (
+    CheckpointPolicy,
+    FailureModel,
+    GoodputReport,
+    training_goodput,
+)
+from .placement import (
+    Allocation,
+    AllocationError,
+    GpuAllocator,
+    PlacementPolicy,
+)
+
+__all__ = [
+    "Allocation",
+    "AllocationError",
+    "AstralInfrastructure",
+    "CheckpointPolicy",
+    "CommissionReport",
+    "FailureModel",
+    "GoodputReport",
+    "training_goodput",
+    "GpuAllocator",
+    "PlacementPolicy",
+]

@@ -1,0 +1,128 @@
+"""GPU allocation and job placement on an Astral fabric (§2, flexibility).
+
+The paper's flexibility goal: "allocating GPUs within the same
+block/Pod whenever possible to reduce the impact of communication
+overhead"; yet "fragmented deployment across Pods often occurs in
+production" as tenants grow and shrink.  Both behaviours are modelled:
+
+* :attr:`PlacementPolicy.PACKED` fills block by block within one pod;
+* :attr:`PlacementPolicy.FRAGMENTED` round-robins across pods — the
+  configuration Figure 2 evaluates against packed placement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..network.collectives import Endpoint
+from ..topology.elements import Host, Topology
+
+__all__ = ["PlacementPolicy", "Allocation", "GpuAllocator",
+           "AllocationError"]
+
+
+class AllocationError(RuntimeError):
+    """Raised when a request cannot be satisfied."""
+
+
+class PlacementPolicy(enum.Enum):
+    PACKED = "packed"            # same block/pod first
+    FRAGMENTED = "fragmented"    # spread across pods
+
+
+@dataclass
+class Allocation:
+    """A set of GPUs handed to one job."""
+
+    job: str
+    hosts: List[str]
+    gpus_per_host: int
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.hosts) * self.gpus_per_host
+
+    def endpoints(self, rail: int = 0) -> List[Endpoint]:
+        """Same-rank endpoints on one rail (rail-aligned collectives)."""
+        return [Endpoint(host, rail) for host in self.hosts]
+
+    def all_endpoints(self) -> List[Endpoint]:
+        return [Endpoint(host, rail)
+                for host in self.hosts
+                for rail in range(self.gpus_per_host)]
+
+
+class GpuAllocator:
+    """Host-granular allocator over a topology."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._free: List[Host] = sorted(
+            topology.hosts(), key=lambda h: (h.pod, h.block, h.rank))
+        self._allocations: Dict[str, Allocation] = {}
+
+    @property
+    def free_hosts(self) -> int:
+        return len(self._free)
+
+    def allocate(self, job: str, n_hosts: int,
+                 policy: PlacementPolicy = PlacementPolicy.PACKED
+                 ) -> Allocation:
+        if job in self._allocations:
+            raise AllocationError(f"job {job!r} already has GPUs")
+        if n_hosts < 1:
+            raise AllocationError("must request at least one host")
+        if n_hosts > len(self._free):
+            raise AllocationError(
+                f"requested {n_hosts} hosts, only {len(self._free)} "
+                "free")
+        if policy is PlacementPolicy.PACKED:
+            chosen = self._free[:n_hosts]
+        else:
+            chosen = self._round_robin_pods(n_hosts)
+        for host in chosen:
+            self._free.remove(host)
+        gpus_per_host = len(chosen[0].gpus) if chosen[0].gpus else 8
+        allocation = Allocation(job=job,
+                                hosts=[h.name for h in chosen],
+                                gpus_per_host=gpus_per_host)
+        self._allocations[job] = allocation
+        return allocation
+
+    def _round_robin_pods(self, n_hosts: int) -> List[Host]:
+        by_pod: Dict[int, List[Host]] = {}
+        for host in self._free:
+            by_pod.setdefault(host.pod, []).append(host)
+        pods = sorted(by_pod)
+        chosen: List[Host] = []
+        index = 0
+        while len(chosen) < n_hosts:
+            pod = pods[index % len(pods)]
+            if by_pod[pod]:
+                chosen.append(by_pod[pod].pop(0))
+            elif all(not queue for queue in by_pod.values()):
+                break
+            index += 1
+        return chosen
+
+    def release(self, job: str) -> None:
+        allocation = self._allocations.pop(job, None)
+        if allocation is None:
+            raise AllocationError(f"no allocation for job {job!r}")
+        names: Set[str] = set(allocation.hosts)
+        restored = [h for h in self.topology.hosts() if h.name in names]
+        self._free.extend(restored)
+        self._free.sort(key=lambda h: (h.pod, h.block, h.rank))
+
+    def allocation(self, job: str) -> Optional[Allocation]:
+        return self._allocations.get(job)
+
+    def pods_spanned(self, job: str) -> int:
+        allocation = self._allocations[job]
+        pods = {
+            self.topology.devices[name].pod
+            for name in allocation.hosts
+        }
+        return len(pods)

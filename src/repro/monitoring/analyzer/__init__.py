@@ -1,0 +1,22 @@
+"""Cross-host and hierarchical correlation analysis."""
+
+from .cross_host import CrossHostComparison, find_outliers, robust_zscores
+from .hierarchical import Diagnosis, HierarchicalAnalyzer
+from .int_hotspot import Hotspot, find_hotspots
+from .path_overlap import best_failure_point, overlap_devices, overlap_links
+from .timeseries import SlidingWindowDetector, TimeSeriesAlert
+
+__all__ = [
+    "CrossHostComparison",
+    "Diagnosis",
+    "HierarchicalAnalyzer",
+    "Hotspot",
+    "best_failure_point",
+    "find_hotspots",
+    "find_outliers",
+    "overlap_devices",
+    "overlap_links",
+    "robust_zscores",
+    "SlidingWindowDetector",
+    "TimeSeriesAlert",
+]

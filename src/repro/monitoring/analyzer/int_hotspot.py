@@ -1,0 +1,46 @@
+"""Congestion-hotspot identification via INT per-hop delay (§3.3).
+
+"If the QP rate is abnormal, INT ping detects the hop-by-hop delay and
+pinpoints the abnormal link."  Given INT ping records for the affected
+flows, find the hop(s) whose forwarding latency stands far above the
+base forwarding delay — the Figure 9c heatmap logic (0.6 us normal vs
+179/266 us congested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..telemetry import IntPingRecord
+
+__all__ = ["Hotspot", "find_hotspots"]
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One congested hop: the directed link from ``upstream``."""
+
+    upstream: str
+    downstream: str
+    latency_us: float
+    five_tuple: object
+
+
+def find_hotspots(records: Iterable[IntPingRecord],
+                  latency_threshold_us: float = 50.0
+                  ) -> List[Hotspot]:
+    """All hops whose latency exceeds the threshold, worst first."""
+    hotspots: List[Hotspot] = []
+    for record in records:
+        for index, latency in enumerate(record.hop_latencies_us):
+            if latency < latency_threshold_us:
+                continue
+            hotspots.append(Hotspot(
+                upstream=record.devices[index],
+                downstream=record.devices[index + 1],
+                latency_us=latency,
+                five_tuple=record.five_tuple,
+            ))
+    hotspots.sort(key=lambda h: h.latency_us, reverse=True)
+    return hotspots

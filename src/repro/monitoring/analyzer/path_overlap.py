@@ -1,0 +1,61 @@
+"""Failure-point identification through path overlapping (§3.3).
+
+"Network device failures typically impact multiple passing network
+flows.  If a set of errCQE events occurs, the failure points can be
+identified by locating the overlapping points of multiple affected flow
+paths."  Given the sFlow-reconstructed paths of the affected flows,
+rank interior devices (and links) by how many affected paths traverse
+them; the top-ranked shared element is the candidate failure point.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["overlap_devices", "overlap_links", "best_failure_point"]
+
+
+def overlap_devices(paths: Iterable[Sequence[str]]
+                    ) -> List[Tuple[str, int]]:
+    """Interior devices ranked by the number of affected paths crossing.
+
+    End hosts are excluded: the overlap tool looks for shared *network*
+    elements (a host shared by all its own flows is no signal).
+    """
+    counter: Counter = Counter()
+    total = 0
+    for path in paths:
+        total += 1
+        for device in set(path[1:-1]):
+            counter[device] += 1
+    return counter.most_common()
+
+
+def overlap_links(link_paths: Iterable[Sequence[int]]
+                  ) -> List[Tuple[int, int]]:
+    """Link ids ranked by the number of affected paths crossing them."""
+    counter: Counter = Counter()
+    for path in link_paths:
+        for link_id in set(path):
+            counter[link_id] += 1
+    return counter.most_common()
+
+
+def best_failure_point(paths: Iterable[Sequence[str]],
+                       min_coverage: float = 0.6) -> str | None:
+    """The most-shared interior device, if it covers enough paths.
+
+    ``min_coverage`` guards against spurious overlaps: a true failure
+    point should appear on most affected paths.
+    """
+    paths = list(paths)
+    if not paths:
+        return None
+    ranked = overlap_devices(paths)
+    if not ranked:
+        return None
+    device, count = ranked[0]
+    if count / len(paths) < min_coverage:
+        return None
+    return device

@@ -1,0 +1,92 @@
+"""Task-level time-series anomaly detection (§3.3, step 1).
+
+The hierarchical algorithm starts by alerting on task-level anomalies:
+per-iteration compute/communication times are checked against
+Seer-derived thresholds *and* against their own history.  This module
+implements the history side — a sliding-window detector in the spirit
+of the z-score methods the related monitoring systems use (Minder,
+TRANSOM; §6) — so regressions are caught even when the Seer threshold
+is generous (e.g. a slow drift that stays under 1.5x expected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SlidingWindowDetector", "TimeSeriesAlert"]
+
+
+@dataclass(frozen=True)
+class TimeSeriesAlert:
+    """One detected regression in a metric series."""
+
+    index: int
+    value: float
+    baseline_mean: float
+    zscore: float
+
+    @property
+    def slowdown(self) -> float:
+        if self.baseline_mean <= 0:
+            return float("inf")
+        return self.value / self.baseline_mean
+
+
+class SlidingWindowDetector:
+    """Flag samples deviating from a trailing-window baseline.
+
+    ``window`` iterations form the baseline; a sample whose z-score
+    against the window exceeds ``threshold`` (one-sided: slower) raises
+    an alert.  ``min_relative`` suppresses alerts for statistically
+    significant but operationally irrelevant wobbles (e.g. +0.5%).
+    """
+
+    def __init__(self, window: int = 8, threshold: float = 4.0,
+                 min_relative: float = 0.05):
+        if window < 2:
+            raise ValueError("window must be at least 2 samples")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.window = window
+        self.threshold = threshold
+        self.min_relative = min_relative
+
+    def scan(self, values: Sequence[float]) -> List[TimeSeriesAlert]:
+        """All alerts in a series (baseline excludes flagged samples)."""
+        alerts: List[TimeSeriesAlert] = []
+        baseline: List[float] = []
+        for index, value in enumerate(values):
+            alert = self._check(baseline, index, value)
+            if alert is not None:
+                alerts.append(alert)
+            else:
+                baseline.append(value)
+                if len(baseline) > self.window:
+                    baseline.pop(0)
+        return alerts
+
+    def latest(self, values: Sequence[float]
+               ) -> Optional[TimeSeriesAlert]:
+        """Alert for the newest sample only, if it regressed."""
+        if not values:
+            return None
+        baseline = list(values[:-1])[-self.window:]
+        return self._check(baseline, len(values) - 1, values[-1])
+
+    def _check(self, baseline: List[float], index: int,
+               value: float) -> Optional[TimeSeriesAlert]:
+        if len(baseline) < 2:
+            return None
+        mean = float(np.mean(baseline))
+        std = float(np.std(baseline))
+        floor = max(std, self.min_relative * mean / self.threshold,
+                    1e-12)
+        zscore = (value - mean) / floor
+        if zscore > self.threshold \
+                and value > mean * (1.0 + self.min_relative):
+            return TimeSeriesAlert(index=index, value=value,
+                                   baseline_mean=mean, zscore=zscore)
+        return None

@@ -1,0 +1,20 @@
+"""Layered telemetry collectors (application/transport/network/physical)."""
+
+from .base import HostState, IterationSnapshot
+from .layers import (
+    AppCollector,
+    FullStackCollector,
+    NetworkCollector,
+    PhysicalCollector,
+    TransportCollector,
+)
+
+__all__ = [
+    "AppCollector",
+    "FullStackCollector",
+    "HostState",
+    "IterationSnapshot",
+    "NetworkCollector",
+    "PhysicalCollector",
+    "TransportCollector",
+]

@@ -1,0 +1,66 @@
+"""Shared state handed from the job simulator to the layer collectors.
+
+The production system's collectors observe a *running cluster*; here the
+cluster is simulated, and each iteration produces an
+:class:`IterationSnapshot` of ground truth.  Collectors translate the
+snapshot into telemetry records — each one seeing only what its layer
+could see in production (e.g. the transport collector sees QP rates but
+not which switch is congested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ...network.congestion import LinkCongestion
+from ...network.fabric import LinkDir
+from ...network.flows import Flow, FlowPath
+from ..telemetry import JobMetadata
+
+__all__ = ["HostState", "IterationSnapshot"]
+
+
+@dataclass
+class HostState:
+    """Ground-truth per-host state for one iteration."""
+
+    host: str
+    compute_time_s: float
+    comm_time_s: float
+    started: int = 1
+    finished: int = 1
+    crashed: bool = False
+    hung: bool = False
+    gpu_util: float = 0.95
+    cpu_util: float = 0.30
+    ecc_errors: int = 0
+    pcie_errors: int = 0
+    nic_pfc_rx: float = 0.0
+
+
+@dataclass
+class IterationSnapshot:
+    """Everything observable about one iteration of a simulated job."""
+
+    time_s: float
+    iteration: int
+    job: JobMetadata
+    hosts: Dict[str, HostState]
+    flows: List[Flow] = field(default_factory=list)
+    paths: Dict[int, FlowPath] = field(default_factory=dict)
+    congestion: Dict[LinkDir, LinkCongestion] = field(default_factory=dict)
+    #: (host, qp, five_tuple, error) tuples raised this iteration.
+    err_cqes: List[Tuple[str, int, object, str]] = field(
+        default_factory=list)
+    #: (device, severity, message, fatal) log lines emitted.
+    syslogs: List[Tuple[str, str, str, bool]] = field(default_factory=list)
+    completed: bool = True
+    aborted: bool = False
+
+    @property
+    def iteration_time_s(self) -> float:
+        if not self.hosts:
+            return 0.0
+        return max(state.compute_time_s + state.comm_time_s
+                   for state in self.hosts.values())

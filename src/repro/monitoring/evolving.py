@@ -1,0 +1,146 @@
+"""Evolving the monitoring system with pluggable detectors (Appendix D).
+
+"To append the new anomaly to the automatic monitoring framework, we
+just need to patch the new detector at the lower level (i.e., physical
+layer).  With layer-by-layer abstraction, upper-level monitoring is
+mainly responsible for identifying abnormal manifestations and locating
+abnormal nodes, introducing minimal changes when dealing with new
+failures."
+
+A :class:`PhysicalDetector` inspects one device's physical-layer
+telemetry and may produce a :class:`DetectorFinding`; the hierarchical
+analyzer consults the registry when it has drilled down to a device but
+needs a root-cause label.  The PCIe-induced PFC storm (§5) is the
+canonical example: the incident took hours *before* the detector
+existed and minutes after it was patched in — reproduced in the tests
+by running the same scenario against registries with and without
+:data:`pcie_pfc_detector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .telemetry import TelemetryStore
+
+__all__ = [
+    "DetectorFinding",
+    "PhysicalDetector",
+    "DetectorRegistry",
+    "pcie_pfc_detector",
+    "ecc_detector",
+    "nvlink_detector",
+    "default_registry",
+    "pre_incident_registry",
+]
+
+
+@dataclass(frozen=True)
+class DetectorFinding:
+    """One detector's verdict on a device."""
+
+    detector: str
+    device: str
+    cause: str
+    action: str
+    note: str
+
+
+@dataclass(frozen=True)
+class PhysicalDetector:
+    """A named physical-layer inspection rule."""
+
+    name: str
+    inspect: Callable[[TelemetryStore, str],
+                      Optional[DetectorFinding]]
+
+
+def _pcie_inspect(store: TelemetryStore, device: str
+                  ) -> Optional[DetectorFinding]:
+    sensors = store.sensors_for(device)
+    if not sensors:
+        return None
+    latest = sensors[-1]
+    if latest.pcie_errors > 0 and latest.nic_pfc_rx > 0:
+        return DetectorFinding(
+            detector="pcie-pfc",
+            device=device,
+            cause="pcie-anomaly",
+            action="isolate host: PCIe fault triggering PFC storm",
+            note=(f"{latest.pcie_errors} PCIe errors with "
+                  f"{latest.nic_pfc_rx:.0f} PFC frames received"),
+        )
+    return None
+
+
+def _ecc_inspect(store: TelemetryStore, device: str
+                 ) -> Optional[DetectorFinding]:
+    sensors = store.sensors_for(device)
+    if sensors and sensors[-1].ecc_errors > 0:
+        return DetectorFinding(
+            detector="ecc",
+            device=device,
+            cause="memory",
+            action="isolate node for memory replacement",
+            note=f"{sensors[-1].ecc_errors} uncorrectable ECC errors",
+        )
+    return None
+
+
+def _nvlink_inspect(store: TelemetryStore, device: str
+                    ) -> Optional[DetectorFinding]:
+    sensors = store.sensors_for(device)
+    if sensors and sensors[-1].nvlink_errors > 0:
+        return DetectorFinding(
+            detector="nvlink",
+            device=device,
+            cause="nvlink-degraded",
+            action="run hostping; re-seat or isolate the GPU",
+            note=f"{sensors[-1].nvlink_errors} NVLink CRC errors",
+        )
+    return None
+
+
+pcie_pfc_detector = PhysicalDetector("pcie-pfc", _pcie_inspect)
+ecc_detector = PhysicalDetector("ecc", _ecc_inspect)
+nvlink_detector = PhysicalDetector("nvlink", _nvlink_inspect)
+
+
+class DetectorRegistry:
+    """Ordered collection of physical-layer detectors."""
+
+    def __init__(self, detectors: Optional[List[PhysicalDetector]]
+                 = None):
+        self._detectors: List[PhysicalDetector] = list(detectors or [])
+
+    def register(self, detector: PhysicalDetector) -> None:
+        """Patch a new detector in (the Appendix-D evolution step)."""
+        if any(d.name == detector.name for d in self._detectors):
+            raise ValueError(
+                f"detector {detector.name!r} already registered")
+        self._detectors.append(detector)
+
+    def names(self) -> List[str]:
+        return [d.name for d in self._detectors]
+
+    def inspect(self, store: TelemetryStore, device: str
+                ) -> Optional[DetectorFinding]:
+        """First matching finding for a device, if any."""
+        for detector in self._detectors:
+            finding = detector.inspect(store, device)
+            if finding is not None:
+                return finding
+        return None
+
+
+def pre_incident_registry() -> DetectorRegistry:
+    """The registry as it stood before the §5 PCIe incident."""
+    return DetectorRegistry([ecc_detector, nvlink_detector])
+
+
+def default_registry() -> DetectorRegistry:
+    """Today's registry: incident learnings patched in."""
+    registry = pre_incident_registry()
+    registry.register(pcie_pfc_detector)
+    return registry

@@ -1,0 +1,276 @@
+"""Failure taxonomy and fault injection (paper §3.1, Figure 7).
+
+Figure 7 organizes production anomalies along three dimensions:
+
+* **failure manifestations** — fail-stop (66%), fail-hang (17%),
+  fail-slow (13%), fail-on-start (4%);
+* **root causes** — host environment & configuration (32%), NIC errors
+  (15%), user code (14%), switch configuration (14%), switch bugs (7%),
+  optical fiber (7%), CCL bugs (3%), wire connection (3%), GPU hardware
+  (2%), memory (2%), link flaps (2%);
+* **diagnostic telemetry** — the layer where root-cause evidence shows.
+
+Each root cause is given a *profile*: its manifestation mix, the
+concrete effect it has on a simulated training job, the telemetry layer
+where its evidence surfaces, and whether it leaves an explicit fatal
+log (fail-on-start/fail-stop typically do; fail-slow/fail-hang do not —
+§3.1).  :func:`sample_faults` draws fault campaigns matching the
+published distribution.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .telemetry import Layer
+
+__all__ = [
+    "Manifestation",
+    "RootCause",
+    "Effect",
+    "CauseProfile",
+    "CAUSE_PROFILES",
+    "MANIFESTATION_PREVALENCE",
+    "ROOT_CAUSE_PREVALENCE",
+    "FaultSpec",
+    "sample_faults",
+]
+
+
+class Manifestation(enum.Enum):
+    FAIL_STOP = "fail-stop"
+    FAIL_HANG = "fail-hang"
+    FAIL_SLOW = "fail-slow"
+    FAIL_ON_START = "fail-on-start"
+
+
+#: Figure 7, outer ring.
+MANIFESTATION_PREVALENCE: Dict[Manifestation, float] = {
+    Manifestation.FAIL_STOP: 0.66,
+    Manifestation.FAIL_HANG: 0.17,
+    Manifestation.FAIL_SLOW: 0.13,
+    Manifestation.FAIL_ON_START: 0.04,
+}
+
+
+class RootCause(enum.Enum):
+    HOST_ENV_CONFIG = "host-env-config"
+    NIC_ERROR = "nic-error"
+    USER_CODE = "user-code"
+    SWITCH_CONFIG = "switch-config"
+    SWITCH_BUG = "switch-bug"
+    OPTICAL_FIBER = "optical-fiber"
+    CCL_BUG = "ccl-bug"
+    WIRE_CONNECTION = "wire-connection"
+    GPU_HARDWARE = "gpu-hardware"
+    MEMORY = "memory"
+    LINK_FLAP = "link-flap"
+
+
+#: Figure 7, inner ring (normalized; the published figure rounds to 101%).
+_RAW_CAUSE_PREVALENCE = {
+    RootCause.HOST_ENV_CONFIG: 32.0,
+    RootCause.NIC_ERROR: 15.0,
+    RootCause.USER_CODE: 14.0,
+    RootCause.SWITCH_CONFIG: 14.0,
+    RootCause.SWITCH_BUG: 7.0,
+    RootCause.OPTICAL_FIBER: 7.0,
+    RootCause.CCL_BUG: 3.0,
+    RootCause.WIRE_CONNECTION: 3.0,
+    RootCause.GPU_HARDWARE: 2.0,
+    RootCause.MEMORY: 2.0,
+    RootCause.LINK_FLAP: 2.0,
+}
+_TOTAL = sum(_RAW_CAUSE_PREVALENCE.values())
+ROOT_CAUSE_PREVALENCE: Dict[RootCause, float] = {
+    cause: weight / _TOTAL
+    for cause, weight in _RAW_CAUSE_PREVALENCE.items()
+}
+
+
+class Effect(enum.Enum):
+    """Concrete perturbation a fault applies to the simulated cluster."""
+
+    CONFIG_ERROR = "config-error"            # host env / delivery gap
+    NIC_ERRCQE = "nic-errcqe"                # CQE errors, QP rate to zero
+    MULTI_HOST_SOFTWARE = "multi-host-software"
+    SWITCH_ECN_STORM = "switch-ecn-storm"    # misconfig => congestion
+    SWITCH_DROPS = "switch-drops"            # ASIC bug => packet loss
+    LINK_DOWN = "link-down"                  # optical module dead
+    LINK_DEGRADE = "link-degrade"            # flapping / dirty optics
+    HOST_HANG = "host-hang"                  # collective never completes
+    MISWIRE = "miswire"                      # cabling to the wrong port
+    GPU_FATAL = "gpu-fatal"                  # Xid-class fatal error
+    ECC_FATAL = "ecc-fatal"                  # uncorrectable memory error
+    PCIE_PFC_STORM = "pcie-pfc-storm"        # §5 case: broken PCIe
+
+
+@dataclass(frozen=True)
+class CauseProfile:
+    """Behavioural profile of one root cause."""
+
+    cause: RootCause
+    manifestation_weights: Dict[Manifestation, float]
+    effect: Effect
+    evidence_layer: Layer
+    syslog_template: str
+    fatal_log: bool       # does it emit an explicit fatal log? (§3.1)
+    target_kind: str      # "host" | "switch" | "link" | "job"
+
+
+CAUSE_PROFILES: Dict[RootCause, CauseProfile] = {
+    RootCause.HOST_ENV_CONFIG: CauseProfile(
+        RootCause.HOST_ENV_CONFIG,
+        {Manifestation.FAIL_ON_START: 0.12, Manifestation.FAIL_STOP: 0.78,
+         Manifestation.FAIL_HANG: 0.05, Manifestation.FAIL_SLOW: 0.05},
+        Effect.CONFIG_ERROR, Layer.PHYSICAL,
+        "env-check: inconsistent {detail} on {target}", True, "host"),
+    RootCause.NIC_ERROR: CauseProfile(
+        RootCause.NIC_ERROR,
+        {Manifestation.FAIL_STOP: 0.70, Manifestation.FAIL_SLOW: 0.15,
+         Manifestation.FAIL_HANG: 0.15},
+        Effect.NIC_ERRCQE, Layer.TRANSPORT,
+        "mlx5: CQE error on {target}, syndrome 0x{detail}", True, "host"),
+    RootCause.USER_CODE: CauseProfile(
+        RootCause.USER_CODE,
+        {Manifestation.FAIL_STOP: 0.60, Manifestation.FAIL_HANG: 0.30,
+         Manifestation.FAIL_ON_START: 0.10},
+        Effect.MULTI_HOST_SOFTWARE, Layer.APPLICATION,
+        "python: unhandled exception in training step ({detail})",
+        True, "job"),
+    RootCause.SWITCH_CONFIG: CauseProfile(
+        RootCause.SWITCH_CONFIG,
+        {Manifestation.FAIL_SLOW: 0.50, Manifestation.FAIL_STOP: 0.35,
+         Manifestation.FAIL_HANG: 0.15},
+        Effect.SWITCH_ECN_STORM, Layer.PHYSICAL,
+        "switchd: {detail} mismatch on {target}", False, "switch"),
+    RootCause.SWITCH_BUG: CauseProfile(
+        RootCause.SWITCH_BUG,
+        {Manifestation.FAIL_STOP: 0.50, Manifestation.FAIL_HANG: 0.30,
+         Manifestation.FAIL_SLOW: 0.20},
+        Effect.SWITCH_DROPS, Layer.PHYSICAL,
+        "asic: unexpected drop counter increase on {target}", False,
+        "switch"),
+    RootCause.OPTICAL_FIBER: CauseProfile(
+        RootCause.OPTICAL_FIBER,
+        {Manifestation.FAIL_STOP: 0.70, Manifestation.FAIL_SLOW: 0.30},
+        Effect.LINK_DOWN, Layer.PHYSICAL,
+        "link: optical rx power below threshold on {target}", True,
+        "link"),
+    RootCause.CCL_BUG: CauseProfile(
+        RootCause.CCL_BUG,
+        {Manifestation.FAIL_HANG: 0.60, Manifestation.FAIL_STOP: 0.40},
+        Effect.HOST_HANG, Layer.APPLICATION,
+        "nccl: WARN {detail}", False, "host"),
+    RootCause.WIRE_CONNECTION: CauseProfile(
+        RootCause.WIRE_CONNECTION,
+        {Manifestation.FAIL_ON_START: 0.30, Manifestation.FAIL_STOP: 0.50,
+         Manifestation.FAIL_SLOW: 0.20},
+        Effect.MISWIRE, Layer.PHYSICAL,
+        "lldp: neighbor mismatch on {target} ({detail})", False, "link"),
+    RootCause.GPU_HARDWARE: CauseProfile(
+        RootCause.GPU_HARDWARE,
+        {Manifestation.FAIL_STOP: 0.80, Manifestation.FAIL_HANG: 0.20},
+        Effect.GPU_FATAL, Layer.PHYSICAL,
+        "NVRM: Xid ({detail}) fatal on {target}", True, "host"),
+    RootCause.MEMORY: CauseProfile(
+        RootCause.MEMORY,
+        {Manifestation.FAIL_STOP: 0.90, Manifestation.FAIL_HANG: 0.10},
+        Effect.ECC_FATAL, Layer.PHYSICAL,
+        "EDAC: uncorrectable ECC error on {target}", True, "host"),
+    RootCause.LINK_FLAP: CauseProfile(
+        RootCause.LINK_FLAP,
+        {Manifestation.FAIL_STOP: 0.50, Manifestation.FAIL_SLOW: 0.50},
+        Effect.LINK_DEGRADE, Layer.PHYSICAL,
+        "link: carrier transitions on {target}", False, "link"),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault instance.
+
+    ``effect_override`` selects a non-default concrete effect for the
+    cause — the mechanism for incident classes that emerged later than
+    the taxonomy (e.g. the §5 PCIe-induced PFC storm).
+    """
+
+    cause: RootCause
+    manifestation: Manifestation
+    target: str            # host/switch name or "link:<id>" or job name
+    at_iteration: int = 1
+    detail: str = ""
+    effect_override: Optional[Effect] = None
+
+    @property
+    def profile(self) -> CauseProfile:
+        return CAUSE_PROFILES[self.cause]
+
+    @property
+    def effect(self) -> Effect:
+        return self.effect_override or self.profile.effect
+
+    def syslog_message(self) -> str:
+        return self.profile.syslog_template.format(
+            target=self.target, detail=self.detail or "deadbeef")
+
+    @classmethod
+    def pcie_storm(cls, host: str, at_iteration: int = 2) -> "FaultSpec":
+        """The §5 incident: a broken PCIe triggers PFC storms that
+        halve the whole cluster's training efficiency."""
+        return cls(
+            cause=RootCause.GPU_HARDWARE,
+            manifestation=Manifestation.FAIL_SLOW,
+            target=host,
+            at_iteration=at_iteration,
+            detail="pcie",
+            effect_override=Effect.PCIE_PFC_STORM,
+        )
+
+
+def sample_faults(n: int, seed: int = 0,
+                  hosts: Optional[List[str]] = None,
+                  switches: Optional[List[str]] = None,
+                  link_ids: Optional[List[int]] = None,
+                  job: str = "job0",
+                  iterations: int = 10) -> List[FaultSpec]:
+    """Draw *n* faults matching the Figure-7 joint distribution.
+
+    Targets are drawn from the supplied device pools (or placeholders
+    when a pool is absent).
+    """
+    rng = random.Random(seed)
+    causes = list(ROOT_CAUSE_PREVALENCE)
+    cause_weights = [ROOT_CAUSE_PREVALENCE[c] for c in causes]
+    faults = []
+    for _ in range(n):
+        cause = rng.choices(causes, weights=cause_weights)[0]
+        profile = CAUSE_PROFILES[cause]
+        manifestations = list(profile.manifestation_weights)
+        weights = [profile.manifestation_weights[m]
+                   for m in manifestations]
+        manifestation = rng.choices(manifestations, weights=weights)[0]
+        if profile.target_kind == "host":
+            pool = hosts or ["host0"]
+            target = rng.choice(pool)
+        elif profile.target_kind == "switch":
+            pool = switches or ["switch0"]
+            target = rng.choice(pool)
+        elif profile.target_kind == "link":
+            pool = link_ids or [0]
+            target = f"link:{rng.choice(pool)}"
+        else:
+            target = job
+        at_iteration = (0 if manifestation is Manifestation.FAIL_ON_START
+                        else rng.randrange(1, max(2, iterations)))
+        faults.append(FaultSpec(
+            cause=cause,
+            manifestation=manifestation,
+            target=target,
+            at_iteration=at_iteration,
+            detail=f"{rng.randrange(16**4):04x}",
+        ))
+    return faults

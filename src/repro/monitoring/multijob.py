@@ -1,0 +1,181 @@
+"""Multiple tenants sharing one fabric: congestion blast radius (§5).
+
+"PCIe issue causes PFC storms, halving the performance of the entire
+cluster running multiple jobs."  The failure mechanism is the shared
+fabric: one host's PFC storm backs congestion up into links that other
+customers' jobs also traverse.  :class:`MultiJobRun` co-schedules
+several monitored jobs on one fabric — per iteration, all jobs' flows
+contend for bandwidth together — so a fault injected into one tenant's
+job measurably degrades the innocent tenants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..network.congestion import CongestionModel
+from ..network.fabric import Fabric
+from .collectors.base import HostState, IterationSnapshot
+from .collectors.layers import FullStackCollector
+from .faults import FaultSpec
+from .jobsim import JobConfig, MonitoredTrainingJob
+from .telemetry import TelemetryStore
+
+__all__ = ["MultiJobRun", "JobOutcome"]
+
+
+@dataclass
+class JobOutcome:
+    """Per-job result of a co-scheduled run."""
+
+    job: str
+    iteration_times_s: List[float] = field(default_factory=list)
+    expected_iteration_s: float = 0.0
+
+    @property
+    def mean_iteration_s(self) -> float:
+        if not self.iteration_times_s:
+            return 0.0
+        return sum(self.iteration_times_s) \
+            / len(self.iteration_times_s)
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved vs expected iteration throughput (1.0 = nominal)."""
+        if self.mean_iteration_s <= 0:
+            return 1.0
+        return self.expected_iteration_s / self.mean_iteration_s
+
+
+class MultiJobRun:
+    """Co-schedule several monitored jobs on one shared fabric."""
+
+    def __init__(self, fabric: Fabric, configs: List[JobConfig],
+                 faults: Optional[Dict[str, FaultSpec]] = None,
+                 store: Optional[TelemetryStore] = None):
+        if not configs:
+            raise ValueError("need at least one job")
+        names = [config.name for config in configs]
+        if len(set(names)) != len(names):
+            raise ValueError("job names must be unique")
+        self.fabric = fabric
+        self.store = store or TelemetryStore()
+        self.congestion = CongestionModel()
+        faults = faults or {}
+        self._jobs = [
+            MonitoredTrainingJob(fabric, config,
+                                 fault=faults.get(config.name),
+                                 store=self.store)
+            for config in configs
+        ]
+
+    def run(self) -> Dict[str, JobOutcome]:
+        """Run all jobs in iteration lockstep with shared bandwidth."""
+        collector = FullStackCollector(self.fabric.topology)
+        outcomes = {
+            job.config.name: JobOutcome(
+                job=job.config.name,
+                expected_iteration_s=(job.config.compute_time_s
+                                      + job._expected_times()[1]))
+            for job in self._jobs
+        }
+        metadata = {job.config.name: job._register_metadata()
+                    for job in self._jobs}
+        iterations = max(job.config.iterations for job in self._jobs)
+        now = 0.0
+        active = list(self._jobs)
+        for iteration in range(iterations):
+            if not active:
+                break
+            # Build each job's snapshot scaffolding + apply faults.
+            snaps: Dict[str, IterationSnapshot] = {}
+            for job in active:
+                hosts = {
+                    host: HostState(
+                        host=host,
+                        compute_time_s=job._compute_time(host),
+                        comm_time_s=0.0)
+                    for host in job.config.hosts
+                }
+                snap = IterationSnapshot(
+                    time_s=now, iteration=iteration,
+                    job=metadata[job.config.name], hosts=hosts)
+                if job._fault_active(iteration):
+                    job._apply_structural_effects(snap)
+                for host in job._crashed_hosts:
+                    if host in hosts:
+                        hosts[host].crashed = True
+                        hosts[host].started = 0
+                        hosts[host].finished = 0
+                if job._crashed_hosts:
+                    snap.aborted = True
+                    snap.completed = False
+                for host, factor in job._slow_compute.items():
+                    if host in hosts:
+                        hosts[host].compute_time_s *= factor
+                for host in job._pcie_hosts:
+                    if host in hosts:
+                        hosts[host].pcie_errors = 12
+                        hosts[host].nic_pfc_rx = 5000.0
+                snaps[job.config.name] = snap
+
+            # Route every job's flows together: shared contention.
+            all_flows = []
+            flows_of: Dict[str, list] = {}
+            for job in active:
+                for flow in job._flows:
+                    flow.rate_gbps = 0.0
+                routable, failed = job._route_flows(job._flows,
+                                                    snaps[
+                                                        job.config.name])
+                flows_of[job.config.name] = routable
+                job._apply_flow_faults(job._flows, failed,
+                                       snaps[job.config.name])
+                all_flows.extend(routable)
+            if all_flows:
+                # PFC spreading on: one tenant's storm backs up into
+                # links the other tenants traverse (§5 incident).
+                run = self.fabric.complete(all_flows,
+                                           pfc_spreading=True)
+                loads = self.fabric.offered_loads(all_flows, run.paths)
+                congestion = self.congestion.evaluate_all(loads)
+                for job in active:
+                    name = job.config.name
+                    snap = snaps[name]
+                    snap.congestion = congestion
+                    snap.flows.extend(flows_of[name])
+                    for flow in flows_of[name]:
+                        snap.paths[flow.flow_id] = \
+                            run.paths[flow.flow_id]
+                        finish = run.finish_times_s[flow.flow_id]
+                        for host in (flow.src_host, flow.dst_host):
+                            if host in snap.hosts:
+                                state = snap.hosts[host]
+                                state.comm_time_s = max(
+                                    state.comm_time_s, finish)
+
+            # Hung hosts + collection + bookkeeping.
+            still_active = []
+            step = 0.0
+            for job in active:
+                name = job.config.name
+                snap = snaps[name]
+                for host in job._hung_hosts:
+                    if host in snap.hosts:
+                        state = snap.hosts[host]
+                        state.hung = True
+                        state.finished = 0
+                        state.comm_time_s = 30.0
+                if job._hung_hosts:
+                    snap.completed = False
+                collector.collect(snap, self.store)
+                outcomes[name].iteration_times_s.append(
+                    snap.iteration_time_s)
+                step = max(step, snap.iteration_time_s)
+                if snap.completed and not snap.aborted \
+                        and iteration + 1 < job.config.iterations:
+                    still_active.append(job)
+            active = still_active
+            now += step
+        return outcomes

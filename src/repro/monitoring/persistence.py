@@ -1,0 +1,146 @@
+"""Telemetry store persistence: JSON export/import.
+
+Production telemetry outlives the job that produced it — the INT data
+alone is retained for 15 days (Appendix C) — and offline analysis
+(§3.1's fallback strategy) runs against stored logs.  This module
+round-trips a :class:`~repro.monitoring.telemetry.TelemetryStore`
+through JSON so campaigns can be archived and re-analyzed: a diagnosis
+run on a reloaded store must reach the same verdict as on the live one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List
+
+from ..network.ecmp import FiveTuple
+from .telemetry import (
+    CommGroup,
+    ErrCqeRecord,
+    HostSensorRecord,
+    IntPingRecord,
+    IterationReport,
+    JobMetadata,
+    NcclTimelineRecord,
+    QpMetadata,
+    QpRateRecord,
+    SflowPathRecord,
+    SwitchCounterRecord,
+    SyslogRecord,
+    TelemetryStore,
+)
+
+__all__ = ["store_to_json", "store_from_json"]
+
+_RECORD_TYPES = {
+    "nccl_timeline": NcclTimelineRecord,
+    "iterations": IterationReport,
+    "qp_rates": QpRateRecord,
+    "err_cqes": ErrCqeRecord,
+    "sflow_paths": SflowPathRecord,
+    "int_pings": IntPingRecord,
+    "switch_counters": SwitchCounterRecord,
+    "syslogs": SyslogRecord,
+    "host_sensors": HostSensorRecord,
+}
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, FiveTuple):
+        return {"__five_tuple__": dataclasses.asdict(value)}
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def _encode_record(record: Any) -> Dict[str, Any]:
+    return {
+        field.name: _encode_value(getattr(record, field.name))
+        for field in dataclasses.fields(record)
+    }
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__five_tuple__" in value:
+        return FiveTuple(**value["__five_tuple__"])
+    return value
+
+
+def _decode_record(cls, payload: Dict[str, Any]):
+    kwargs = {}
+    for field in dataclasses.fields(cls):
+        raw = _decode_value(payload[field.name])
+        # Tuples round-trip as lists; restore by annotation name.
+        if isinstance(raw, list) and "Tuple" in str(field.type):
+            raw = tuple(raw)
+        kwargs[field.name] = raw
+    return cls(**kwargs)
+
+
+def store_to_json(store: TelemetryStore, indent: int | None = None
+                  ) -> str:
+    """Serialize the full store (records + job metadata) to JSON."""
+    payload: Dict[str, Any] = {
+        bucket: [_encode_record(record)
+                 for record in getattr(store, bucket)]
+        for bucket in _RECORD_TYPES
+    }
+    payload["jobs"] = {
+        name: {
+            "job": meta.job,
+            "hosts": list(meta.hosts),
+            "comm_groups": [
+                {
+                    "name": group.name,
+                    "kind": group.kind,
+                    "hosts": list(group.hosts),
+                    "qps": [
+                        {
+                            "qp": qp.qp,
+                            "src_host": qp.src_host,
+                            "dst_host": qp.dst_host,
+                            "five_tuple": dataclasses.asdict(
+                                qp.five_tuple),
+                        }
+                        for qp in group.qps
+                    ],
+                }
+                for group in meta.comm_groups
+            ],
+        }
+        for name, meta in store.jobs.items()
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def store_from_json(text: str) -> TelemetryStore:
+    """Reconstruct a store previously written by :func:`store_to_json`."""
+    payload = json.loads(text)
+    store = TelemetryStore()
+    for bucket, cls in _RECORD_TYPES.items():
+        records: List[Any] = getattr(store, bucket)
+        for item in payload.get(bucket, []):
+            records.append(_decode_record(cls, item))
+    for name, meta in payload.get("jobs", {}).items():
+        groups = [
+            CommGroup(
+                name=group["name"],
+                kind=group["kind"],
+                hosts=list(group["hosts"]),
+                qps=[
+                    QpMetadata(
+                        qp=qp["qp"],
+                        src_host=qp["src_host"],
+                        dst_host=qp["dst_host"],
+                        five_tuple=FiveTuple(**qp["five_tuple"]),
+                    )
+                    for qp in group["qps"]
+                ],
+            )
+            for group in meta["comm_groups"]
+        ]
+        store.register_job(JobMetadata(job=meta["job"],
+                                       hosts=list(meta["hosts"]),
+                                       comm_groups=groups))
+    return store

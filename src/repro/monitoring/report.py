@@ -1,0 +1,135 @@
+"""Cluster health report: the operator-facing telemetry summary.
+
+Rolls a :class:`~repro.monitoring.telemetry.TelemetryStore` up into the
+snapshot an on-call engineer reads before drilling down: per-job
+progress and anomaly state, the most congested links, devices with
+fatal logs, and hosts with abnormal sensors.  ``render()`` produces the
+plain-text report; the structured fields are available for tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .analyzer.timeseries import SlidingWindowDetector
+from .telemetry import TelemetryStore
+
+__all__ = ["JobHealth", "ClusterHealthReport", "build_health_report"]
+
+
+@dataclass
+class JobHealth:
+    """Per-job roll-up."""
+
+    job: str
+    iterations_seen: int
+    last_iteration_completed: bool
+    mean_iteration_s: float
+    regressed: bool
+
+    @property
+    def status(self) -> str:
+        if not self.last_iteration_completed:
+            return "STALLED"
+        if self.regressed:
+            return "DEGRADED"
+        return "HEALTHY"
+
+
+@dataclass
+class ClusterHealthReport:
+    """Structured snapshot plus text rendering."""
+
+    jobs: List[JobHealth] = field(default_factory=list)
+    congested_links: List[Tuple[str, int, float]] = \
+        field(default_factory=list)   # (device, link, pfc or ecn)
+    fatal_devices: List[Tuple[str, str]] = field(default_factory=list)
+    abnormal_hosts: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return (all(job.status == "HEALTHY" for job in self.jobs)
+                and not self.congested_links
+                and not self.fatal_devices
+                and not self.abnormal_hosts)
+
+    def render(self) -> str:
+        lines = ["=== Astral cluster health ==="]
+        verdict = "ALL CLEAR" if self.healthy else "ATTENTION NEEDED"
+        lines.append(f"overall: {verdict}")
+        lines.append("jobs:")
+        if not self.jobs:
+            lines.append("  (none monitored)")
+        for job in self.jobs:
+            lines.append(
+                f"  {job.job:<12} {job.status:<9} "
+                f"{job.iterations_seen} iterations, "
+                f"mean {job.mean_iteration_s:.3f} s")
+        if self.congested_links:
+            lines.append("congested links (PFC/ECN active):")
+            for device, link, value in self.congested_links[:8]:
+                lines.append(f"  {device} link {link}: {value:,.0f}")
+        if self.fatal_devices:
+            lines.append("fatal device logs:")
+            for device, message in self.fatal_devices[:8]:
+                lines.append(f"  {device}: {message}")
+        if self.abnormal_hosts:
+            lines.append("abnormal host sensors:")
+            for host, reason in self.abnormal_hosts[:8]:
+                lines.append(f"  {host}: {reason}")
+        return "\n".join(lines)
+
+
+def build_health_report(store: TelemetryStore,
+                        pfc_threshold: float = 1.0
+                        ) -> ClusterHealthReport:
+    """Summarize everything currently in the store."""
+    report = ClusterHealthReport()
+    detector = SlidingWindowDetector()
+
+    by_job: Dict[str, list] = {}
+    for record in store.iterations:
+        by_job.setdefault(record.job, []).append(record)
+    for job, records in sorted(by_job.items()):
+        records.sort(key=lambda r: r.iteration)
+        series = [r.iteration_time_s for r in records]
+        report.jobs.append(JobHealth(
+            job=job,
+            iterations_seen=len(records),
+            last_iteration_completed=records[-1].completed,
+            mean_iteration_s=sum(series) / len(series),
+            regressed=detector.latest(series) is not None,
+        ))
+
+    # Latest counter per (device, link): report active PFC pause.
+    latest_counter: Dict[Tuple[str, int], float] = {}
+    for record in store.switch_counters:
+        latest_counter[(record.device, record.link_id)] = \
+            record.pfc_pause
+    for (device, link), pfc in sorted(latest_counter.items()):
+        if pfc >= pfc_threshold:
+            report.congested_links.append((device, link, pfc))
+    report.congested_links.sort(key=lambda row: -row[2])
+
+    seen = set()
+    for record in store.syslogs:
+        if record.fatal and record.device not in seen:
+            seen.add(record.device)
+            report.fatal_devices.append((record.device,
+                                         record.message))
+
+    latest_sensor: Dict[str, object] = {}
+    for record in store.host_sensors:
+        latest_sensor[record.host] = record
+    for host, sensor in sorted(latest_sensor.items()):
+        reasons = []
+        if sensor.ecc_errors:
+            reasons.append(f"{sensor.ecc_errors} ECC errors")
+        if sensor.pcie_errors:
+            reasons.append(f"{sensor.pcie_errors} PCIe errors")
+        if sensor.nic_pfc_rx > 0:
+            reasons.append(f"{sensor.nic_pfc_rx:.0f} PFC frames rx")
+        if reasons:
+            report.abnormal_hosts.append((host, ", ".join(reasons)))
+    return report

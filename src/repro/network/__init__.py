@@ -1,0 +1,60 @@
+"""Flow-level network simulation: ECMP, fabric, congestion, collectives."""
+
+from .collectives import (
+    CollectiveConfig,
+    CollectiveResult,
+    Endpoint,
+    all_gather_flows,
+    all_to_all_flows,
+    reduce_scatter_flows,
+    ring_allreduce_flows,
+    run_collective,
+    send_recv_flows,
+    topology_ordered,
+)
+from .congestion import CongestionConfig, CongestionModel, LinkCongestion
+from .controller import EcmpController, ReassignmentReport
+from .dcqcn import (
+    BottleneckResult,
+    BottleneckSim,
+    DcqcnFlowState,
+    DcqcnParams,
+)
+from .ecmp import EcmpHasher, FiveTuple, crc16
+from .fabric import Fabric, FabricRun, LinkLoad
+from .flows import Flow, FlowPath, make_flow, reset_flow_ids
+from .routing import EcmpRouter, RoutingError
+
+__all__ = [
+    "BottleneckResult",
+    "BottleneckSim",
+    "CollectiveConfig",
+    "DcqcnFlowState",
+    "DcqcnParams",
+    "CollectiveResult",
+    "CongestionConfig",
+    "CongestionModel",
+    "EcmpController",
+    "EcmpHasher",
+    "EcmpRouter",
+    "Endpoint",
+    "Fabric",
+    "FabricRun",
+    "FiveTuple",
+    "Flow",
+    "FlowPath",
+    "LinkCongestion",
+    "LinkLoad",
+    "ReassignmentReport",
+    "RoutingError",
+    "all_gather_flows",
+    "all_to_all_flows",
+    "crc16",
+    "make_flow",
+    "reduce_scatter_flows",
+    "reset_flow_ids",
+    "ring_allreduce_flows",
+    "run_collective",
+    "send_recv_flows",
+    "topology_ordered",
+]

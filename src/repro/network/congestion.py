@@ -1,0 +1,192 @@
+"""Queue, ECN, and PFC models over flow-level link loads.
+
+The fabric simulator produces per-link offered loads; this module turns
+them into the switch-internal signals the Astral monitoring system
+collects: queue depth, ECN mark counters (polled every five seconds by
+the controller, §2.1 footnote), PFC pause counters (Figure 9d), and
+INT-observable per-hop forwarding latency (Figure 9c).
+
+The queue model is deliberately coarse — a fluid approximation of a
+shared-buffer ASIC:
+
+* while offered load stays within capacity the queue is essentially
+  empty (fluid model) and the hop latency is the base forwarding latency
+  (~0.6 us in the paper's case);
+* once offered load exceeds capacity the queue fills, linearly in the
+  overload up to the buffer limit, which at 400G and a 16 MB-class
+  buffer yields the hundreds of microseconds the paper's INT heatmap
+  shows (179/266 us at the congested hops of Figure 9c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .fabric import LinkDir, LinkLoad
+
+__all__ = ["CongestionConfig", "LinkCongestion", "CongestionModel"]
+
+
+@dataclass(frozen=True)
+class CongestionConfig:
+    """Switch buffer/marking parameters (DCQCN-style defaults)."""
+
+    buffer_bytes: float = 16e6          # shared-buffer class ASIC
+    ecn_onset_util: float = 1.0         # queue builds only past capacity
+    queue_growth_span: float = 0.5      # util 1.5 => buffer full
+    ecn_kmin_frac: float = 0.05         # ECN marking starts (queue frac)
+    ecn_kmax_frac: float = 0.60         # marking probability reaches pmax
+    ecn_pmax: float = 0.8
+    pfc_threshold_frac: float = 0.85    # pause upstream beyond this fill
+    base_hop_latency_us: float = 0.6
+    poll_interval_s: float = 5.0        # controller's ECN polling period
+    avg_packet_bytes: float = 4096.0    # RoCE MTU-class packets
+
+
+@dataclass
+class LinkCongestion:
+    """Derived congestion state of one link direction."""
+
+    link_dir: LinkDir
+    utilization: float
+    queue_fill_frac: float
+    queue_bytes: float
+    hop_latency_us: float
+    ecn_marks_per_poll: float
+    pfc_pause_events: float
+
+    @property
+    def congested(self) -> bool:
+        return self.ecn_marks_per_poll > 0
+
+
+class CongestionModel:
+    """Map link loads to queue/ECN/PFC/latency observables."""
+
+    def __init__(self, config: CongestionConfig | None = None):
+        self.config = config or CongestionConfig()
+
+    def queue_fill(self, utilization: float) -> float:
+        """Fraction of buffer occupied at a given offered utilization.
+
+        Zero at or below the onset (capacity, by default); grows
+        linearly with the overload and saturates once the overload
+        reaches ``queue_growth_span``.
+        """
+        cfg = self.config
+        if utilization <= cfg.ecn_onset_util:
+            return 0.0
+        return min(
+            1.0,
+            (utilization - cfg.ecn_onset_util) / cfg.queue_growth_span,
+        )
+
+    def evaluate(self, load: LinkLoad) -> LinkCongestion:
+        cfg = self.config
+        util = load.utilization
+        fill = self.queue_fill(util)
+        queue_bytes = fill * cfg.buffer_bytes
+
+        # Hop latency = base forwarding latency + queueing delay at the
+        # link's drain rate.
+        drain_gbps = max(load.capacity_gbps, 1e-9)
+        queue_delay_us = queue_bytes * 8 / (drain_gbps * 1e9) * 1e6
+        latency_us = cfg.base_hop_latency_us + queue_delay_us
+
+        # ECN: RED-style ramp between kmin and kmax on the queue fill.
+        if fill <= cfg.ecn_kmin_frac:
+            mark_prob = 0.0
+        elif fill >= cfg.ecn_kmax_frac:
+            mark_prob = cfg.ecn_pmax
+        else:
+            mark_prob = cfg.ecn_pmax * (fill - cfg.ecn_kmin_frac) \
+                / (cfg.ecn_kmax_frac - cfg.ecn_kmin_frac)
+        packets_per_poll = (load.carried_gbps * 1e9 / 8
+                            / cfg.avg_packet_bytes) * cfg.poll_interval_s
+        ecn_marks = mark_prob * packets_per_poll
+
+        # PFC: pause events accumulate once the fill crosses the XOFF
+        # threshold, scaling with how far past it the queue sits.
+        if fill > cfg.pfc_threshold_frac:
+            pfc = (fill - cfg.pfc_threshold_frac) \
+                / (1.0 - cfg.pfc_threshold_frac) * 1000.0
+        else:
+            pfc = 0.0
+
+        return LinkCongestion(
+            link_dir=load.link_dir,
+            utilization=util,
+            queue_fill_frac=fill,
+            queue_bytes=queue_bytes,
+            hop_latency_us=latency_us,
+            ecn_marks_per_poll=ecn_marks,
+            pfc_pause_events=pfc,
+        )
+
+    def evaluate_all(self, loads: Dict[LinkDir, LinkLoad]
+                     ) -> Dict[LinkDir, LinkCongestion]:
+        return {key: self.evaluate(load) for key, load in loads.items()}
+
+    def total_ecn_marks(self, loads: Dict[LinkDir, LinkLoad]) -> float:
+        return sum(
+            self.evaluate(load).ecn_marks_per_poll
+            for load in loads.values()
+        )
+
+    def pfc_capacity_factors(self, loads: Dict[LinkDir, LinkLoad],
+                             topology, rounds: int = 3,
+                             damping: float = 0.5
+                             ) -> Dict[LinkDir, float]:
+        """Effective-capacity multipliers from PFC backpressure.
+
+        PFC is lossless flow control: when a queue crosses the XOFF
+        threshold, the device pauses its *upstream* senders, which in
+        turn back their own queues up — congestion spreading, the §5
+        PCIe-incident mechanism ("eventually triggered PFC and caused
+        congestion spreading, severely affecting training efficiency").
+
+        The fluid approximation: a hop whose queue is pausing reduces
+        the effective capacity of every hop that feeds its sender, by
+        ``damping x pause fraction``; the propagation is iterated a few
+        rounds so pauses cascade over multiple tiers.  Returns per-hop
+        multipliers in (0, 1]; hops absent from the map are unaffected.
+        """
+        cfg = self.config
+        factors: Dict[LinkDir, float] = {}
+        # Pause fraction per hop from its own queue state.
+        pause: Dict[str, float] = {}   # device -> strongest pause seen
+        for key, load in loads.items():
+            fill = self.queue_fill(load.utilization)
+            if fill > cfg.pfc_threshold_frac:
+                frac = (fill - cfg.pfc_threshold_frac) \
+                    / (1.0 - cfg.pfc_threshold_frac)
+                link = topology.links[key[0]]
+                upstream = link.a.device if key[1] else link.b.device
+                pause[upstream] = max(pause.get(upstream, 0.0), frac)
+
+        for _ in range(rounds):
+            if not pause:
+                break
+            new_pause: Dict[str, float] = {}
+            for key, load in loads.items():
+                link = topology.links[key[0]]
+                downstream = link.b.device if key[1] else link.a.device
+                frac = pause.get(downstream)
+                if frac is None:
+                    continue
+                factor = max(0.05, 1.0 - damping * frac)
+                factors[key] = min(factors.get(key, 1.0), factor)
+                # The throttled hop may itself start pausing its own
+                # upstream if it was already highly utilized.
+                effective_util = load.utilization / factor
+                fill = self.queue_fill(effective_util)
+                if fill > cfg.pfc_threshold_frac:
+                    upstream = link.a.device if key[1] \
+                        else link.b.device
+                    spread = damping * (fill - cfg.pfc_threshold_frac) \
+                        / (1.0 - cfg.pfc_threshold_frac)
+                    if spread > new_pause.get(upstream, 0.0):
+                        new_pause[upstream] = spread
+            pause = new_pause
+        return factors

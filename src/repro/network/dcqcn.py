@@ -1,0 +1,177 @@
+"""DCQCN congestion-control dynamics at a shared bottleneck.
+
+Astral's RoCE fabric runs DCQCN: switches ECN-mark packets as queues
+build (the :class:`~repro.network.congestion.CongestionModel`
+thresholds), receivers reflect marks as CNP packets, and senders react
+by cutting rate and then recovering in fast-recovery / additive /
+hyper-additive stages.  The monitoring system collects the resulting
+CNP counters (Figure 8, physical layer), and the offline config checker
+verifies DCQCN parameters are consistent across rented hosts (§5).
+
+This module simulates the classic DCQCN sender state machine for a set
+of flows sharing one bottleneck, in discrete time.  It serves two
+roles: it generates realistic CNP/rate telemetry for the monitoring
+substrate, and it validates the fluid max-min approximation the fabric
+uses (DCQCN converges to an approximately fair share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["DcqcnParams", "DcqcnFlowState", "BottleneckSim",
+           "BottleneckResult"]
+
+
+@dataclass(frozen=True)
+class DcqcnParams:
+    """Sender/switch parameters (the knobs `verify_configs` audits)."""
+
+    line_rate_gbps: float = 200.0
+    # -- switch marking (RED on queue depth) --
+    kmin_bytes: float = 150e3
+    kmax_bytes: float = 1.5e6
+    pmax: float = 0.8
+    # -- sender reaction --
+    g: float = 1.0 / 16.0          # alpha EWMA gain
+    rate_ai_gbps: float = 5.0      # additive increase step
+    rate_hai_gbps: float = 25.0    # hyper increase step
+    fast_recovery_rounds: int = 5
+    min_rate_gbps: float = 0.1
+    #: sender reaction timer (one state-machine update per interval).
+    timer_s: float = 55e-6
+
+    def mark_probability(self, queue_bytes: float) -> float:
+        if queue_bytes <= self.kmin_bytes:
+            return 0.0
+        if queue_bytes >= self.kmax_bytes:
+            return 1.0
+        return self.pmax * (queue_bytes - self.kmin_bytes) \
+            / (self.kmax_bytes - self.kmin_bytes)
+
+
+@dataclass
+class DcqcnFlowState:
+    """Per-flow DCQCN sender state."""
+
+    rate_gbps: float
+    target_gbps: float
+    alpha: float = 1.0
+    recovery_round: int = 0
+    increase_round: int = 0
+    cnp_count: int = 0
+
+    def on_cnp(self, params: DcqcnParams) -> None:
+        """Rate cut on congestion notification."""
+        self.cnp_count += 1
+        self.target_gbps = self.rate_gbps
+        self.rate_gbps = max(
+            params.min_rate_gbps,
+            self.rate_gbps * (1.0 - self.alpha / 2.0))
+        self.alpha = (1.0 - params.g) * self.alpha + params.g
+        self.recovery_round = 0
+        self.increase_round = 0
+
+    def on_timer(self, params: DcqcnParams) -> None:
+        """Rate recovery when no CNP arrived this interval."""
+        self.alpha = (1.0 - params.g) * self.alpha
+        if self.recovery_round < params.fast_recovery_rounds:
+            self.recovery_round += 1
+        else:
+            self.increase_round += 1
+            if self.increase_round <= params.fast_recovery_rounds:
+                self.target_gbps += params.rate_ai_gbps
+            else:
+                self.target_gbps += params.rate_hai_gbps
+        self.target_gbps = min(self.target_gbps,
+                               params.line_rate_gbps)
+        self.rate_gbps = min(
+            params.line_rate_gbps,
+            (self.rate_gbps + self.target_gbps) / 2.0)
+
+
+@dataclass
+class BottleneckResult:
+    """Outcome of a bottleneck simulation."""
+
+    times_s: np.ndarray
+    rates_gbps: np.ndarray          # (steps, flows)
+    queue_bytes: np.ndarray
+    cnp_counts: List[int]
+
+    @property
+    def final_rates(self) -> np.ndarray:
+        return self.rates_gbps[-1]
+
+    def fairness_index(self) -> float:
+        """Jain's fairness index of the final rates."""
+        rates = self.final_rates
+        if not len(rates):
+            return 1.0
+        return float((np.sum(rates) ** 2)
+                     / (len(rates) * np.sum(rates ** 2)))
+
+    def mean_utilization(self, capacity_gbps: float,
+                         tail_frac: float = 0.5) -> float:
+        start = int(len(self.times_s) * (1.0 - tail_frac))
+        offered = np.sum(self.rates_gbps[start:], axis=1)
+        return float(np.mean(np.minimum(offered, capacity_gbps))
+                     / capacity_gbps)
+
+
+class BottleneckSim:
+    """N DCQCN flows through one switch queue of fixed capacity."""
+
+    def __init__(self, n_flows: int, capacity_gbps: float,
+                 params: DcqcnParams | None = None, seed: int = 0):
+        if n_flows < 1:
+            raise ValueError("need at least one flow")
+        if capacity_gbps <= 0:
+            raise ValueError("capacity must be positive")
+        self.params = params or DcqcnParams()
+        self.capacity_gbps = capacity_gbps
+        self.flows = [
+            DcqcnFlowState(rate_gbps=self.params.line_rate_gbps,
+                           target_gbps=self.params.line_rate_gbps)
+            for _ in range(n_flows)
+        ]
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, duration_s: float = 0.05) -> BottleneckResult:
+        params = self.params
+        dt = params.timer_s
+        steps = max(2, int(duration_s / dt))
+        times = np.arange(steps) * dt
+        rates = np.zeros((steps, len(self.flows)))
+        queue_series = np.zeros(steps)
+        queue = 0.0
+
+        for step in range(steps):
+            offered = sum(flow.rate_gbps for flow in self.flows)
+            # Queue integrates offered minus drained bytes.
+            queue += (offered - self.capacity_gbps) * 1e9 / 8 * dt
+            queue = max(0.0, queue)
+            mark_p = params.mark_probability(queue)
+            for index, flow in enumerate(self.flows):
+                # A CNP is generated if any of the flow's packets this
+                # interval was marked: P = 1 - (1 - p)^n_packets.
+                packets = max(1.0, flow.rate_gbps * 1e9 / 8 * dt
+                              / 4096.0)
+                cnp_p = 1.0 - (1.0 - mark_p) ** packets \
+                    if mark_p > 0 else 0.0
+                if cnp_p > 0 and self._rng.random() < cnp_p:
+                    flow.on_cnp(params)
+                else:
+                    flow.on_timer(params)
+                rates[step, index] = flow.rate_gbps
+            queue_series[step] = queue
+
+        return BottleneckResult(
+            times_s=times,
+            rates_gbps=rates,
+            queue_bytes=queue_series,
+            cnp_counts=[flow.cnp_count for flow in self.flows],
+        )

@@ -1,0 +1,245 @@
+"""Flow-level fabric simulator.
+
+Models the Astral fabric at flow granularity: every flow is pinned to a
+hop-by-hop ECMP path (per-flow ECMP, Appendix A), link bandwidth is
+shared max-min fairly among the flows crossing it, and transfers are
+completed with a fluid progressive-filling loop.  This is the level of
+detail the paper's own Seer operates at — packet-level behaviour enters
+only through calibration — and it is sufficient to reproduce the
+architecture studies (Figure 2, 17, 19): hash collisions and
+oversubscription determine which links bottleneck, and max-min sharing
+determines by how much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..topology.elements import Topology
+from .flows import Flow, FlowPath
+from .routing import EcmpRouter
+
+__all__ = ["Fabric", "FabricRun", "LinkDir", "LinkLoad"]
+
+#: A directed traversal of a link: (link_id, forward) where forward means
+#: the flow enters at endpoint ``a`` and exits at endpoint ``b``.
+LinkDir = Tuple[int, bool]
+
+
+@dataclass
+class LinkLoad:
+    """Aggregate load on one link direction."""
+
+    link_dir: LinkDir
+    capacity_gbps: float
+    flow_ids: List[int] = field(default_factory=list)
+    offered_gbps: float = 0.0
+    carried_gbps: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        return self.offered_gbps / self.capacity_gbps \
+            if self.capacity_gbps > 0 else float("inf")
+
+
+@dataclass
+class FabricRun:
+    """Result of completing a set of flows on the fabric."""
+
+    total_time_s: float
+    finish_times_s: Dict[int, float]
+    paths: Dict[int, FlowPath]
+    link_loads: Dict[LinkDir, LinkLoad]
+
+    def throughput_gbps(self, total_bits: float) -> float:
+        """Aggregate goodput of the whole transfer set."""
+        if self.total_time_s <= 0:
+            return float("inf")
+        return total_bits / self.total_time_s / 1e9
+
+    def max_link_utilization(self) -> float:
+        if not self.link_loads:
+            return 0.0
+        return max(load.utilization for load in self.link_loads.values())
+
+
+class Fabric:
+    """Flow-level simulator over a :class:`Topology`."""
+
+    def __init__(self, topology: Topology,
+                 router: Optional[EcmpRouter] = None,
+                 host_line_rate_gbps: float = 200.0):
+        self.topology = topology
+        self.router = router or EcmpRouter(topology)
+        #: per-port NIC line rate; flows never exceed this at the source.
+        self.host_line_rate_gbps = host_line_rate_gbps
+
+    # -- path resolution -----------------------------------------------------
+    def resolve_paths(self, flows: Iterable[Flow]) -> Dict[int, FlowPath]:
+        return {flow.flow_id: self.router.path(flow) for flow in flows}
+
+    def _directed_hops(self, path: FlowPath) -> List[LinkDir]:
+        hops: List[LinkDir] = []
+        for device, link_id in zip(path.devices, path.link_ids):
+            link = self.topology.links[link_id]
+            hops.append((link_id, link.a.device == device))
+        return hops
+
+    # -- bandwidth allocation --------------------------------------------------
+    def max_min_rates(self, flows: List[Flow],
+                      paths: Optional[Dict[int, FlowPath]] = None,
+                      capacity_factors: Optional[Dict[LinkDir, float]]
+                      = None) -> Dict[int, float]:
+        """Max-min fair rate (Gbps) per flow; also sets ``flow.rate_gbps``.
+
+        Progressive filling: repeatedly find the tightest link (smallest
+        fair share for its unfrozen flows), freeze its flows at that
+        share, remove the consumed capacity, and continue.
+        ``capacity_factors`` scales individual directed links (e.g. PFC
+        backpressure shrinking a hop's effective capacity).
+        """
+        if paths is None:
+            paths = self.resolve_paths(flows)
+        flow_by_id = {flow.flow_id: flow for flow in flows}
+        hops_of: Dict[int, List[LinkDir]] = {
+            fid: self._directed_hops(path) for fid, path in paths.items()
+        }
+
+        remaining: Dict[LinkDir, float] = {}
+        members: Dict[LinkDir, set] = {}
+        for fid, hops in hops_of.items():
+            for hop in hops:
+                if hop not in remaining:
+                    link = self.topology.links[hop[0]]
+                    factor = 1.0
+                    if capacity_factors is not None:
+                        factor = capacity_factors.get(hop, 1.0)
+                    remaining[hop] = link.capacity_gbps * factor
+                    members[hop] = set()
+                members[hop].add(fid)
+
+        rates: Dict[int, float] = {}
+        unfrozen = set(flow_by_id)
+        # Source line-rate cap is modelled as a virtual per-flow link.
+        line_rate = self.host_line_rate_gbps
+
+        while unfrozen:
+            bottleneck_share = line_rate
+            bottleneck: Optional[LinkDir] = None
+            for hop, flow_ids in members.items():
+                active = flow_ids & unfrozen
+                if not active:
+                    continue
+                share = remaining[hop] / len(active)
+                if share < bottleneck_share:
+                    bottleneck_share = share
+                    bottleneck = hop
+            if bottleneck is None:
+                # Every remaining flow is line-rate limited.
+                for fid in unfrozen:
+                    rates[fid] = line_rate
+                    for hop in hops_of[fid]:
+                        remaining[hop] -= line_rate
+                break
+            frozen_now = members[bottleneck] & unfrozen
+            for fid in frozen_now:
+                rates[fid] = bottleneck_share
+                for hop in hops_of[fid]:
+                    remaining[hop] -= bottleneck_share
+            unfrozen -= frozen_now
+
+        for fid, rate in rates.items():
+            flow_by_id[fid].rate_gbps = rate
+        return rates
+
+    # -- completion ------------------------------------------------------------
+    def complete(self, flows: List[Flow],
+                 paths: Optional[Dict[int, FlowPath]] = None,
+                 pfc_spreading: bool = False) -> FabricRun:
+        """Fluid completion: re-run max-min whenever a flow finishes.
+
+        With ``pfc_spreading``, PFC backpressure multipliers (computed
+        from the initial offered loads) shrink effective link
+        capacities — the lossless-fabric congestion-spreading effect.
+        """
+        if paths is None:
+            paths = self.resolve_paths(flows)
+        remaining_bits = {flow.flow_id: float(flow.size_bits)
+                          for flow in flows}
+        finish: Dict[int, float] = {}
+        active = {flow.flow_id: flow for flow in flows
+                  if flow.size_bits > 0}
+        for flow in flows:
+            if flow.size_bits <= 0:
+                finish[flow.flow_id] = 0.0
+        now = 0.0
+
+        # Record peak loads for the congestion monitor (first epoch is the
+        # most loaded: every flow still active).
+        link_loads = self._loads_for(list(active.values()), paths)
+        capacity_factors = None
+        if pfc_spreading:
+            from .congestion import CongestionModel
+            capacity_factors = CongestionModel().pfc_capacity_factors(
+                link_loads, self.topology)
+
+        while active:
+            rates = self.max_min_rates(
+                list(active.values()),
+                {fid: paths[fid] for fid in active},
+                capacity_factors=capacity_factors)
+            step = min(
+                remaining_bits[fid] / (rates[fid] * 1e9)
+                for fid in active if rates[fid] > 0
+            )
+            now += step
+            done = []
+            for fid in list(active):
+                remaining_bits[fid] -= rates[fid] * 1e9 * step
+                if remaining_bits[fid] <= 1e-6:
+                    finish[fid] = now
+                    done.append(fid)
+            for fid in done:
+                del active[fid]
+            if not done:  # numerical safety; cannot normally happen
+                raise RuntimeError("fluid completion made no progress")
+
+        return FabricRun(
+            total_time_s=now,
+            finish_times_s=finish,
+            paths=paths,
+            link_loads=link_loads,
+        )
+
+    # -- load accounting ---------------------------------------------------------
+    def _loads_for(self, flows: List[Flow],
+                   paths: Dict[int, FlowPath]) -> Dict[LinkDir, LinkLoad]:
+        loads: Dict[LinkDir, LinkLoad] = {}
+        for flow in flows:
+            # Offered load is the *unthrottled* demand (the NIC line
+            # rate): congestion-controlled senders keep pressure on a
+            # bottleneck, so its queue and ECN/PFC signals persist even
+            # though the carried rate is capped — the behaviour the
+            # monitoring system observes in Figure 9.
+            demand = self.host_line_rate_gbps
+            for hop in self._directed_hops(paths[flow.flow_id]):
+                load = loads.get(hop)
+                if load is None:
+                    link = self.topology.links[hop[0]]
+                    load = LinkLoad(link_dir=hop,
+                                    capacity_gbps=link.capacity_gbps)
+                    loads[hop] = load
+                load.flow_ids.append(flow.flow_id)
+                load.offered_gbps += demand
+        for load in loads.values():
+            load.carried_gbps = min(load.offered_gbps, load.capacity_gbps)
+        return loads
+
+    def offered_loads(self, flows: List[Flow],
+                      paths: Optional[Dict[int, FlowPath]] = None
+                      ) -> Dict[LinkDir, LinkLoad]:
+        """Offered (pre-allocation) load per link direction."""
+        if paths is None:
+            paths = self.resolve_paths(flows)
+        return self._loads_for(flows, paths)

@@ -1,0 +1,125 @@
+"""Packet-level single-queue simulator for validating the fluid model.
+
+The paper rejects packet-level simulation for Seer's *goals* (too slow
+at scale), not for its *physics*.  This module keeps a tiny slotted
+packet simulator of one switch egress queue — Poisson packet arrivals
+per flow, deterministic service at line rate, RED/ECN marking on the
+instantaneous queue — whose steady-state statistics the fluid
+:class:`~repro.network.congestion.CongestionModel` must agree with.
+The validation tests compare queue occupancy, marking rate, and
+latency between the two levels across utilization regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .congestion import CongestionConfig
+
+__all__ = ["PacketQueueSim", "PacketQueueStats"]
+
+
+@dataclass
+class PacketQueueStats:
+    """Steady-state statistics of the packet simulation."""
+
+    mean_queue_bytes: float
+    max_queue_bytes: float
+    mark_fraction: float
+    mean_sojourn_us: float
+    packets: int
+    drops: int
+
+    @property
+    def marked(self) -> bool:
+        return self.mark_fraction > 0
+
+
+class PacketQueueSim:
+    """One egress queue at packet granularity.
+
+    ``offered_gbps`` is the aggregate Poisson arrival rate;
+    ``capacity_gbps`` the drain rate; marking follows the same
+    RED parameters as the fluid model (kmin/kmax on queue *fill*).
+    """
+
+    def __init__(self, capacity_gbps: float, offered_gbps: float,
+                 config: CongestionConfig | None = None,
+                 seed: int = 0):
+        if capacity_gbps <= 0:
+            raise ValueError("capacity must be positive")
+        if offered_gbps < 0:
+            raise ValueError("offered load cannot be negative")
+        self.capacity_gbps = capacity_gbps
+        self.offered_gbps = offered_gbps
+        self.config = config or CongestionConfig()
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, duration_s: float = 0.02) -> PacketQueueStats:
+        cfg = self.config
+        packet_bytes = cfg.avg_packet_bytes
+        service_s = packet_bytes * 8 / (self.capacity_gbps * 1e9)
+        arrival_rate = self.offered_gbps * 1e9 / 8 / packet_bytes
+        if arrival_rate <= 0:
+            return PacketQueueStats(0.0, 0.0, 0.0, 0.0, 0, 0)
+
+        # RED thresholds in bytes, mirroring the fluid model's fill
+        # fractions of the shared buffer.
+        kmin = cfg.ecn_kmin_frac * cfg.buffer_bytes
+        kmax = cfg.ecn_kmax_frac * cfg.buffer_bytes
+
+        now = 0.0
+        next_arrival = float(self._rng.exponential(1.0 / arrival_rate))
+        server_free_at = 0.0
+        queue_bytes = 0.0
+        queue_samples = []
+        sojourns = []
+        marked = 0
+        packets = 0
+        drops = 0
+
+        while next_arrival < duration_s:
+            now = next_arrival
+            # Drain whatever the server completed since the last event.
+            drained = max(0.0, min(now, duration_s) - max(
+                0.0, server_free_at - service_s))
+            del drained  # queue tracked via departure accounting below
+            # Serve: compute this packet's departure.
+            start_service = max(now, server_free_at)
+            depart = start_service + service_s
+            backlog_bytes = max(
+                0.0, (server_free_at - now) / service_s * packet_bytes)
+            queue_bytes = backlog_bytes
+            packets += 1
+            if queue_bytes + packet_bytes > cfg.buffer_bytes:
+                drops += 1
+            else:
+                server_free_at = depart
+                sojourns.append(depart - now)
+                # RED marking on the instantaneous queue.
+                if queue_bytes > kmax:
+                    mark_p = cfg.ecn_pmax
+                elif queue_bytes > kmin:
+                    mark_p = cfg.ecn_pmax * (queue_bytes - kmin) \
+                        / (kmax - kmin)
+                else:
+                    mark_p = 0.0
+                if mark_p > 0 and self._rng.random() < mark_p:
+                    marked += 1
+            queue_samples.append(queue_bytes)
+            next_arrival = now + float(
+                self._rng.exponential(1.0 / arrival_rate))
+
+        if not queue_samples:
+            return PacketQueueStats(0.0, 0.0, 0.0, 0.0, 0, 0)
+        return PacketQueueStats(
+            mean_queue_bytes=float(np.mean(queue_samples)),
+            max_queue_bytes=float(np.max(queue_samples)),
+            mark_fraction=marked / packets if packets else 0.0,
+            mean_sojourn_us=float(np.mean(sojourns)) * 1e6
+            if sojourns else 0.0,
+            packets=packets,
+            drops=drops,
+        )

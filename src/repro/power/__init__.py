@@ -1,0 +1,70 @@
+"""Power substrate: GPU power traces, HVDC system, tidal scheduling, PUE."""
+
+from .from_timeline import OP_POWER_FRAC, power_from_timeline
+from .gpu_power import (
+    GpuSpec,
+    Phase,
+    PowerTrace,
+    inference_request_phases,
+    synthesize_trace,
+    training_iteration_phases,
+)
+from .hvdc import (
+    AC_UPS_CHAIN,
+    HVDC_CHAIN,
+    HvdcUnit,
+    PowerAllocationError,
+    PowerChain,
+    RackSpec,
+    RenewableMix,
+    supply_stability,
+)
+from .renewables import (
+    RenewableGeneration,
+    self_consumption,
+    size_for_renewable_share,
+    solar_curve_mw,
+    wind_curve_mw,
+)
+from .pue import (
+    PueReport,
+    astral_vs_traditional,
+    compute_pue,
+    pue_evolution,
+)
+from .tidal import (
+    NightTrainingScheduler,
+    TidalProfile,
+    daily_inference_power,
+)
+
+__all__ = [
+    "AC_UPS_CHAIN",
+    "GpuSpec",
+    "HVDC_CHAIN",
+    "HvdcUnit",
+    "NightTrainingScheduler",
+    "OP_POWER_FRAC",
+    "power_from_timeline",
+    "Phase",
+    "PowerAllocationError",
+    "PowerChain",
+    "PowerTrace",
+    "PueReport",
+    "RackSpec",
+    "RenewableMix",
+    "RenewableGeneration",
+    "self_consumption",
+    "size_for_renewable_share",
+    "solar_curve_mw",
+    "wind_curve_mw",
+    "TidalProfile",
+    "astral_vs_traditional",
+    "compute_pue",
+    "daily_inference_power",
+    "inference_request_phases",
+    "pue_evolution",
+    "supply_stability",
+    "synthesize_trace",
+    "training_iteration_phases",
+]

@@ -1,0 +1,178 @@
+"""Distributed HVDC power system vs the traditional AC-UPS chain.
+
+Reproduces the power-management claims of §2.2:
+
+* the AC chain loses energy in multiple conversions around the UPS,
+  while HVDC charges the battery directly;
+* UPS battery capacity fluctuates 20-30% under LLM training, whereas
+  HVDC's finer supply granularity naturally compensates;
+* each distributed HVDC unit feeds a row of racks at their combined TDP,
+  and any single rack may elastically draw up to 30% above its own TDP
+  as long as the row total stays within budget (§5, power allocation);
+* renewable sources (rooftop solar, flatland wind) supplement the grid —
+  22% of 2024 consumption in the paper's report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PowerChain",
+    "AC_UPS_CHAIN",
+    "HVDC_CHAIN",
+    "RackSpec",
+    "HvdcUnit",
+    "PowerAllocationError",
+    "RenewableMix",
+]
+
+
+class PowerAllocationError(RuntimeError):
+    """Raised when a power request cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class PowerChain:
+    """A chain of conversion stages from the grid to the server PSU.
+
+    ``stage_efficiencies`` multiply out to the end-to-end efficiency.
+    ``battery_fluctuation_frac`` is the capacity wobble the chain passes
+    through to the supply under bursty LLM load.
+    """
+
+    name: str
+    stage_efficiencies: Sequence[float]
+    battery_fluctuation_frac: float
+
+    @property
+    def efficiency(self) -> float:
+        result = 1.0
+        for stage in self.stage_efficiencies:
+            if not 0.0 < stage <= 1.0:
+                raise ValueError(f"invalid stage efficiency: {stage}")
+            result *= stage
+        return result
+
+    def grid_draw_watts(self, it_watts: float) -> float:
+        """Grid power needed to deliver *it_watts* to IT equipment."""
+        return it_watts / self.efficiency
+
+    def loss_watts(self, it_watts: float) -> float:
+        return self.grid_draw_watts(it_watts) - it_watts
+
+
+#: Traditional chain: MV transformer, double-conversion UPS (AC->DC->AC),
+#: PDU, server PSU (AC->DC).  UPS batteries wobble 20-30% under training.
+AC_UPS_CHAIN = PowerChain(
+    name="ac-ups",
+    stage_efficiencies=(0.985, 0.92, 0.99, 0.94),
+    battery_fluctuation_frac=0.25,
+)
+
+#: HVDC chain: MV transformer, rectifier, direct battery float, DC PSU.
+#: Finer supply granularity compensates the fluctuation (paper: "naturally
+#: compensating for battery capacity fluctuations").
+HVDC_CHAIN = PowerChain(
+    name="hvdc",
+    stage_efficiencies=(0.99, 0.98, 0.975),
+    battery_fluctuation_frac=0.03,
+)
+
+
+@dataclass
+class RackSpec:
+    """One rack: its TDP and current draw."""
+
+    name: str
+    tdp_watts: float
+    draw_watts: float = 0.0
+
+
+@dataclass
+class HvdcUnit:
+    """One distributed HVDC unit powering a row of racks plus cooling.
+
+    The unit budget is the row's combined TDP (supply "remains constant,
+    approximately their TDP"); an individual rack may elastically borrow
+    up to ``elastic_headroom_frac`` above its own TDP if the row total
+    permits.
+    """
+
+    racks: List[RackSpec]
+    elastic_headroom_frac: float = 0.30
+    chain: PowerChain = HVDC_CHAIN
+
+    @property
+    def budget_watts(self) -> float:
+        return sum(rack.tdp_watts for rack in self.racks)
+
+    @property
+    def total_draw_watts(self) -> float:
+        return sum(rack.draw_watts for rack in self.racks)
+
+    def rack_limit_watts(self, rack: RackSpec) -> float:
+        return rack.tdp_watts * (1.0 + self.elastic_headroom_frac)
+
+    def request(self, rack_name: str, watts: float) -> float:
+        """Set a rack's draw; raises if either limit would be violated."""
+        rack = self._rack(rack_name)
+        if watts < 0:
+            raise PowerAllocationError(f"negative power request: {watts}")
+        if watts > self.rack_limit_watts(rack) + 1e-9:
+            raise PowerAllocationError(
+                f"rack {rack_name} requested {watts:.0f} W, above its "
+                f"elastic limit {self.rack_limit_watts(rack):.0f} W")
+        other_draw = self.total_draw_watts - rack.draw_watts
+        if other_draw + watts > self.budget_watts + 1e-9:
+            raise PowerAllocationError(
+                f"row budget {self.budget_watts:.0f} W exceeded: "
+                f"{other_draw + watts:.0f} W requested in total")
+        rack.draw_watts = watts
+        return watts
+
+    def grid_draw_watts(self) -> float:
+        return self.chain.grid_draw_watts(self.total_draw_watts)
+
+    def _rack(self, name: str) -> RackSpec:
+        for rack in self.racks:
+            if rack.name == name:
+                return rack
+        raise PowerAllocationError(f"unknown rack: {name}")
+
+
+@dataclass(frozen=True)
+class RenewableMix:
+    """Green supplemental generation (rooftop solar + flatland wind)."""
+
+    renewable_fraction: float = 0.22   # paper's 2024 report
+    grid_carbon_kg_per_kwh: float = 0.58
+
+    def carbon_kg(self, total_kwh: float) -> float:
+        """Emissions after renewable offset."""
+        if not 0.0 <= self.renewable_fraction <= 1.0:
+            raise ValueError("renewable fraction out of range")
+        fossil_kwh = total_kwh * (1.0 - self.renewable_fraction)
+        return fossil_kwh * self.grid_carbon_kg_per_kwh
+
+    def carbon_saved_kg(self, total_kwh: float) -> float:
+        return total_kwh * self.renewable_fraction \
+            * self.grid_carbon_kg_per_kwh
+
+
+def supply_stability(chain: PowerChain, demand_watts: np.ndarray,
+                     seed: int = 0) -> np.ndarray:
+    """Delivered power under a bursty demand series.
+
+    The battery fluctuation manifests as a multiplicative wobble on the
+    deliverable supply; HVDC's small fluctuation keeps delivery tight to
+    demand while the AC-UPS chain sags by up to its fluctuation band.
+    """
+    rng = np.random.default_rng(seed)
+    wobble = 1.0 - np.abs(
+        rng.normal(0.0, chain.battery_fluctuation_frac / 2,
+                   size=len(demand_watts)))
+    return demand_watts * np.clip(wobble, 0.0, 1.0)

@@ -1,0 +1,110 @@
+"""Power Usage Effectiveness roll-up (paper Figure 6).
+
+PUE = total facility power / IT power.  Facility power decomposes into
+IT power, power-delivery losses (the AC-UPS or HVDC chain), and cooling
+plant power (air, liquid, or integrated).  The paper reports Astral's
+average PUE improved by up to 16.34% over the traditional
+infrastructure; :func:`astral_vs_traditional` reproduces that
+comparison, and :func:`pue_evolution` the whole Figure-6 series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol
+
+from ..cooling.integrated import IntegratedCoolingSystem
+from ..cooling.legacy import COOLING_GENERATIONS
+from .hvdc import AC_UPS_CHAIN, HVDC_CHAIN, PowerChain
+
+__all__ = [
+    "CoolingPlant",
+    "compute_pue",
+    "PueReport",
+    "astral_vs_traditional",
+    "pue_evolution",
+]
+
+#: Distribution losses on the cooling plant's own feed.
+_COOLING_FEED_EFFICIENCY = 0.98
+#: Lighting, security, offices — small constant overhead.
+_MISC_OVERHEAD_FRAC = 0.02
+
+
+class CoolingPlant(Protocol):
+    """Anything that can report plant power for a heat load."""
+
+    def cooling_power_watts(self, heat_watts: float) -> float: ...
+
+
+def compute_pue(it_watts: float, cooling_power_watts: float,
+                chain: PowerChain) -> float:
+    """PUE from IT load, cooling plant power, and the delivery chain."""
+    if it_watts <= 0:
+        raise ValueError("IT power must be positive")
+    grid_it = chain.grid_draw_watts(it_watts)
+    grid_cooling = cooling_power_watts / _COOLING_FEED_EFFICIENCY
+    misc = it_watts * _MISC_OVERHEAD_FRAC
+    return (grid_it + grid_cooling + misc) / it_watts
+
+
+@dataclass
+class PueReport:
+    """PUE of one facility configuration."""
+
+    label: str
+    pue: float
+    chain_name: str
+    cooling_label: str
+
+
+def astral_vs_traditional(it_watts: float = 10e6,
+                          liquid_ratio: float = 0.70) -> dict:
+    """Compare Astral (HVDC + air-liquid) with the traditional plant.
+
+    Returns the two PUEs and the relative improvement; the paper reports
+    an average improvement of 16.34%.
+    """
+    traditional_cooling = COOLING_GENERATIONS[-1]  # 2018 distributed AHU
+    traditional = compute_pue(
+        it_watts,
+        traditional_cooling.cooling_power_watts(it_watts),
+        AC_UPS_CHAIN,
+    )
+    astral_cooling = IntegratedCoolingSystem()
+    astral = compute_pue(
+        it_watts,
+        astral_cooling.cooling_power_watts(it_watts, liquid_ratio),
+        HVDC_CHAIN,
+    )
+    return {
+        "traditional_pue": traditional,
+        "astral_pue": astral,
+        "improvement_frac": (traditional - astral) / traditional,
+    }
+
+
+def pue_evolution(it_watts: float = 10e6) -> List[PueReport]:
+    """Figure 6: PUE across cooling generations, ending with Astral."""
+    reports = []
+    for generation in COOLING_GENERATIONS:
+        reports.append(PueReport(
+            label=f"{generation.year} {generation.name}",
+            pue=compute_pue(
+                it_watts,
+                generation.cooling_power_watts(it_watts),
+                AC_UPS_CHAIN),
+            chain_name=AC_UPS_CHAIN.name,
+            cooling_label=generation.name,
+        ))
+    astral_cooling = IntegratedCoolingSystem()
+    reports.append(PueReport(
+        label="astral air-liquid + HVDC",
+        pue=compute_pue(
+            it_watts,
+            astral_cooling.cooling_power_watts(it_watts),
+            HVDC_CHAIN),
+        chain_name=HVDC_CHAIN.name,
+        cooling_label="air-liquid integrated",
+    ))
+    return reports

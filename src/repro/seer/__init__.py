@@ -1,0 +1,104 @@
+"""Astral Seer: operator-granular LLM performance forecasting."""
+
+from .calibration import (
+    CalibratedModel,
+    TestbedOracle,
+    ThroughputFit,
+    calibrate,
+)
+from .chakra import classify_kernel, from_pytorch_trace
+from .forecaster import InferenceForecast, Seer, TrainingForecast
+from .graph import GraphError, OperatorGraph
+from .hardware import GPU_SUITES, GpuSuite, NetworkSuite, gpu_suite
+from .modeling import (
+    BasicModel,
+    EffectiveModel,
+    addition_time,
+    collective_wire_factor,
+    dp_comm_time,
+    memory_access_time,
+    multiplication_time,
+    pp_comm_time,
+    tp_comm_time,
+)
+from .memory import MemoryEstimate, estimate_memory, fits_memory
+from .models import (
+    DEEPSEEK_MOE,
+    GPT3_175B,
+    HUNYUAN_MOE,
+    LLAMA2_70B,
+    LLAMA3_70B,
+    ModelConfig,
+    ParallelismConfig,
+    build_inference_graph,
+    build_training_graph,
+)
+from .operators import (
+    LLAMA3_OPERATOR_TABLE,
+    CommKind,
+    Operator,
+    OpType,
+)
+from .render import render_comparison, render_timeline
+from .serving import (
+    RequestRecord,
+    ServingConfig,
+    ServingReport,
+    ServingSimulator,
+)
+from .sweep import LayoutCandidate, sweep_parallelism
+from .timeline import Timeline, TimelineEngine, TimelineEntry
+
+__all__ = [
+    "BasicModel",
+    "CalibratedModel",
+    "CommKind",
+    "DEEPSEEK_MOE",
+    "EffectiveModel",
+    "GPT3_175B",
+    "GPU_SUITES",
+    "GpuSuite",
+    "GraphError",
+    "HUNYUAN_MOE",
+    "InferenceForecast",
+    "LLAMA2_70B",
+    "LLAMA3_70B",
+    "LLAMA3_OPERATOR_TABLE",
+    "MemoryEstimate",
+    "estimate_memory",
+    "fits_memory",
+    "ModelConfig",
+    "NetworkSuite",
+    "Operator",
+    "OperatorGraph",
+    "OpType",
+    "ParallelismConfig",
+    "Seer",
+    "TestbedOracle",
+    "ThroughputFit",
+    "LayoutCandidate",
+    "render_comparison",
+    "render_timeline",
+    "RequestRecord",
+    "ServingConfig",
+    "ServingReport",
+    "ServingSimulator",
+    "sweep_parallelism",
+    "Timeline",
+    "TimelineEngine",
+    "TimelineEntry",
+    "TrainingForecast",
+    "addition_time",
+    "build_inference_graph",
+    "build_training_graph",
+    "calibrate",
+    "classify_kernel",
+    "collective_wire_factor",
+    "from_pytorch_trace",
+    "dp_comm_time",
+    "gpu_suite",
+    "memory_access_time",
+    "multiplication_time",
+    "pp_comm_time",
+    "tp_comm_time",
+]

@@ -1,0 +1,190 @@
+"""Self-correcting operator execution modeling (§4.3, self-correction).
+
+Theoretical bandwidth "often fails to accurately reflect actual
+throughput"; Seer therefore performs *polynomial curve fits on the
+throughput measured from the Astral infrastructure* and substitutes the
+fitted effective throughput into the basic model.  Three corrections:
+
+* arithmetic operations  <-> measured GPU FLOPS (vs intensity);
+* memory-access traffic  <-> measured HBM throughput (vs bytes);
+* message size           <-> measured network throughput (per scope).
+
+Here the "infrastructure measurements" come from a
+:class:`TestbedOracle`, which samples the ground-truth effective curves
+(:class:`~repro.seer.modeling.EffectiveModel`) with measurement noise —
+the same role production testbed runs play for the real Seer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .hardware import GpuSuite, NetworkSuite
+from .modeling import (
+    EffectiveModel,
+    collective_wire_factor,
+    effective_scope,
+)
+from .operators import Operator, OpType
+
+__all__ = [
+    "ThroughputFit",
+    "TestbedOracle",
+    "CalibratedModel",
+    "calibrate",
+]
+
+
+@dataclass
+class ThroughputFit:
+    """Polynomial fit of achieved throughput vs a size-like variable.
+
+    Fitting is done in log-log space (throughput curves are smooth
+    power-law-ish ramps), with clamping to the observed range so the
+    polynomial cannot explode outside its support.
+    """
+
+    coefficients: np.ndarray
+    x_min: float
+    x_max: float
+
+    @classmethod
+    def fit(cls, xs: Sequence[float], ys: Sequence[float],
+            degree: int = 3) -> "ThroughputFit":
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if len(xs) < degree + 1:
+            raise ValueError(
+                f"need at least {degree + 1} samples for degree "
+                f"{degree}, got {len(xs)}")
+        if np.any(xs <= 0) or np.any(ys <= 0):
+            raise ValueError("samples must be positive for log-log fit")
+        coeffs = np.polyfit(np.log(xs), np.log(ys), degree)
+        return cls(coefficients=coeffs, x_min=float(np.min(xs)),
+                   x_max=float(np.max(xs)))
+
+    def predict(self, x: float) -> float:
+        x = float(np.clip(x, self.x_min, self.x_max))
+        return float(np.exp(np.polyval(self.coefficients, np.log(x))))
+
+
+class TestbedOracle:
+    """Produces "measured" throughput samples from the ground truth.
+
+    ``noise_frac`` models run-to-run measurement variance; Seer's claim
+    is that fitting through this noise recovers the truth closely
+    enough for ~0.3% end-to-end deviation.
+    """
+
+    def __init__(self, gpu: GpuSuite, network: NetworkSuite,
+                 noise_frac: float = 0.01, seed: int = 0):
+        self.truth = EffectiveModel(gpu=gpu, network=network)
+        self.gpu = gpu
+        self.network = network
+        self._rng = np.random.default_rng(seed)
+        self.noise_frac = noise_frac
+
+    def _noisy(self, value: float) -> float:
+        return value * float(
+            1.0 + self._rng.normal(0.0, self.noise_frac))
+
+    def measure_flops(self, intensities: Sequence[float]
+                      ) -> List[Tuple[float, float]]:
+        return [(x, self._noisy(self.gpu.effective_flops(x)))
+                for x in intensities]
+
+    def measure_hbm(self, sizes: Sequence[float]
+                    ) -> List[Tuple[float, float]]:
+        return [(x, self._noisy(self.gpu.effective_hbm_bytes_per_s(x)))
+                for x in sizes]
+
+    def measure_network(self, sizes: Sequence[float], scope: str
+                        ) -> List[Tuple[float, float]]:
+        return [(x, self._noisy(
+            self.network.effective_gbps(x, scope) * 1e9 / 8))
+            for x in sizes]
+
+
+_SCOPES = ("intra_host", "inter_host", "cross_pod", "cross_dc")
+
+
+@dataclass
+class CalibratedModel:
+    """Seer's corrected execution model: basic formulas, fitted rates."""
+
+    gpu: GpuSuite
+    network: NetworkSuite
+    flops_fit: ThroughputFit
+    hbm_fit: ThroughputFit
+    network_fits: Dict[str, ThroughputFit]
+    kernel_launch_s: float = 4e-6
+    base_net_latency_s: float = 10e-6
+
+    def operator_time(self, op: Operator) -> float:
+        if op.op_type is OpType.COMMUNICATION:
+            return self._comm_time(op)
+        time = self.kernel_launch_s
+        if op.flops > 0:
+            intensity = op.arithmetic_intensity
+            if intensity == float("inf"):
+                intensity = self.flops_fit.x_max
+            time += op.flops / max(self.flops_fit.predict(intensity),
+                                   1.0)
+        if op.bytes_accessed > 0:
+            time += op.bytes_accessed \
+                / max(self.hbm_fit.predict(op.bytes_accessed), 1.0)
+        return time
+
+    def _comm_time(self, op: Operator) -> float:
+        if op.comm_kind is None or op.comm_bytes <= 0:
+            return 0.0
+        factor = collective_wire_factor(op.comm_kind, op.group_size)
+        wire_bytes = op.comm_bytes * factor
+        scope = effective_scope(op)
+        fit = self.network_fits.get(scope)
+        if fit is None:
+            raise KeyError(f"no network fit for scope {scope!r}")
+        latency = (self.network.cross_dc_rtt_ms / 1e3
+                   if scope == "cross_dc"
+                   else self.base_net_latency_s)
+        return latency + wire_bytes / max(fit.predict(wire_bytes), 1.0)
+
+
+def calibrate(gpu: GpuSuite, network: NetworkSuite,
+              noise_frac: float = 0.005, seed: int = 0,
+              degree: int = 9) -> CalibratedModel:
+    """Run the self-correction loop: measure, fit, substitute."""
+    oracle = TestbedOracle(gpu, network, noise_frac=noise_frac,
+                           seed=seed)
+    # Sweep ranges cover everything LLM operators produce, from tiny
+    # norm kernels to multi-GB optimizer sweeps and gradient buckets.
+    intensities = np.geomspace(0.5, 65536.0, 64)
+    flops_samples = oracle.measure_flops(intensities)
+    flops_fit = ThroughputFit.fit([x for x, _ in flops_samples],
+                                  [y for _, y in flops_samples],
+                                  degree=degree)
+
+    sizes = np.geomspace(1e3, 128e9, 64)
+    hbm_samples = oracle.measure_hbm(sizes)
+    hbm_fit = ThroughputFit.fit([x for x, _ in hbm_samples],
+                                [y for _, y in hbm_samples],
+                                degree=degree)
+
+    message_sizes = np.geomspace(4e3, 64e9, 64)
+    network_fits = {}
+    for scope in _SCOPES:
+        samples = oracle.measure_network(message_sizes, scope)
+        network_fits[scope] = ThroughputFit.fit(
+            [x for x, _ in samples], [y for _, y in samples],
+            degree=degree)
+
+    return CalibratedModel(
+        gpu=gpu,
+        network=network,
+        flops_fit=flops_fit,
+        hbm_fit=hbm_fit,
+        network_fits=network_fits,
+    )

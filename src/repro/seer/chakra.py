@@ -1,0 +1,140 @@
+"""Profiler-trace conversion: the Seer generation path (i) (§4.3).
+
+Production Seer collects GPU traces with the PyTorch profiler, exports
+them to JSON, and converts the execution into an operator graph via
+PyTorch Chakra.  This module implements the equivalent conversion for
+the profiler's Chrome-trace-event export format::
+
+    {"traceEvents": [
+        {"name": "ampere_gemm_...", "cat": "kernel", "ph": "X",
+         "ts": 1000, "dur": 250,
+         "args": {"stream": 7, "correlation": 42}},
+        {"name": "ncclDevKernel_AllReduce_...", "cat": "kernel", ...},
+        ...
+    ]}
+
+Conversion rules:
+
+* complete events (``ph == "X"``) in kernel/memcpy/memset categories
+  become operators; everything else (CPU ranges, annotations) is
+  dropped, as Chakra's GPU-graph extraction does;
+* operator type is classified from the kernel name: NCCL kernels are
+  communication (with the collective kind parsed from the name),
+  memcpy/memset are memory, the rest compute;
+* measured durations are preserved (``duration_s``), so replaying the
+  graph through the timeline engine reproduces the profiled iteration;
+* dependencies: events on the same stream are serialized in time
+  order; cross-stream order is anchored at communication boundaries
+  (each comm op depends on the last earlier-ending compute op),
+  mirroring the stream-semantics reconstruction Chakra performs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .graph import GraphError, OperatorGraph
+from .operators import CommKind, OpType
+
+__all__ = ["from_pytorch_trace", "classify_kernel"]
+
+_GPU_CATEGORIES = {"kernel", "gpu_memcpy", "gpu_memset"}
+
+_NCCL_KINDS = (
+    ("allreduce", CommKind.ALL_REDUCE),
+    ("reducescatter", CommKind.REDUCE_SCATTER),
+    ("allgather", CommKind.ALL_GATHER),
+    ("alltoall", CommKind.ALL_TO_ALL),
+    ("sendrecv", CommKind.SEND_RECV),
+    ("send", CommKind.SEND_RECV),
+    ("recv", CommKind.SEND_RECV),
+)
+
+
+def classify_kernel(name: str, category: str
+                    ) -> tuple[OpType, Optional[CommKind]]:
+    """(operator type, collective kind) for one GPU event."""
+    lowered = name.lower()
+    if "nccl" in lowered:
+        for needle, kind in _NCCL_KINDS:
+            if needle in lowered.replace("_", ""):
+                return OpType.COMMUNICATION, kind
+        return OpType.COMMUNICATION, CommKind.SEND_RECV
+    if category in ("gpu_memcpy", "gpu_memset") \
+            or "memcpy" in lowered or "memset" in lowered:
+        return OpType.MEMORY, None
+    return OpType.COMPUTE, None
+
+
+def from_pytorch_trace(text: str, device: str = "dev0",
+                       comm_bytes_arg: str = "bytes",
+                       group_size_arg: str = "group_size"
+                       ) -> OperatorGraph:
+    """Convert a profiler JSON export into an operator graph.
+
+    ``comm_bytes_arg``/``group_size_arg`` name the ``args`` fields
+    carrying message size and communicator size where the profiler
+    recorded them (NCCL annotations); absent fields default to zero /
+    two so the graph stays schedulable.
+    """
+    payload = json.loads(text)
+    if isinstance(payload, list):
+        events = payload
+    else:
+        events = payload.get("traceEvents", [])
+    gpu_events = []
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        if event.get("ph", "X") != "X":
+            continue
+        if event.get("cat", "kernel") not in _GPU_CATEGORIES:
+            continue
+        if "ts" not in event or "dur" not in event:
+            continue
+        gpu_events.append(event)
+    if not gpu_events:
+        raise GraphError("trace contains no GPU events")
+    gpu_events.sort(key=lambda e: (float(e["ts"]), float(e["dur"])))
+
+    graph = OperatorGraph(
+        name=payload.get("name", "trace")
+        if isinstance(payload, dict) else "trace")
+    last_on_stream: Dict[object, int] = {}
+    compute_frontier: Optional[int] = None   # last-ending compute op
+    frontier_end = -1.0
+
+    for event in gpu_events:
+        args = event.get("args", {}) or {}
+        stream_id = args.get("stream", 0)
+        op_type, comm_kind = classify_kernel(
+            str(event.get("name", "kernel")),
+            str(event.get("cat", "kernel")))
+        stream = "comm" if op_type is OpType.COMMUNICATION \
+            else "compute"
+        deps: List[int] = []
+        if stream_id in last_on_stream:
+            deps.append(last_on_stream[stream_id])
+        if op_type is OpType.COMMUNICATION \
+                and compute_frontier is not None \
+                and compute_frontier not in deps:
+            deps.append(compute_frontier)
+
+        op = graph.add(
+            str(event.get("name", "kernel")), op_type, deps=deps,
+            device=device, stream=stream,
+            comm_kind=comm_kind,
+            comm_bytes=float(args.get(comm_bytes_arg, 0.0)),
+            group_size=int(args.get(group_size_arg, 2))
+            if comm_kind else 1,
+            duration_s=float(event["dur"]) * 1e-6,
+        )
+        last_on_stream[stream_id] = op.op_id
+        end = float(event["ts"]) + float(event["dur"])
+        if op_type is not OpType.COMMUNICATION and end > frontier_end:
+            frontier_end = end
+            compute_frontier = op.op_id
+
+    graph.validate()
+    return graph

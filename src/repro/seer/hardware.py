@@ -1,0 +1,189 @@
+"""Modular hardware and network suites for Seer (§4.3).
+
+Seer's configuration surface: *GPU configurations* provide FLOPS, HBM
+size and HBM bandwidth; *network configurations* provide the topology,
+congestion-control and load-balancing context from which the effective
+ReduceScatter / AllGather / All-to-All bandwidths are generated.
+
+Theoretical peaks are never achieved in practice; the suites also carry
+*efficiency curves* (achievable fraction as a function of message size
+or arithmetic intensity).  The curves double as the "testbed" ground
+truth that the self-correction loop (:mod:`repro.seer.calibration`)
+fits its polynomials against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+__all__ = [
+    "GpuSuite",
+    "NetworkSuite",
+    "GPU_SUITES",
+    "gpu_suite",
+]
+
+
+@dataclass(frozen=True)
+class GpuSuite:
+    """One GPU model's compute/memory envelope."""
+
+    name: str
+    peak_tflops: float            # dense BF16/FP16 tensor TFLOPS
+    hbm_gb: float
+    hbm_tbps: float               # HBM bandwidth, TB/s
+    #: achievable fraction of peak FLOPS at high arithmetic intensity.
+    compute_efficiency: float = 0.55
+    #: achievable fraction of peak HBM bandwidth for streaming access.
+    memory_efficiency: float = 0.80
+    #: arithmetic-intensity scale (FLOP/byte) at which kernels reach
+    #: half of their asymptotic compute efficiency.
+    intensity_knee: float = 60.0
+
+    @property
+    def peak_flops(self) -> float:
+        return self.peak_tflops * 1e12
+
+    @property
+    def hbm_bytes_per_s(self) -> float:
+        return self.hbm_tbps * 1e12
+
+    def effective_flops(self, arithmetic_intensity: float) -> float:
+        """Roofline-shaped achievable FLOPS at a given intensity.
+
+        A *smooth* (harmonic) roofline: compute-bound and memory-bound
+        costs add, which matches measured kernels better than a hard
+        ``min`` and is what makes the self-correction's polynomial fit
+        effective.
+        """
+        if arithmetic_intensity <= 0:
+            return 0.0
+        asymptote = self.peak_flops * self.compute_efficiency
+        memory_roof = (arithmetic_intensity * self.hbm_bytes_per_s
+                       * self.memory_efficiency)
+        return 1.0 / (1.0 / asymptote + 1.0 / memory_roof)
+
+    def effective_hbm_bytes_per_s(self, bytes_accessed: float) -> float:
+        """Achieved HBM bandwidth; small transfers pay latency."""
+        knee = 8e6  # ~8 MB working set to saturate HBM
+        frac = bytes_accessed / (bytes_accessed + knee)
+        return self.hbm_bytes_per_s * self.memory_efficiency \
+            * (0.3 + 0.7 * frac)
+
+
+#: Published-spec GPU presets (dense FP16/BF16 tensor throughput).
+GPU_SUITES: Dict[str, GpuSuite] = {
+    "V100": GpuSuite("V100", peak_tflops=125.0, hbm_gb=32.0,
+                     hbm_tbps=0.9),
+    "A100": GpuSuite("A100", peak_tflops=312.0, hbm_gb=80.0,
+                     hbm_tbps=2.0),
+    "H100": GpuSuite("H100", peak_tflops=989.0, hbm_gb=80.0,
+                     hbm_tbps=3.35),
+    "H800": GpuSuite("H800", peak_tflops=989.0, hbm_gb=80.0,
+                     hbm_tbps=3.35),
+    # Export-compliant low-FLOPS part: plenty of memory bandwidth, an
+    # order of magnitude less compute — the paper's motivating hardware.
+    "H20": GpuSuite("H20", peak_tflops=148.0, hbm_gb=96.0,
+                    hbm_tbps=4.0),
+}
+
+
+def gpu_suite(name: str) -> GpuSuite:
+    try:
+        return GPU_SUITES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GPU suite {name!r}; available: "
+            f"{sorted(GPU_SUITES)}") from None
+
+
+@dataclass(frozen=True)
+class NetworkSuite:
+    """Network context for generating collective bandwidths.
+
+    * ``intra_host_gbps`` — NVLink-class per-GPU bandwidth inside the
+      high-bandwidth (HB) domain;
+    * ``intra_host_size`` — GPUs per HB domain (8 on today's hosts; the
+      Figure-14 study sweeps this);
+    * ``nic_gbps`` — per-GPU RDMA bandwidth (2x200G on Astral);
+    * ``tier3_oversubscription`` — >1 models an oversubscribed
+      Agg-Core tier (Figure 2);
+    * ``cross_dc_oversubscription`` / ``cross_dc_rtt_ms`` — the
+      Appendix-B cross-datacenter extension (Figures 13/18);
+    * efficiency knobs fold in congestion control and load balancing
+      quality (the paper's optimized ECMP raises them).
+    """
+
+    name: str = "astral"
+    intra_host_gbps: float = 3200.0
+    intra_host_size: int = 8
+    nic_gbps: float = 400.0
+    tier3_oversubscription: float = 1.0
+    #: fraction of inter-host traffic that must cross the Agg-Core tier
+    #: (fragmented / cross-pod job placement, Figure 2).
+    cross_pod_fraction: float = 0.0
+    cross_dc_oversubscription: float = 1.0
+    cross_dc_rtt_ms: float = 0.0
+    #: achievable fraction of line rate for large messages (congestion
+    #: control + load balancing quality).
+    network_efficiency: float = 0.90
+    #: message size (bytes) at which half the asymptotic bandwidth is
+    #: reached (latency / slow-start region below it).
+    message_knee_bytes: float = 512e3
+    #: runtime all-to-all slowdown from unpredictable expert selection
+    #: (MoE load imbalance).  Applied only by the ground-truth model —
+    #: Seer's calibration cannot observe it, which is why the paper
+    #: reports a relatively higher deviation for MoE models.
+    a2a_imbalance: float = 0.06
+
+    def with_oversubscription(self, ratio: float) -> "NetworkSuite":
+        return replace(self, tier3_oversubscription=ratio)
+
+    def with_cross_dc(self, oversubscription: float,
+                      rtt_ms: float = 3.0) -> "NetworkSuite":
+        return replace(self, cross_dc_oversubscription=oversubscription,
+                       cross_dc_rtt_ms=rtt_ms)
+
+    def with_intra_host_size(self, size: int) -> "NetworkSuite":
+        if size < 1:
+            raise ValueError("HB domain needs at least one GPU")
+        return replace(self, intra_host_size=size)
+
+    # -- effective bandwidths ---------------------------------------------
+    def effective_gbps(self, message_bytes: float,
+                       scope: str = "inter_host") -> float:
+        """Achieved per-GPU bandwidth for a message at a given scope.
+
+        Scopes: ``intra_host`` (NVLink), ``inter_host`` (RDMA fabric,
+        divided by tier-3 oversubscription for cross-pod legs), and
+        ``cross_dc`` (long-haul, oversubscribed and latency-bound).
+        """
+        if scope == "intra_host":
+            line = self.intra_host_gbps
+        elif scope == "inter_host":
+            # A cross-pod share of the traffic is squeezed by the
+            # tier-3 oversubscription; transfer time composes
+            # additively, so the effective line rate divides by the
+            # weighted slowdown.
+            frac = self.cross_pod_fraction
+            slowdown = (1.0 - frac) + frac * self.tier3_oversubscription
+            line = self.nic_gbps / slowdown
+        elif scope == "cross_pod":
+            line = self.nic_gbps / self.tier3_oversubscription
+        elif scope == "cross_dc":
+            line = self.nic_gbps / self.cross_dc_oversubscription
+        else:
+            raise ValueError(f"unknown scope: {scope}")
+        frac = message_bytes / (message_bytes + self.message_knee_bytes)
+        return line * self.network_efficiency * frac
+
+    def transfer_time_s(self, message_bytes: float,
+                        scope: str = "inter_host") -> float:
+        """Time to move one message at the effective bandwidth."""
+        if message_bytes <= 0:
+            return 0.0
+        gbps = self.effective_gbps(message_bytes, scope)
+        base_latency = (self.cross_dc_rtt_ms / 1e3
+                        if scope == "cross_dc" else 10e-6)
+        return base_latency + message_bytes * 8 / (gbps * 1e9)

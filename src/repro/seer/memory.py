@@ -1,0 +1,131 @@
+"""HBM memory-footprint estimation for parallelism layouts.
+
+Seer's GPU configurations include HBM size (§4.3); before recommending
+a parallelism layout, the planner must know it *fits*.  The estimate
+follows the standard mixed-precision accounting:
+
+* weights: 2 bytes/param (bf16), sharded by TP x PP (and EP for expert
+  parameters; ZeRO-3 additionally shards by DP);
+* gradients: 2 bytes/param, same sharding (ZeRO >= 2 shards by DP);
+* optimizer states: fp32 master + Adam moments = 12 bytes/param,
+  sharded by DP for any ZeRO stage >= 1;
+* activations: per microbatch, per layer ~ ``s*b*h*(34 + 5*a*s/h)``
+  bytes / tp (selective-recompute-free transformer accounting), with
+  up to ``pp`` microbatches in flight on a 1F1B pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .hardware import GpuSuite
+from .models.config import ModelConfig, ParallelismConfig
+
+__all__ = ["MemoryEstimate", "estimate_memory", "fits_memory"]
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Per-GPU HBM footprint breakdown, in bytes."""
+
+    weights: float
+    gradients: float
+    optimizer: float
+    activations: float
+    kv_cache: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.weights + self.gradients + self.optimizer
+                + self.activations + self.kv_cache)
+
+    @property
+    def total_gb(self) -> float:
+        return self.total / 1e9
+
+    def fits(self, gpu: GpuSuite, headroom_frac: float = 0.08) -> bool:
+        """Does the footprint fit, leaving fragmentation headroom?"""
+        budget = gpu.hbm_gb * 1e9 * (1.0 - headroom_frac)
+        return self.total <= budget
+
+
+def _params_per_gpu(model: ModelConfig,
+                    parallel: ParallelismConfig) -> float:
+    dense = model.dense_params / (parallel.tp * parallel.pp)
+    expert = model.expert_params / (parallel.tp * parallel.pp
+                                    * parallel.ep)
+    return dense + expert
+
+
+def estimate_memory(model: ModelConfig, parallel: ParallelismConfig,
+                    training: bool = True,
+                    inference_batch: int = 8,
+                    inference_context: int = 0) -> MemoryEstimate:
+    """Per-GPU memory footprint of a layout."""
+    parallel.validate(model)
+    params = _params_per_gpu(model, parallel)
+    zero_dp = parallel.dp if parallel.zero_stage >= 1 else 1
+
+    weights = params * 2.0
+    if parallel.zero_stage == 3:
+        weights /= parallel.dp
+    if not training:
+        return MemoryEstimate(
+            weights=weights, gradients=0.0, optimizer=0.0,
+            activations=_inference_activations(model, parallel,
+                                               inference_batch),
+            kv_cache=_kv_cache_bytes(model, parallel, inference_batch,
+                                     inference_context
+                                     or model.seq_len),
+        )
+
+    gradients = params * 2.0
+    if parallel.zero_stage >= 2:
+        gradients /= parallel.dp
+    optimizer = params * 12.0 / zero_dp
+    activations = _training_activations(model, parallel)
+    return MemoryEstimate(weights=weights, gradients=gradients,
+                          optimizer=optimizer,
+                          activations=activations)
+
+
+def _training_activations(model: ModelConfig,
+                          parallel: ParallelismConfig,
+                          flash_attention: bool = True) -> float:
+    s = model.seq_len
+    b = parallel.micro_batch_size
+    h = model.hidden
+    heads = model.n_heads
+    layers_per_stage = model.n_layers // parallel.pp
+    # The 5*a*s/h term is the materialized attention-score matrix;
+    # FlashAttention (standard on today's stacks) never materializes
+    # it, leaving the ~34-byte/element transformer-layer footprint.
+    quadratic = 0.0 if flash_attention else 5.0 * heads * s / h
+    per_layer = s * b * h * (34.0 + quadratic) / parallel.tp
+    in_flight = min(parallel.microbatches, parallel.pp)
+    return per_layer * layers_per_stage * in_flight
+
+
+def _inference_activations(model: ModelConfig,
+                           parallel: ParallelismConfig,
+                           batch: int) -> float:
+    s = model.seq_len
+    h = model.hidden
+    layers_per_stage = model.n_layers // parallel.pp
+    # One live layer's worth of working set dominates at inference.
+    return 8.0 * batch * s * h * model.dtype_bytes \
+        * max(1, layers_per_stage // 8) / parallel.tp
+
+
+def _kv_cache_bytes(model: ModelConfig, parallel: ParallelismConfig,
+                    batch: int, context: int) -> float:
+    layers_per_stage = model.n_layers // parallel.pp
+    return (2.0 * batch * context * model.kv_hidden
+            * model.dtype_bytes * layers_per_stage / parallel.tp)
+
+
+def fits_memory(model: ModelConfig, parallel: ParallelismConfig,
+                gpu: GpuSuite, training: bool = True) -> bool:
+    """Convenience wrapper: does the layout fit this GPU's HBM?"""
+    return estimate_memory(model, parallel, training=training) \
+        .fits(gpu)

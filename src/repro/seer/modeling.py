@@ -1,0 +1,209 @@
+"""Basic modeling of operator execution time (paper Appendix E).
+
+The atomic formulas:
+
+* matrix multiplication, A (m x n) by B (n x p):
+  ``T = (2n - 1) * m * p / flops``
+* matrix addition, A,B (m x n): ``T = m * n / flops``
+* memory access of A (m x n): ``T = m * n * f / hbm_bw`` where ``f`` is
+  the floating-point bit-width;
+* TP communication: ``T = b * s * h * f / net_bw``;
+* PP communication: ``T = (b * s * h * f / tp_groups) / net_bw``;
+* DP communication: ``T = (model_para_num * f / (tp_groups *
+  pp_groups)) / net_bw``.
+
+Two execution models implement the same interface:
+
+* :class:`BasicModel` plugs *theoretical* FLOPS/HBM/network bandwidth
+  into the formulas — the paper's initial, uncorrected Seer, which
+  deviates >5% once communication bottlenecks appear (§5);
+* :class:`EffectiveModel` uses the hardware/network suites' achievable
+  throughput curves — it plays the role of the *testbed*: the ground
+  truth the self-correction (:mod:`repro.seer.calibration`) fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from .hardware import GpuSuite, NetworkSuite
+from .operators import CommKind, Operator, OpType
+
+__all__ = [
+    "effective_scope",
+    "multiplication_time",
+    "addition_time",
+    "memory_access_time",
+    "tp_comm_time",
+    "pp_comm_time",
+    "dp_comm_time",
+    "collective_wire_factor",
+    "ExecutionModel",
+    "BasicModel",
+    "EffectiveModel",
+]
+
+
+# -- Appendix E atomic formulas ------------------------------------------------
+
+def multiplication_time(m: int, n: int, p: int, flops: float) -> float:
+    """Eq. (1): T_mul = (2n - 1) * m * p / flops."""
+    if flops <= 0:
+        raise ValueError("flops must be positive")
+    return (2 * n - 1) * m * p / flops
+
+
+def addition_time(m: int, n: int, flops: float) -> float:
+    """Eq. (2): T_add = m * n / flops."""
+    if flops <= 0:
+        raise ValueError("flops must be positive")
+    return m * n / flops
+
+
+def memory_access_time(m: int, n: int, bits: int,
+                       hbm_bw_bits_per_s: float) -> float:
+    """Eq. (3): T_mem = m * n * f / hbm_bw."""
+    if hbm_bw_bits_per_s <= 0:
+        raise ValueError("bandwidth must be positive")
+    return m * n * bits / hbm_bw_bits_per_s
+
+
+def tp_comm_time(batch: int, seq: int, hidden: int, bits: int,
+                 net_bw_bits_per_s: float) -> float:
+    """Eq. (4): T_tp = b * s * h * f / net_bw."""
+    return batch * seq * hidden * bits / net_bw_bits_per_s
+
+
+def pp_comm_time(batch: int, seq: int, hidden: int, bits: int,
+                 tp_groups: int, net_bw_bits_per_s: float) -> float:
+    """Eq. (5): T_pp = (b * s * h * f / tp) / net_bw."""
+    return batch * seq * hidden * bits / tp_groups / net_bw_bits_per_s
+
+
+def dp_comm_time(model_para_num: float, bits: int, tp_groups: int,
+                 pp_groups: int, net_bw_bits_per_s: float) -> float:
+    """Eq. (6): T_dp = (params * f / (tp * pp)) / net_bw."""
+    return model_para_num * bits / (tp_groups * pp_groups) \
+        / net_bw_bits_per_s
+
+
+def effective_scope(op: Operator) -> str:
+    """Where a collective's inter-host traffic actually travels.
+
+    Same-rank collectives (AllReduce/ReduceScatter/AllGather rings, PP
+    send/recv) ride same-rail paths — ToR-Agg-ToR — and never touch the
+    Core tier inside a pod (architecture principle P1).  All-to-all
+    traffic inherently crosses rails, so its inter-host legs traverse
+    Core switches and are exposed to tier-3 oversubscription: exactly
+    why the paper finds MoE models sensitive to oversubscription while
+    dense models tolerate it (Figure 2, P2 discussion).
+    """
+    if op.scope == "inter_host" and op.comm_kind is CommKind.ALL_TO_ALL:
+        return "cross_pod"
+    return op.scope
+
+
+def collective_wire_factor(kind: CommKind, group_size: int) -> float:
+    """Bytes-on-wire multiplier per rank for ring-style collectives."""
+    n = max(group_size, 1)
+    if n == 1:
+        return 0.0
+    if kind is CommKind.ALL_REDUCE:
+        return 2.0 * (n - 1) / n
+    if kind in (CommKind.REDUCE_SCATTER, CommKind.ALL_GATHER):
+        return (n - 1) / n
+    if kind is CommKind.ALL_TO_ALL:
+        return (n - 1) / n
+    if kind is CommKind.SEND_RECV:
+        return 1.0
+    raise ValueError(f"unknown collective kind: {kind}")
+
+
+# -- execution models ----------------------------------------------------------
+
+class ExecutionModel(Protocol):
+    """Anything that can price an operator's execution time."""
+
+    def operator_time(self, op: Operator) -> float: ...
+
+
+@dataclass(frozen=True)
+class BasicModel:
+    """Uncorrected Seer: theoretical peaks straight into Appendix E."""
+
+    gpu: GpuSuite
+    network: NetworkSuite
+    dtype_bits: int = 16
+    kernel_launch_s: float = 4e-6
+
+    def operator_time(self, op: Operator) -> float:
+        if op.op_type is OpType.COMMUNICATION:
+            return self._comm_time(op)
+        time = self.kernel_launch_s
+        if op.flops > 0:
+            time += op.flops / self.gpu.peak_flops
+        if op.bytes_accessed > 0:
+            time += op.bytes_accessed / self.gpu.hbm_bytes_per_s
+        return time
+
+    def _comm_time(self, op: Operator) -> float:
+        if op.comm_kind is None or op.comm_bytes <= 0:
+            return 0.0
+        factor = collective_wire_factor(op.comm_kind, op.group_size)
+        wire_bytes = op.comm_bytes * factor
+        scope = effective_scope(op)
+        if scope == "intra_host":
+            line_gbps = self.network.intra_host_gbps
+        elif scope == "cross_pod":
+            line_gbps = (self.network.nic_gbps
+                         / self.network.tier3_oversubscription)
+        elif scope == "cross_dc":
+            line_gbps = (self.network.nic_gbps
+                         / self.network.cross_dc_oversubscription)
+        else:
+            line_gbps = self.network.nic_gbps
+        return wire_bytes * 8 / (line_gbps * 1e9)
+
+
+@dataclass(frozen=True)
+class EffectiveModel:
+    """Ground-truth model with achievable-throughput curves.
+
+    Stands in for the production testbed: the curves capture the
+    packet-level and kernel-level effects (datapath contention,
+    congestion, launch latency, HBM ramp) that make real throughput
+    fall short of theoretical bandwidth.
+    """
+
+    gpu: GpuSuite
+    network: NetworkSuite
+    dtype_bits: int = 16
+    kernel_launch_s: float = 4e-6
+
+    def operator_time(self, op: Operator) -> float:
+        if op.op_type is OpType.COMMUNICATION:
+            return self._comm_time(op)
+        time = self.kernel_launch_s
+        if op.flops > 0:
+            flops = self.gpu.effective_flops(op.arithmetic_intensity)
+            if flops <= 0:
+                flops = self.gpu.peak_flops * self.gpu.compute_efficiency
+            time += op.flops / flops
+        if op.bytes_accessed > 0:
+            time += op.bytes_accessed \
+                / self.gpu.effective_hbm_bytes_per_s(op.bytes_accessed)
+        return time
+
+    def _comm_time(self, op: Operator) -> float:
+        if op.comm_kind is None or op.comm_bytes <= 0:
+            return 0.0
+        factor = collective_wire_factor(op.comm_kind, op.group_size)
+        wire_bytes = op.comm_bytes * factor
+        time = self.network.transfer_time_s(wire_bytes,
+                                            effective_scope(op))
+        if op.comm_kind is CommKind.ALL_TO_ALL:
+            # Expert-selection load imbalance: the slowest rank carries
+            # more than its fair share.  Invisible to calibration.
+            time *= 1.0 + self.network.a2a_imbalance
+        return time

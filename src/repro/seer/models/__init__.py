@@ -1,0 +1,24 @@
+"""Model configurations and operator-graph builders."""
+
+from .builder import build_inference_graph, build_training_graph
+from .config import (
+    DEEPSEEK_MOE,
+    GPT3_175B,
+    HUNYUAN_MOE,
+    LLAMA2_70B,
+    LLAMA3_70B,
+    ModelConfig,
+    ParallelismConfig,
+)
+
+__all__ = [
+    "DEEPSEEK_MOE",
+    "GPT3_175B",
+    "HUNYUAN_MOE",
+    "LLAMA2_70B",
+    "LLAMA3_70B",
+    "ModelConfig",
+    "ParallelismConfig",
+    "build_inference_graph",
+    "build_training_graph",
+]

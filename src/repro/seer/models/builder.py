@@ -1,0 +1,490 @@
+"""Operator-graph builders for training and inference workloads.
+
+Builds the executor graph Seer schedules: pipeline stages as logical
+devices, per-microbatch forward/backward blocks, TP collectives, MoE
+all-to-alls, PP send/recv, DP gradient synchronization (plain or
+ZeRO-3), and the optimizer step.
+
+Two granularities:
+
+* **aggregate** (default) — one compute/memory block per (stage,
+  microbatch) plus explicit communication operators.  Small graphs,
+  right level for parameter sweeps (Figures 13/14/18/19).
+* **detail** — the full Table-1 operator sequence per layer (PPRecv,
+  RMSNorm, GQA QKV/CoreAttn/Proj, SwiGLU MLP, TP all-reduces, PPSend),
+  used for operator-level timelines (Figure 12) and the Table-1 bench.
+
+Communication scope is derived from the network suite: a collective
+whose group fits inside the high-bandwidth domain runs at NVLink
+bandwidth; larger groups split into an intra-host and an inter-host
+portion (hierarchical collectives), which is what makes the Figure-14
+intra-host-scale study come out right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..graph import OperatorGraph
+from ..hardware import NetworkSuite
+from ..operators import CommKind, OpType
+from .config import ModelConfig, ParallelismConfig
+
+__all__ = ["build_training_graph", "build_inference_graph"]
+
+
+@dataclass
+class _LayerCosts:
+    """Per-(microbatch, TP-rank) forward costs of one transformer layer."""
+
+    flops: float
+    weight_bytes: float
+    activation_bytes: float
+    tp_comm_bytes: float        # per TP all-reduce (2 per layer)
+    moe_a2a_bytes: float        # per all-to-all (2 per MoE layer)
+
+
+def _layer_costs(model: ModelConfig, parallel: ParallelismConfig,
+                 batch: int, seq: int) -> _LayerCosts:
+    h = model.hidden
+    fb = model.dtype_bytes
+    tp = parallel.tp
+    kv = model.kv_hidden
+
+    attn_flops = (
+        2 * batch * seq * h * (h + 2 * kv) / tp      # QKV projections
+        + 4 * batch * seq * seq * h / tp             # scores + AV
+        + 2 * batch * seq * h * h / tp               # output projection
+    )
+    matrices = model.mlp_matrices
+    if model.is_moe:
+        ffn = model.moe_ffn_hidden or model.ffn_hidden
+        mlp_flops = (2 * matrices * batch * seq * h * ffn
+                     * model.experts_per_token / tp)
+        experts_per_rank = max(1, model.n_experts // parallel.ep)
+        mlp_weight_bytes = matrices * h * ffn * experts_per_rank \
+            * fb / tp
+        moe_a2a_bytes = batch * seq * h * fb * model.experts_per_token
+    else:
+        mlp_flops = (2 * matrices * batch * seq * h
+                     * model.ffn_hidden / tp)
+        mlp_weight_bytes = matrices * h * model.ffn_hidden * fb / tp
+        moe_a2a_bytes = 0.0
+
+    attn_weight_bytes = (h * (h + 2 * kv) + h * h) * fb / tp
+    norm_flops = 8 * batch * seq * h
+    return _LayerCosts(
+        flops=attn_flops + mlp_flops + norm_flops,
+        weight_bytes=attn_weight_bytes + mlp_weight_bytes + 2 * h * fb,
+        activation_bytes=4 * batch * seq * h * fb,
+        tp_comm_bytes=batch * seq * h * fb,
+        moe_a2a_bytes=moe_a2a_bytes,
+    )
+
+
+def _comm_split(network: NetworkSuite, group: int) -> List[tuple]:
+    """(scope, group, byte_fraction) legs of a hierarchical collective."""
+    hb = network.intra_host_size
+    if group <= 1:
+        return []
+    if group <= hb:
+        return [("intra_host", group, 1.0)]
+    inter_group = group // hb
+    return [
+        ("intra_host", hb, hb / group),
+        ("inter_host", inter_group, 1.0 - hb / group),
+    ]
+
+
+def _cross_dc_legs(group: int) -> List[tuple]:
+    """Hierarchical collective for a group split across two DCs.
+
+    Intra-DC reduce/gather handles most of the volume at fabric speed;
+    only a 2/group shard is exchanged over the long-haul link — the
+    standard hierarchical all-reduce the cross-DC deployments use.
+    """
+    if group <= 2:
+        return [("cross_dc", max(group, 2), 1.0)]
+    cross_fraction = min(1.0, 2.0 / group)
+    return [
+        ("inter_host", group // 2, 1.0 - cross_fraction),
+        ("cross_dc", 2, cross_fraction),
+    ]
+
+
+def _add_collective(graph: OperatorGraph, name: str, kind: CommKind,
+                    total_bytes: float, group: int,
+                    network: NetworkSuite, device: str,
+                    deps: List[int],
+                    scope_override: Optional[str] = None) -> List[int]:
+    """Add the (possibly hierarchical) legs of one collective."""
+    if group <= 1 or total_bytes <= 0:
+        return deps
+    if scope_override == "cross_dc":
+        legs = _cross_dc_legs(group)
+    elif scope_override is not None:
+        legs = [(scope_override, group, 1.0)]
+    else:
+        legs = _comm_split(network, group)
+    ids = []
+    for scope, leg_group, fraction in legs:
+        op = graph.add(
+            f"{name}.{scope}", OpType.COMMUNICATION, deps=deps,
+            device=device, stream="comm", comm_kind=kind,
+            comm_bytes=total_bytes * fraction, group_size=leg_group,
+            scope=scope)
+        ids.append(op.op_id)
+    return ids
+
+
+def build_training_graph(model: ModelConfig,
+                         parallel: ParallelismConfig,
+                         network: NetworkSuite,
+                         detail: bool = False) -> OperatorGraph:
+    """One training iteration across all pipeline stages."""
+    parallel.validate(model)
+    graph = OperatorGraph(name=f"{model.name}-train")
+    batch = parallel.micro_batch_size
+    seq = model.seq_len
+    fb = model.dtype_bytes
+    #: interleaved schedule: each physical stage hosts
+    #: ``virtual_stages`` model chunks; chunk c runs on stage c % pp.
+    chunks = parallel.pipeline_chunks
+    layers_per_chunk = model.n_layers // chunks
+    costs = _layer_costs(model, parallel, batch, seq)
+    pp_bytes = batch * seq * model.hidden * fb / parallel.tp
+    dp_scope = "cross_dc" if parallel.cross_dc_dimension == "dp" \
+        else "inter_host"
+    # With PP across datacenters, only the boundary between the two
+    # halves of the pipeline traverses the long-haul link.
+    dc_boundary_stage = parallel.pp // 2 - 1 \
+        if parallel.cross_dc_dimension == "pp" and parallel.pp > 1 \
+        else None
+
+    def pp_scope_for(sender_stage: int) -> str:
+        if dc_boundary_stage is not None \
+                and sender_stage == dc_boundary_stage:
+            return "cross_dc"
+        return "inter_host"
+
+    # fwd_done[(chunk, mb)] -> op ids; bwd_done likewise.
+    fwd_send: dict = {}
+    bwd_send: dict = {}
+    fwd_done: dict = {}
+    bwd_done: dict = {}
+
+    def stage_device(stage: int) -> str:
+        return f"stage{stage}"
+
+    def chunk_device(chunk: int) -> str:
+        return stage_device(chunk % parallel.pp)
+
+    # ZeRO-3: parameters are gathered before the first forward use.
+    zero_gather: dict = {}
+    if parallel.zero_stage == 3 and parallel.dp > 1:
+        shard_bytes = ((model.dense_params
+                        + model.expert_params / parallel.ep) * fb
+                       / (parallel.tp * parallel.pp))
+        for stage in range(parallel.pp):
+            ids = _add_collective(
+                graph, f"ZeroParamAllGather.s{stage}",
+                CommKind.ALL_GATHER, shard_bytes, parallel.dp, network,
+                stage_device(stage), [], scope_override=dp_scope)
+            zero_gather[stage] = ids
+
+    for mb in range(parallel.microbatches):
+        for chunk in range(chunks):
+            device = chunk_device(chunk)
+            deps: List[int] = list(zero_gather.get(chunk % parallel.pp,
+                                                   []))
+            if chunk > 0:
+                if chunk_device(chunk - 1) == device:
+                    # Same physical stage: chunk handoff is local.
+                    deps = deps + list(fwd_done[(chunk - 1, mb)])
+                else:
+                    recv = graph.add(
+                        f"PPRecv.c{chunk}.m{mb}",
+                        OpType.COMMUNICATION,
+                        deps=fwd_send[(chunk - 1, mb)], device=device,
+                        stream="comm", comm_kind=CommKind.SEND_RECV,
+                        comm_bytes=pp_bytes, group_size=2,
+                        scope=pp_scope_for((chunk - 1) % parallel.pp))
+                    deps = deps + [recv.op_id]
+            if detail:
+                last = _detail_forward(graph, model, parallel, network,
+                                       device, mb, layers_per_chunk,
+                                       costs, deps, chunk,
+                                       chunk == 0, chunk == chunks - 1)
+            else:
+                last = _aggregate_forward(graph, model, parallel,
+                                          network, device, mb,
+                                          layers_per_chunk, costs,
+                                          deps, chunk)
+            fwd_done[(chunk, mb)] = last
+            if chunk < chunks - 1 \
+                    and chunk_device(chunk + 1) != device:
+                send = graph.add(
+                    f"PPSend.c{chunk}.m{mb}", OpType.COMMUNICATION,
+                    deps=last, device=device, stream="comm",
+                    comm_kind=CommKind.SEND_RECV, comm_bytes=pp_bytes,
+                    group_size=2,
+                    scope=pp_scope_for(chunk % parallel.pp))
+                fwd_send[(chunk, mb)] = [send.op_id]
+
+    # Backward sweep: the last chunk starts as soon as its forward is
+    # done.
+    for mb in range(parallel.microbatches):
+        for chunk in reversed(range(chunks)):
+            device = chunk_device(chunk)
+            deps = list(fwd_done[(chunk, mb)])
+            if chunk < chunks - 1:
+                if chunk_device(chunk + 1) == device:
+                    deps += list(bwd_done[(chunk + 1, mb)])
+                else:
+                    recv = graph.add(
+                        f"BwdPPRecv.c{chunk}.m{mb}",
+                        OpType.COMMUNICATION,
+                        deps=bwd_send[(chunk + 1, mb)], device=device,
+                        stream="comm", comm_kind=CommKind.SEND_RECV,
+                        comm_bytes=pp_bytes, group_size=2,
+                        scope=pp_scope_for(chunk % parallel.pp))
+                    deps.append(recv.op_id)
+            bwd = graph.add(
+                f"BwdStage.c{chunk}.m{mb}", OpType.MIXED, deps=deps,
+                device=device,
+                flops=2.0 * costs.flops * layers_per_chunk,
+                bytes_accessed=(costs.weight_bytes
+                                + costs.activation_bytes)
+                * layers_per_chunk)
+            tail = _add_collective(
+                graph, f"BwdTPAllReduce.c{chunk}.m{mb}",
+                CommKind.ALL_REDUCE,
+                2 * costs.tp_comm_bytes * layers_per_chunk,
+                parallel.tp, network, device, [bwd.op_id])
+            if model.is_moe and parallel.ep > 1:
+                tail = _add_collective(
+                    graph, f"BwdMoEAllToAll.c{chunk}.m{mb}",
+                    CommKind.ALL_TO_ALL,
+                    2 * costs.moe_a2a_bytes * layers_per_chunk,
+                    parallel.ep, network, device, tail)
+            bwd_done[(chunk, mb)] = tail
+            if chunk > 0 and chunk_device(chunk - 1) != device:
+                send = graph.add(
+                    f"BwdPPSend.c{chunk}.m{mb}", OpType.COMMUNICATION,
+                    deps=tail, device=device, stream="comm",
+                    comm_kind=CommKind.SEND_RECV, comm_bytes=pp_bytes,
+                    group_size=2,
+                    scope=pp_scope_for((chunk - 1) % parallel.pp))
+                bwd_send[(chunk, mb)] = [send.op_id]
+
+    # Gradient synchronization: overlapped chunked all-reduce (plain DP)
+    # or reduce-scatter (ZeRO), per stage.
+    grad_tail: dict = {}
+    if parallel.dp > 1:
+        # Expert parameters are already sharded across the EP group, so
+        # each rank only synchronizes its own expert shard; dense
+        # parameters are fully replicated across DP.
+        stage_params = (model.dense_params
+                        + model.expert_params / parallel.ep) \
+            / parallel.pp
+        grad_bytes = stage_params * fb / parallel.tp
+        kind = (CommKind.REDUCE_SCATTER if parallel.zero_stage >= 1
+                else CommKind.ALL_REDUCE)
+        n_buckets = min(4, parallel.microbatches)
+        bucket_mbs = [parallel.microbatches - n_buckets + i
+                      for i in range(n_buckets)]
+        for stage in range(parallel.pp):
+            # The stage's first chunk finishes backward last; its
+            # buckets gate the sync.
+            gate_chunk = stage
+            ids: List[int] = []
+            for index, mb in enumerate(bucket_mbs):
+                ids += _add_collective(
+                    graph, f"GradSync.s{stage}.c{index}", kind,
+                    grad_bytes / n_buckets, parallel.dp, network,
+                    stage_device(stage), bwd_done[(gate_chunk, mb)],
+                    scope_override=dp_scope)
+            grad_tail[stage] = ids
+
+    # Optimizer step per stage (memory-bound parameter update).
+    for stage in range(parallel.pp):
+        deps = grad_tail.get(stage) \
+            or bwd_done[(stage, parallel.microbatches - 1)]
+        graph.add(
+            f"OptimizerStep.s{stage}", OpType.MEMORY, deps=deps,
+            device=stage_device(stage),
+            bytes_accessed=model.total_params / parallel.pp
+            / parallel.tp * 12)  # fp32 master weights + Adam moments
+    graph.validate()
+    return graph
+
+
+def _aggregate_forward(graph, model, parallel, network, device, mb,
+                       layers, costs, deps, chunk) -> List[int]:
+    fwd = graph.add(
+        f"FwdStage.c{chunk}.m{mb}", OpType.MIXED, deps=deps,
+        device=device, flops=costs.flops * layers,
+        bytes_accessed=(costs.weight_bytes + costs.activation_bytes)
+        * layers)
+    tail = _add_collective(
+        graph, f"FwdTPAllReduce.c{chunk}.m{mb}", CommKind.ALL_REDUCE,
+        2 * costs.tp_comm_bytes * layers, parallel.tp, network, device,
+        [fwd.op_id])
+    if model.is_moe and parallel.ep > 1:
+        tail = _add_collective(
+            graph, f"FwdMoEAllToAll.c{chunk}.m{mb}",
+            CommKind.ALL_TO_ALL, 2 * costs.moe_a2a_bytes * layers,
+            parallel.ep, network, device, tail)
+    return tail
+
+
+def _detail_forward(graph, model, parallel, network, device, mb,
+                    layers, costs, deps, chunk, is_first_chunk,
+                    is_last_chunk) -> List[int]:
+    """Table-1 operator sequence, layer by layer."""
+    batch = parallel.micro_batch_size
+    seq = model.seq_len
+    h = model.hidden
+    kv = model.kv_hidden
+    fb = model.dtype_bytes
+    tp = parallel.tp
+
+    if is_first_chunk and mb == 0:
+        load = graph.add("LoadWeight.embedding", OpType.MEMORY,
+                         deps=deps, device=device,
+                         bytes_accessed=model.vocab * h * fb / tp)
+        deps = [load.op_id]
+    if is_first_chunk:
+        embed = graph.add(
+            f"EmbeddingComputation.m{mb}", OpType.COMPUTE, deps=deps,
+            device=device, flops=batch * seq * h,
+            bytes_accessed=batch * seq * h * fb)
+        deps = [embed.op_id]
+
+    for layer in range(layers):
+        prefix = f"c{chunk}.l{layer}.m{mb}"
+        norm_w = graph.add(f"RMSNormLoadWeight.{prefix}", OpType.MEMORY,
+                           deps=deps, device=device,
+                           bytes_accessed=h * fb)
+        norm = graph.add(f"RMSNormComputation.{prefix}", OpType.COMPUTE,
+                         deps=[norm_w.op_id], device=device,
+                         flops=4 * batch * seq * h,
+                         bytes_accessed=batch * seq * h * fb)
+        qkv_w = graph.add(f"GQAQKVLoadWeight.{prefix}", OpType.MEMORY,
+                          deps=[norm.op_id], device=device,
+                          bytes_accessed=h * (h + 2 * kv) * fb / tp)
+        qkv = graph.add(f"GQAQKVComputation.{prefix}", OpType.COMPUTE,
+                        deps=[qkv_w.op_id], device=device,
+                        flops=2 * batch * seq * h * (h + 2 * kv) / tp)
+        attn = graph.add(f"GQACoreAttn.{prefix}", OpType.COMPUTE,
+                         deps=[qkv.op_id], device=device,
+                         flops=4 * batch * seq * seq * h / tp,
+                         bytes_accessed=2 * batch * seq * (h + kv)
+                         * fb / tp)
+        proj_w = graph.add(f"GQAAttnProjLoadWeight.{prefix}",
+                           OpType.MEMORY, deps=[attn.op_id],
+                           device=device,
+                           bytes_accessed=h * h * fb / tp)
+        proj = graph.add(f"GQAAttnProjComputation.{prefix}",
+                         OpType.COMPUTE, deps=[proj_w.op_id],
+                         device=device,
+                         flops=2 * batch * seq * h * h / tp)
+        tail = _add_collective(
+            graph, f"AttnTPAllReduce.{prefix}", CommKind.ALL_REDUCE,
+            costs.tp_comm_bytes, tp, network, device, [proj.op_id])
+        ffn = model.moe_ffn_hidden if model.is_moe else model.ffn_hidden
+        up = graph.add(f"SwiMLPUpProj.{prefix}", OpType.MIXED,
+                       deps=tail, device=device,
+                       flops=2 * batch * seq * h * ffn / tp,
+                       bytes_accessed=h * ffn * fb / tp)
+        down_deps = [up.op_id]
+        if model.gated_mlp:
+            gate = graph.add(f"SwiMLPGateProj.{prefix}", OpType.MIXED,
+                             deps=tail, device=device,
+                             flops=2 * batch * seq * h * ffn / tp,
+                             bytes_accessed=h * ffn * fb / tp)
+            down_deps.append(gate.op_id)
+        down = graph.add(f"SwiMLPDownProj.{prefix}", OpType.MIXED,
+                         deps=down_deps, device=device,
+                         flops=2 * batch * seq * h * ffn / tp,
+                         bytes_accessed=h * ffn * fb / tp)
+        deps = _add_collective(
+            graph, f"MLPTPAllReduce.{prefix}", CommKind.ALL_REDUCE,
+            costs.tp_comm_bytes, tp, network, device, [down.op_id])
+        if model.is_moe and parallel.ep > 1:
+            deps = _add_collective(
+                graph, f"MoEAllToAll.{prefix}", CommKind.ALL_TO_ALL,
+                2 * costs.moe_a2a_bytes, parallel.ep, network, device,
+                deps)
+
+    if is_last_chunk:
+        logit = graph.add(
+            f"Logit.m{mb}", OpType.MIXED, deps=deps, device=device,
+            flops=2 * batch * seq * h * model.vocab / tp,
+            bytes_accessed=h * model.vocab * fb / tp)
+        deps = [logit.op_id]
+    return deps
+
+
+def build_inference_graph(model: ModelConfig,
+                          parallel: ParallelismConfig,
+                          network: NetworkSuite,
+                          phase: str = "prefill",
+                          batch: int = 8,
+                          context_len: Optional[int] = None
+                          ) -> OperatorGraph:
+    """One inference step: full-sequence prefill or one decode token."""
+    parallel.validate(model)
+    if phase not in ("prefill", "decode"):
+        raise ValueError(f"phase must be prefill or decode: {phase}")
+    graph = OperatorGraph(name=f"{model.name}-{phase}")
+    context = context_len if context_len is not None else model.seq_len
+    seq = context if phase == "prefill" else 1
+    fb = model.dtype_bytes
+    h = model.hidden
+    layers_per_stage = model.n_layers // parallel.pp
+    costs = _layer_costs(model, parallel, batch, seq)
+    pp_bytes = batch * seq * h * fb / parallel.tp
+
+    prev_send: List[int] = []
+    for stage in range(parallel.pp):
+        device = f"stage{stage}"
+        deps: List[int] = []
+        if stage > 0:
+            recv = graph.add(
+                f"PPRecv.s{stage}", OpType.COMMUNICATION,
+                deps=prev_send, device=device, stream="comm",
+                comm_kind=CommKind.SEND_RECV, comm_bytes=pp_bytes,
+                group_size=2)
+            deps = [recv.op_id]
+        kv_cache_bytes = 0.0
+        if phase == "decode":
+            # Decoding reads the whole KV cache per token: the
+            # memory-bound regime with power well below TDP (Fig. 15b).
+            kv_cache_bytes = (2 * batch * context * model.kv_hidden
+                              * fb * layers_per_stage / parallel.tp)
+        fwd = graph.add(
+            f"FwdStage.s{stage}", OpType.MIXED, deps=deps,
+            device=device, flops=costs.flops * layers_per_stage,
+            bytes_accessed=(costs.weight_bytes
+                            + costs.activation_bytes)
+            * layers_per_stage + kv_cache_bytes)
+        tail = _add_collective(
+            graph, f"TPAllReduce.s{stage}", CommKind.ALL_REDUCE,
+            2 * costs.tp_comm_bytes * layers_per_stage, parallel.tp,
+            network, device, [fwd.op_id])
+        if model.is_moe and parallel.ep > 1:
+            tail = _add_collective(
+                graph, f"MoEAllToAll.s{stage}", CommKind.ALL_TO_ALL,
+                2 * costs.moe_a2a_bytes * layers_per_stage, parallel.ep,
+                network, device, tail)
+        if stage < parallel.pp - 1:
+            send = graph.add(
+                f"PPSend.s{stage}", OpType.COMMUNICATION, deps=tail,
+                device=device, stream="comm",
+                comm_kind=CommKind.SEND_RECV, comm_bytes=pp_bytes,
+                group_size=2)
+            prev_send = [send.op_id]
+    graph.validate()
+    return graph

@@ -1,0 +1,152 @@
+"""Operator model for Seer (§4.3, Appendix Table 1).
+
+An LLM workflow decomposes into computation, memory-access, and
+communication operators.  Each :class:`Operator` carries the attributes
+its execution-time model needs (FLOPs, bytes touched, message bytes,
+collective kind and scope) plus its dependencies; the timeline engine
+schedules them on per-device streams.
+
+``LLAMA3_OPERATOR_TABLE`` mirrors the paper's Table 1: the operator
+inventory for LLaMA 3 with its comp/mem/comm type tags.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "OpType",
+    "CommKind",
+    "Operator",
+    "LLAMA3_OPERATOR_TABLE",
+]
+
+
+class OpType(enum.Enum):
+    COMPUTE = "comp"
+    MEMORY = "mem"
+    COMMUNICATION = "comm"
+    MIXED = "mem+comp"      # fused load-weight + matmul operators
+
+
+class CommKind(enum.Enum):
+    ALL_REDUCE = "allreduce"
+    REDUCE_SCATTER = "reduce_scatter"
+    ALL_GATHER = "all_gather"
+    ALL_TO_ALL = "all_to_all"
+    SEND_RECV = "send_recv"
+
+
+@dataclass
+class Operator:
+    """One node of the operator dependency graph.
+
+    ``device`` is the logical executor (e.g. a pipeline stage);
+    ``stream`` separates overlappable work ("compute" vs "comm").
+    ``duration_s`` is filled by the execution model (or supplied
+    directly via the handcraft/JSON path).
+    """
+
+    op_id: int
+    name: str
+    op_type: OpType
+    deps: List[int] = field(default_factory=list)
+    device: str = "dev0"
+    stream: str = "compute"
+    # -- compute attrs --
+    flops: float = 0.0
+    # -- memory attrs --
+    bytes_accessed: float = 0.0
+    # -- communication attrs --
+    comm_bytes: float = 0.0
+    comm_kind: Optional[CommKind] = None
+    group_size: int = 1
+    scope: str = "inter_host"   # intra_host | inter_host | cross_dc
+    # -- schedule --
+    duration_s: Optional[float] = None
+    start_s: Optional[float] = None
+
+    @property
+    def end_s(self) -> Optional[float]:
+        if self.start_s is None or self.duration_s is None:
+            return None
+        return self.start_s + self.duration_s
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        if self.bytes_accessed <= 0:
+            return float("inf") if self.flops > 0 else 0.0
+        return self.flops / self.bytes_accessed
+
+    def to_json_dict(self) -> dict:
+        """Chakra-style node record (see :mod:`repro.seer.graph`)."""
+        record = {
+            "id": self.op_id,
+            "name": self.name,
+            "op": self.op_type.value,
+            "deps": list(self.deps),
+            "device": self.device,
+            "stream": self.stream,
+        }
+        if self.flops:
+            record["flops"] = self.flops
+        if self.bytes_accessed:
+            record["bytes_accessed"] = self.bytes_accessed
+        if self.comm_kind is not None:
+            record["comm_kind"] = self.comm_kind.value
+            record["comm_bytes"] = self.comm_bytes
+            record["group_size"] = self.group_size
+            record["scope"] = self.scope
+        if self.duration_s is not None:
+            record["duration_s"] = self.duration_s
+        return record
+
+    @classmethod
+    def from_json_dict(cls, record: dict) -> "Operator":
+        comm_kind = record.get("comm_kind")
+        return cls(
+            op_id=int(record["id"]),
+            name=record["name"],
+            op_type=OpType(record["op"]),
+            deps=[int(d) for d in record.get("deps", [])],
+            device=record.get("device", "dev0"),
+            stream=record.get("stream", "compute"),
+            flops=float(record.get("flops", 0.0)),
+            bytes_accessed=float(record.get("bytes_accessed", 0.0)),
+            comm_bytes=float(record.get("comm_bytes", 0.0)),
+            comm_kind=CommKind(comm_kind) if comm_kind else None,
+            group_size=int(record.get("group_size", 1)),
+            scope=record.get("scope", "inter_host"),
+            duration_s=record.get("duration_s"),
+        )
+
+
+#: Paper Table 1 — computation, memory access and communication
+#: operators used by LLaMA 3 in Seer (section: (operator, type)).
+LLAMA3_OPERATOR_TABLE: Dict[str, List[Tuple[str, OpType]]] = {
+    "input_embedding": [
+        ("LoadWeight", OpType.MEMORY),
+        ("EmbeddingComputation", OpType.COMPUTE),
+    ],
+    "transformer_layer": [
+        ("PPRecv", OpType.COMMUNICATION),
+        ("RMSNormLoadWeight", OpType.MEMORY),
+        ("RMSNormComputation", OpType.COMPUTE),
+        ("GQAQKVLoadWeight", OpType.MEMORY),
+        ("GQAQKVComputation", OpType.COMPUTE),
+        ("GQACoreAttn", OpType.COMPUTE),
+        ("GQAAttnProjLoadWeight", OpType.MEMORY),
+        ("GQAAttnProjComputation", OpType.COMPUTE),
+        ("AttnTPAllReduce", OpType.COMMUNICATION),
+        ("SwiMLPUpProj", OpType.MIXED),
+        ("SwiMLPGateProj", OpType.MIXED),
+        ("SwiMLPDownProj", OpType.MIXED),
+        ("MLPTPAllReduce", OpType.COMMUNICATION),
+        ("PPSend", OpType.COMMUNICATION),
+    ],
+    "output_layer": [
+        ("Logit", OpType.MIXED),
+    ],
+}

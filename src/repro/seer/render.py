@@ -1,0 +1,87 @@
+"""Text rendering of operator timelines (the Figure-12 artifact).
+
+Renders a :class:`~repro.seer.timeline.Timeline` as an ASCII Gantt
+chart — one row per (device, stream), time flowing left to right — so a
+Seer foresight and a testbed timeline can be compared side by side in a
+terminal, the way Figure 12 juxtaposes them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .operators import OpType
+from .timeline import Timeline
+
+__all__ = ["render_timeline", "render_comparison"]
+
+_GLYPHS = {
+    OpType.COMPUTE: "#",
+    OpType.MIXED: "#",
+    OpType.MEMORY: "m",
+    OpType.COMMUNICATION: "=",
+}
+_IDLE = "."
+
+
+def render_timeline(timeline: Timeline, width: int = 72,
+                    devices: Optional[List[str]] = None,
+                    show_scale: bool = True) -> str:
+    """ASCII Gantt chart of a timeline.
+
+    Each character cell covers ``total_time / width`` seconds; the
+    glyph is the type of the operator occupying most of that cell
+    (compute ``#``, memory ``m``, communication ``=``, idle ``.``).
+    """
+    if width < 8:
+        raise ValueError("width must be at least 8 characters")
+    total = timeline.total_time_s
+    if total <= 0:
+        return "(empty timeline)"
+    rows: List[str] = []
+    selected = devices if devices is not None else timeline.devices()
+    label_width = max(
+        (len(f"{device}/{stream}")
+         for device in selected
+         for stream in ("compute", "comm")), default=10)
+
+    for device in selected:
+        for stream in ("compute", "comm"):
+            entries = timeline.entries_for(device, stream)
+            if not entries:
+                continue
+            cells = [_IDLE] * width
+            occupancy = [0.0] * width
+            for entry in entries:
+                lo = int(entry.start_s / total * width)
+                hi = max(lo + 1, int(entry.end_s / total * width))
+                glyph = _GLYPHS[entry.op_type]
+                for cell in range(lo, min(hi, width)):
+                    cell_start = cell * total / width
+                    cell_end = (cell + 1) * total / width
+                    overlap = (min(entry.end_s, cell_end)
+                               - max(entry.start_s, cell_start))
+                    if overlap > occupancy[cell]:
+                        occupancy[cell] = overlap
+                        cells[cell] = glyph
+            label = f"{device}/{stream}".ljust(label_width)
+            rows.append(f"{label} |{''.join(cells)}|")
+
+    if show_scale:
+        scale = f"{'':{label_width}}  0".ljust(label_width + width - 6)
+        scale += f"{total * 1e3:8.2f} ms"
+        rows.append(scale)
+    return "\n".join(rows)
+
+
+def render_comparison(foresight: Timeline, testbed: Timeline,
+                      width: int = 72,
+                      devices: Optional[List[str]] = None) -> str:
+    """Figure-12 style: Seer foresight above, testbed result below."""
+    parts = [
+        "-- Seer foresight " + "-" * max(0, width - 18),
+        render_timeline(foresight, width=width, devices=devices),
+        "-- Testbed result " + "-" * max(0, width - 18),
+        render_timeline(testbed, width=width, devices=devices),
+    ]
+    return "\n".join(parts)

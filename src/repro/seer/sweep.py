@@ -1,0 +1,95 @@
+"""Parallelism-layout search: Seer's parameter-tuning goal (§4.1).
+
+"Tuning the parameters of the model framework, e.g., parallelism and
+overlap strategies ... for optimal performance before practical
+deployment."  Given a GPU budget, enumerate the feasible TP x PP x DP
+(x EP) layouts, discard those that do not fit HBM, forecast each, and
+rank by training throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .forecaster import Seer
+from .memory import estimate_memory
+from .models.config import ModelConfig, ParallelismConfig
+
+__all__ = ["LayoutCandidate", "sweep_parallelism"]
+
+
+@dataclass(frozen=True)
+class LayoutCandidate:
+    """One evaluated layout."""
+
+    parallel: ParallelismConfig
+    tokens_per_s: float
+    iteration_time_s: float
+    memory_gb: float
+    fits: bool
+
+    @property
+    def label(self) -> str:
+        parts = [f"TP{self.parallel.tp}", f"PP{self.parallel.pp}",
+                 f"DP{self.parallel.dp}"]
+        if self.parallel.ep > 1:
+            parts.append(f"EP{self.parallel.ep}")
+        return "x".join(parts)
+
+
+def _divisors(n: int, candidates: Sequence[int]) -> List[int]:
+    return [c for c in candidates if n % c == 0]
+
+
+def sweep_parallelism(seer: Seer, model: ModelConfig,
+                      n_gpus: int,
+                      microbatches: int = 16,
+                      tp_options: Sequence[int] = (1, 2, 4, 8),
+                      pp_options: Sequence[int] = (1, 2, 4, 8, 16),
+                      ep_options: Optional[Sequence[int]] = None,
+                      include_infeasible: bool = False
+                      ) -> List[LayoutCandidate]:
+    """All layouts for a GPU budget, best throughput first.
+
+    Layouts whose per-GPU footprint exceeds the Seer's GPU HBM are
+    excluded unless ``include_infeasible`` is set (they are then kept,
+    flagged, and ranked after every feasible layout).
+    """
+    if n_gpus < 1:
+        raise ValueError("GPU budget must be positive")
+    if ep_options is None:
+        ep_options = (1,) if not model.is_moe else (
+            ep for ep in (1, 2, 4, 8, 16, 32, 64)
+            if ep <= model.n_experts)
+    candidates: List[LayoutCandidate] = []
+    seen = set()
+    for tp in _divisors(n_gpus, tp_options):
+        for pp in pp_options:
+            if model.n_layers % pp or n_gpus % (tp * pp):
+                continue
+            dp = n_gpus // (tp * pp)
+            for ep in ep_options:
+                if model.is_moe and ep > model.n_experts:
+                    continue
+                key = (tp, pp, dp, ep)
+                if key in seen:
+                    continue
+                seen.add(key)
+                parallel = ParallelismConfig(
+                    tp=tp, pp=pp, dp=dp, ep=ep,
+                    microbatches=microbatches)
+                estimate = estimate_memory(model, parallel)
+                fits = estimate.fits(seer.gpu)
+                if not fits and not include_infeasible:
+                    continue
+                forecast = seer.forecast_training(model, parallel)
+                candidates.append(LayoutCandidate(
+                    parallel=parallel,
+                    tokens_per_s=forecast.tokens_per_s,
+                    iteration_time_s=forecast.iteration_time_s,
+                    memory_gb=estimate.total_gb,
+                    fits=fits,
+                ))
+    candidates.sort(key=lambda c: (not c.fits, -c.tokens_per_s))
+    return candidates

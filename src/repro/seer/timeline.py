@@ -1,0 +1,151 @@
+"""Operator-timeline construction via discrete-event simulation (§4.3).
+
+"With operator dependencies and operator execution time, any
+discrete-event simulation tool can be used to construct the timeline of
+the end-to-end LLM training and inference process."  This module is
+that step: operators wait for their dependencies, then run serially on
+their (device, stream) executor — compute/memory ops on the device's
+compute stream, communication on its comm stream, so overlap emerges
+from the dependency structure exactly as it does on real GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..simcore import Resource, Simulator
+from .graph import OperatorGraph
+from .modeling import ExecutionModel
+from .operators import Operator, OpType
+
+__all__ = ["TimelineEntry", "Timeline", "TimelineEngine"]
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One scheduled operator occurrence."""
+
+    op_id: int
+    name: str
+    device: str
+    stream: str
+    op_type: OpType
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class Timeline:
+    """The scheduled execution of an operator graph."""
+
+    graph_name: str
+    entries: List[TimelineEntry] = field(default_factory=list)
+
+    @property
+    def total_time_s(self) -> float:
+        return max((entry.end_s for entry in self.entries), default=0.0)
+
+    def entries_for(self, device: str,
+                    stream: Optional[str] = None) -> List[TimelineEntry]:
+        result = [e for e in self.entries if e.device == device]
+        if stream is not None:
+            result = [e for e in result if e.stream == stream]
+        return sorted(result, key=lambda e: e.start_s)
+
+    def devices(self) -> List[str]:
+        return sorted({entry.device for entry in self.entries})
+
+    def busy_time_s(self, device: str, stream: str = "compute") -> float:
+        return sum(e.duration_s for e in self.entries
+                   if e.device == device and e.stream == stream)
+
+    def comm_time_s(self) -> float:
+        return sum(e.duration_s for e in self.entries
+                   if e.op_type is OpType.COMMUNICATION)
+
+    def compute_time_s(self) -> float:
+        return sum(e.duration_s for e in self.entries
+                   if e.op_type is not OpType.COMMUNICATION)
+
+    def exposed_comm_s(self, device: str) -> float:
+        """Communication time NOT overlapped with compute on a device.
+
+        Computed as intervals where the comm stream is busy and the
+        compute stream idle — the paper's "~15% of communication time
+        remains after overlapping" metric.
+        """
+        comm = [(e.start_s, e.end_s)
+                for e in self.entries_for(device, "comm")]
+        compute = [(e.start_s, e.end_s)
+                   for e in self.entries_for(device, "compute")]
+        exposed = 0.0
+        for start, end in comm:
+            covered = 0.0
+            for c_start, c_end in compute:
+                lo = max(start, c_start)
+                hi = min(end, c_end)
+                if hi > lo:
+                    covered += hi - lo
+            exposed += max(0.0, (end - start) - covered)
+        return exposed
+
+    def utilization(self, device: str) -> float:
+        total = self.total_time_s
+        if total <= 0:
+            return 0.0
+        return self.busy_time_s(device, "compute") / total
+
+
+class TimelineEngine:
+    """Schedule an operator graph under an execution model."""
+
+    def __init__(self, model: ExecutionModel):
+        self.model = model
+
+    def run(self, graph: OperatorGraph) -> Timeline:
+        graph.validate()
+        sim = Simulator()
+        streams: Dict[Tuple[str, str], Resource] = {}
+        done_events = {}
+        timeline = Timeline(graph_name=graph.name)
+
+        def stream_for(op: Operator) -> Resource:
+            key = (op.device, op.stream)
+            if key not in streams:
+                streams[key] = Resource(sim, capacity=1)
+            return streams[key]
+
+        def runner(op: Operator, duration: float):
+            if op.deps:
+                yield sim.all_of([done_events[d] for d in op.deps])
+            resource = stream_for(op)
+            yield resource.request()
+            start = sim.now
+            try:
+                yield sim.timeout(duration)
+            finally:
+                resource.release()
+            op.start_s = start
+            op.duration_s = duration
+            timeline.entries.append(TimelineEntry(
+                op_id=op.op_id, name=op.name, device=op.device,
+                stream=op.stream, op_type=op.op_type, start_s=start,
+                end_s=sim.now))
+            done_events[op.op_id].succeed()
+
+        # Insertion in topological order gives deterministic FIFO
+        # tie-breaking on each stream.
+        for op in graph.topological_order():
+            done_events[op.op_id] = sim.event(name=f"done.{op.op_id}")
+        for op in graph.topological_order():
+            duration = op.duration_s if op.duration_s is not None \
+                else self.model.operator_time(op)
+            sim.process(runner(op, duration), name=op.name)
+        sim.run()
+        timeline.entries.sort(key=lambda e: (e.start_s, e.op_id))
+        return timeline

@@ -1,0 +1,62 @@
+"""Topology builders: Astral and the comparison architectures."""
+
+from .astral import AstralParams, build_astral
+from .blast_radius import (
+    BlastRadius,
+    blast_radius_table,
+    device_blast_radius,
+)
+from .crossdc import CrossDcParams, FiberCostModel, build_cross_dc
+from .portmath import (
+    AsicEnvelope,
+    PortBudget,
+    port_budgets,
+    validate_port_math,
+)
+from .baselines import (
+    ClosParams,
+    build_clos,
+    build_full_interconnect_tier2,
+    build_rail_only,
+)
+from .elements import (
+    Device,
+    DeviceKind,
+    Gpu,
+    Host,
+    Link,
+    Nic,
+    PortRef,
+    Switch,
+    Topology,
+    TopologyError,
+)
+
+__all__ = [
+    "AstralParams",
+    "ClosParams",
+    "Device",
+    "DeviceKind",
+    "Gpu",
+    "Host",
+    "Link",
+    "Nic",
+    "PortRef",
+    "Switch",
+    "Topology",
+    "TopologyError",
+    "build_astral",
+    "build_clos",
+    "build_cross_dc",
+    "CrossDcParams",
+    "FiberCostModel",
+    "AsicEnvelope",
+    "BlastRadius",
+    "blast_radius_table",
+    "device_blast_radius",
+    "PortBudget",
+    "port_budgets",
+    "validate_port_math",
+    "build_full_interconnect_tier2",
+    "build_rail_only",
+]

@@ -1,0 +1,104 @@
+"""Failure blast-radius analysis: what one broken device strands.
+
+The reliability attribute (§2) is about containment: "one critical risk
+... is optical module damage, whose impact can be mitigated at the
+network architecture level."  For each device class this module fails
+one instance and counts the GPUs that lose fabric connectivity on some
+rail — the architecture-level answer to "how bad is one failure?".
+Dual-ToR wiring (P3) makes the answer *zero* for every single-device
+failure in Astral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..network.flows import make_flow, reset_flow_ids
+from ..network.routing import EcmpRouter
+from .elements import DeviceKind, Topology
+
+__all__ = ["BlastRadius", "device_blast_radius", "blast_radius_table"]
+
+
+@dataclass(frozen=True)
+class BlastRadius:
+    """Impact of failing one device."""
+
+    device: str
+    kind: DeviceKind
+    stranded_hosts: int          # hosts with >= 1 unreachable rail
+    stranded_gpus: int           # GPU-rails without connectivity
+    total_hosts: int
+
+    @property
+    def contained(self) -> bool:
+        return self.stranded_gpus == 0
+
+
+def _fail_device(topology: Topology, device: str) -> List[int]:
+    failed = []
+    for link in topology.links_of(device):
+        if link.healthy:
+            topology.fail_link(link.link_id)
+            failed.append(link.link_id)
+    return failed
+
+
+def _restore(topology: Topology, link_ids: List[int]) -> None:
+    for link_id in link_ids:
+        topology.restore_link(link_id)
+
+
+def device_blast_radius(topology: Topology, device: str,
+                        probe_host: Optional[str] = None
+                        ) -> BlastRadius:
+    """Fail *device* (all its links) and count stranded GPU-rails.
+
+    A GPU-rail is stranded when its host cannot reach ``probe_host``
+    (default: the first host that is not the device itself) on that
+    rail.  The device's links are restored before returning.
+    """
+    hosts = topology.hosts()
+    if probe_host is None:
+        probe_host = next(h.name for h in hosts if h.name != device)
+    failed = _fail_device(topology, device)
+    try:
+        router = EcmpRouter(topology)
+        stranded_hosts = 0
+        stranded_gpus = 0
+        reset_flow_ids()
+        for host in hosts:
+            if host.name in (device, probe_host):
+                continue
+            host_hit = False
+            for gpu in host.gpus:
+                flow = make_flow(host.name, probe_host, rail=gpu.rail,
+                                 size_bits=1.0, dst_rail=gpu.rail)
+                if not router.reachable(flow):
+                    stranded_gpus += 1
+                    host_hit = True
+            if host_hit:
+                stranded_hosts += 1
+        return BlastRadius(
+            device=device,
+            kind=topology.devices[device].kind,
+            stranded_hosts=stranded_hosts,
+            stranded_gpus=stranded_gpus,
+            total_hosts=len(hosts),
+        )
+    finally:
+        _restore(topology, failed)
+        reset_flow_ids()
+
+
+def blast_radius_table(topology: Topology) -> Dict[DeviceKind,
+                                                   BlastRadius]:
+    """One representative blast radius per switch class."""
+    table: Dict[DeviceKind, BlastRadius] = {}
+    for kind in (DeviceKind.TOR, DeviceKind.AGG, DeviceKind.CORE):
+        switches = topology.switches(kind)
+        if not switches:
+            continue
+        table[kind] = device_blast_radius(topology, switches[0].name)
+    return table

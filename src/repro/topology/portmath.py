@@ -1,0 +1,111 @@
+"""ASIC port and bandwidth accounting (Figure 3's annotations).
+
+The published wiring hinges on exact port math on 51.2 Tbps switching
+ASICs: a ToR spends 128 x 200G on hosts and 64 x 400G on Aggs; an Agg
+spends 64 x 400G each way; a Core terminates 128 x 400G.  This module
+computes the per-role port/bandwidth budget for any
+:class:`~repro.topology.astral.AstralParams` and checks it against an
+ASIC envelope — the feasibility check a deployment plan must pass
+before anyone orders optics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .astral import AstralParams
+
+__all__ = ["AsicEnvelope", "PortBudget", "port_budgets",
+           "validate_port_math"]
+
+
+@dataclass(frozen=True)
+class AsicEnvelope:
+    """Capability envelope of the switching silicon."""
+
+    capacity_tbps: float = 51.2
+    max_logical_ports: int = 512   # SerDes/breakout bound
+
+    def admits(self, budget: "PortBudget") -> bool:
+        return (budget.total_gbps <= self.capacity_tbps * 1000 + 1e-6
+                and budget.total_ports <= self.max_logical_ports)
+
+
+@dataclass(frozen=True)
+class PortBudget:
+    """One switch role's port usage."""
+
+    role: str
+    down_ports: int
+    down_gbps_per_port: float
+    up_ports: int
+    up_gbps_per_port: float
+
+    @property
+    def down_gbps(self) -> float:
+        return self.down_ports * self.down_gbps_per_port
+
+    @property
+    def up_gbps(self) -> float:
+        return self.up_ports * self.up_gbps_per_port
+
+    @property
+    def total_gbps(self) -> float:
+        return self.down_gbps + self.up_gbps
+
+    @property
+    def total_ports(self) -> int:
+        return self.down_ports + self.up_ports
+
+
+def port_budgets(params: AstralParams | None = None
+                 ) -> Dict[str, PortBudget]:
+    """Per-role port budgets implied by the wiring rules."""
+    params = params or AstralParams()
+    tor = PortBudget(
+        role="tor",
+        down_ports=params.hosts_per_block,
+        down_gbps_per_port=params.nic_port_gbps,
+        up_ports=params.aggs_per_group,
+        up_gbps_per_port=params.tor_agg_gbps,
+    )
+    agg_uplink_gbps = (params.blocks_per_pod * params.tor_agg_gbps
+                       / params.cores_per_group
+                       / params.tier3_oversubscription)
+    agg = PortBudget(
+        role="agg",
+        down_ports=params.blocks_per_pod,
+        down_gbps_per_port=params.tor_agg_gbps,
+        up_ports=params.cores_per_group,
+        up_gbps_per_port=agg_uplink_gbps,
+    )
+    # A core group serves the same-rank Aggs of every rail, group, pod.
+    aggs_per_core = (params.pods * params.rails * params.tor_groups)
+    core = PortBudget(
+        role="core",
+        down_ports=aggs_per_core,
+        down_gbps_per_port=agg_uplink_gbps,
+        up_ports=0,
+        up_gbps_per_port=0.0,
+    )
+    return {"tor": tor, "agg": agg, "core": core}
+
+
+def validate_port_math(params: AstralParams | None = None,
+                       envelope: AsicEnvelope | None = None
+                       ) -> List[str]:
+    """All violations of the ASIC envelope (empty = deployable)."""
+    params = params or AstralParams()
+    envelope = envelope or AsicEnvelope()
+    problems: List[str] = []
+    for role, budget in port_budgets(params).items():
+        if budget.total_gbps > envelope.capacity_tbps * 1000 + 1e-6:
+            problems.append(
+                f"{role}: {budget.total_gbps / 1000:.1f} Tbps exceeds "
+                f"the {envelope.capacity_tbps} Tbps ASIC")
+        if budget.total_ports > envelope.max_logical_ports:
+            problems.append(
+                f"{role}: {budget.total_ports} logical ports exceed "
+                f"{envelope.max_logical_ports}")
+    return problems

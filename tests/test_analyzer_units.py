@@ -1,0 +1,116 @@
+"""Unit tests for the analyzer building blocks: cross-host comparison,
+path overlap, and INT hotspot detection (§3.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import FiveTuple
+from repro.monitoring import (
+    CrossHostComparison,
+    IntPingRecord,
+    best_failure_point,
+    find_hotspots,
+    find_outliers,
+    overlap_devices,
+    robust_zscores,
+)
+
+
+class TestRobustZscores:
+    def test_empty(self):
+        assert robust_zscores({}) == {}
+
+    def test_uniform_values_all_zero(self):
+        scores = robust_zscores({"a": 1.0, "b": 1.0, "c": 1.0})
+        assert all(z == 0.0 for z in scores.values())
+
+    def test_single_outlier_flagged(self):
+        metric = {f"h{i}": 0.50 + 0.001 * i for i in range(8)}
+        metric["h_bad"] = 5.0
+        outliers = find_outliers(metric, threshold=3.5)
+        assert outliers == ["h_bad"]
+
+    def test_low_outlier_direction(self):
+        metric = {f"h{i}": 1.0 + 0.01 * i for i in range(8)}
+        metric["h_low"] = 0.01
+        assert find_outliers(metric, direction="low") == ["h_low"]
+        assert find_outliers(metric, direction="high") == []
+        assert find_outliers(metric, direction="both") == ["h_low"]
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            find_outliers({"a": 1.0}, direction="sideways")
+
+    @given(st.lists(st.floats(min_value=0.4, max_value=0.6),
+                    min_size=5, max_size=20))
+    @settings(max_examples=30)
+    def test_huge_deviant_always_flagged(self, values):
+        """Threshold-agnostic property: whatever the majority's own
+        spread, a host 200x slower is always among the lagging set."""
+        metric = {f"h{i}": v for i, v in enumerate(values)}
+        metric["deviant"] = 100.0
+        comparison = CrossHostComparison()
+        assert "deviant" in comparison.lagging_hosts(metric)
+
+
+class TestPathOverlap:
+    def test_shared_interior_device_wins(self):
+        paths = [
+            ("h0", "t0", "a1", "t2", "h5"),
+            ("h1", "t0", "a1", "t3", "h6"),
+            ("h2", "t1", "a1", "t4", "h7"),
+        ]
+        ranked = overlap_devices(paths)
+        assert ranked[0] == ("a1", 3)
+
+    def test_endpoints_excluded(self):
+        paths = [("h0", "t0", "h1"), ("h0", "t1", "h1")]
+        devices = dict(overlap_devices(paths))
+        assert "h0" not in devices
+        assert "h1" not in devices
+
+    def test_best_failure_point_coverage_guard(self):
+        paths = [
+            ("h0", "t0", "h1"),
+            ("h2", "t1", "h3"),
+            ("h4", "t2", "h5"),
+        ]
+        assert best_failure_point(paths) is None
+
+    def test_best_failure_point_empty(self):
+        assert best_failure_point([]) is None
+
+    def test_duplicate_device_in_one_path_counted_once(self):
+        paths = [("h0", "t0", "t0", "h1"), ("h2", "t0", "h3")]
+        assert dict(overlap_devices(paths))["t0"] == 2
+
+
+class TestIntHotspot:
+    def _record(self, latencies):
+        devices = tuple(f"d{i}" for i in range(len(latencies) + 1))
+        return IntPingRecord(0.0, FiveTuple("a", "b", 1), devices,
+                             tuple(latencies))
+
+    def test_normal_path_no_hotspots(self):
+        assert find_hotspots([self._record([0.6, 0.6, 0.6])]) == []
+
+    def test_congested_hop_found(self):
+        """The Figure 9c pattern: 0.6 / 179 / 266 us."""
+        hotspots = find_hotspots([self._record([0.6, 179.0, 266.0])])
+        assert len(hotspots) == 2
+        assert hotspots[0].latency_us == 266.0
+        assert hotspots[0].upstream == "d2"
+        assert hotspots[0].downstream == "d3"
+
+    def test_sorted_worst_first(self):
+        hotspots = find_hotspots([
+            self._record([100.0, 0.6]),
+            self._record([0.6, 900.0]),
+        ])
+        assert [h.latency_us for h in hotspots] == [900.0, 100.0]
+
+    def test_threshold_respected(self):
+        hotspots = find_hotspots([self._record([40.0, 45.0])],
+                                 latency_threshold_us=50.0)
+        assert hotspots == []

@@ -1,0 +1,68 @@
+"""Tests for failure blast-radius analysis (the P3 reliability claim)."""
+
+import pytest
+
+from repro.topology import (
+    AstralParams,
+    DeviceKind,
+    blast_radius_table,
+    build_astral,
+    device_blast_radius,
+)
+
+
+@pytest.fixture(scope="module")
+def astral():
+    return build_astral(AstralParams.tiny())
+
+
+class TestAstralContainment:
+    def test_every_single_switch_failure_contained(self, astral):
+        """P3 + path diversity: no single ToR/Agg/Core failure strands
+        any GPU."""
+        for kind, radius in blast_radius_table(astral).items():
+            assert radius.contained, kind
+            assert radius.stranded_gpus == 0
+
+    def test_links_restored_after_analysis(self, astral):
+        tor = astral.switches(DeviceKind.TOR)[0]
+        device_blast_radius(astral, tor.name)
+        assert all(link.healthy for link in astral.links_of(tor.name))
+
+    def test_double_tor_failure_strands_the_rail(self, astral):
+        """Losing BOTH same-rail ToRs of a block is the failure P3
+        cannot absorb: that block's rail goes dark."""
+        g0 = "p0.b0.r0.g0.tor"
+        g1 = "p0.b0.r0.g1.tor"
+        failed = []
+        for tor in (g0,):
+            for link in astral.links_of(tor):
+                astral.fail_link(link.link_id)
+                failed.append(link.link_id)
+        radius = device_blast_radius(astral, g1,
+                                     probe_host="p1.b0.h0")
+        for link_id in failed:
+            astral.restore_link(link_id)
+        assert radius.stranded_gpus > 0
+
+    def test_host_failure_affects_only_itself(self, astral):
+        radius = device_blast_radius(astral, "p0.b0.h0")
+        assert radius.stranded_gpus == 0  # peers unaffected
+
+
+class TestComparisonWithSingleTor:
+    def test_single_tor_design_strands_a_block_rail(self):
+        """The single-ToR equivalent (one NIC port) loses a whole
+        block's rail per ToR failure — the design IBM/Alibaba/Astral
+        all moved away from."""
+        params = AstralParams(
+            pods=2, blocks_per_pod=2, hosts_per_block=2,
+            gpus_per_host=2, aggs_per_group=2, cores_per_group=2,
+            nic_ports=1)
+        topo = build_astral(params)
+        tor = topo.switches(DeviceKind.TOR)[0]
+        radius = device_blast_radius(topo, tor.name,
+                                     probe_host="p1.b0.h0")
+        assert not radius.contained
+        # Every host of that block loses the ToR's rail.
+        assert radius.stranded_gpus == params.hosts_per_block

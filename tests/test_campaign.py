@@ -1,0 +1,104 @@
+"""Tests for the fault-injection campaign runner and scoring."""
+
+import pytest
+
+from repro.monitoring import (
+    CampaignRecord,
+    Diagnosis,
+    FaultCampaign,
+    FaultSpec,
+    Manifestation,
+    RootCause,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    return FaultCampaign(seed=11).run(25)
+
+
+class TestCampaignRun:
+    def test_runs_requested_fault_count(self, campaign_result):
+        assert campaign_result.n_faults == 25
+
+    def test_every_record_has_a_diagnosis(self, campaign_result):
+        for record in campaign_result.records:
+            assert record.diagnosis is not None
+            assert record.result.store.nccl_timeline
+
+    def test_high_localization_accuracy(self, campaign_result):
+        """The hierarchical analyzer localizes the vast majority of
+        injected faults (the paper's operational claim)."""
+        assert campaign_result.localization_accuracy >= 0.85
+
+    def test_detection_rate_high(self, campaign_result):
+        assert campaign_result.detection_rate >= 0.8
+
+    def test_mttlf_samples_accumulated(self, campaign_result):
+        assert len(campaign_result.mttlf.samples) == 25
+
+    def test_by_manifestation_partition(self, campaign_result):
+        buckets = campaign_result.by_manifestation()
+        assert sum(len(v) for v in buckets.values()) == 25
+
+    def test_deterministic(self):
+        a = FaultCampaign(seed=3).run(5)
+        b = FaultCampaign(seed=3).run(5)
+        assert [r.fault for r in a.records] \
+            == [r.fault for r in b.records]
+        assert [r.localized_correctly for r in a.records] \
+            == [r.localized_correctly for r in b.records]
+
+
+class TestScoring:
+    def _record(self, fault, diagnosis, endpoints=()):
+        # Result is unused by the scoring properties under test.
+        return CampaignRecord(fault=fault, result=None,
+                              diagnosis=diagnosis,
+                              link_endpoints=endpoints)
+
+    def test_exact_device_and_cause_match(self):
+        fault = FaultSpec(RootCause.GPU_HARDWARE,
+                          Manifestation.FAIL_STOP, "h0")
+        diagnosis = Diagnosis(job="j", root_cause_device="h0",
+                              inferred_cause="gpu-hardware")
+        assert self._record(fault, diagnosis).localized_correctly
+
+    def test_wrong_device_fails(self):
+        fault = FaultSpec(RootCause.GPU_HARDWARE,
+                          Manifestation.FAIL_STOP, "h0")
+        diagnosis = Diagnosis(job="j", root_cause_device="h1",
+                              inferred_cause="gpu-hardware")
+        assert not self._record(fault, diagnosis).localized_correctly
+
+    def test_link_endpoint_accepted(self):
+        fault = FaultSpec(RootCause.OPTICAL_FIBER,
+                          Manifestation.FAIL_STOP, "link:5")
+        diagnosis = Diagnosis(job="j", root_cause_device="tor0",
+                              inferred_cause="optical-fiber")
+        record = self._record(fault, diagnosis,
+                              endpoints=("tor0", "agg0"))
+        assert record.localized_correctly
+
+    def test_job_scoped_cause_matches_on_label(self):
+        fault = FaultSpec(RootCause.USER_CODE,
+                          Manifestation.FAIL_STOP, "job0")
+        diagnosis = Diagnosis(job="j", inferred_cause="user-code")
+        assert self._record(fault, diagnosis).localized_correctly
+
+    def test_ccl_bug_accepts_abnormal_host_listing(self):
+        fault = FaultSpec(RootCause.CCL_BUG, Manifestation.FAIL_HANG,
+                          "h3")
+        diagnosis = Diagnosis(job="j", inferred_cause="ccl-bug",
+                              abnormal_hosts=["h3"])
+        assert self._record(fault, diagnosis).localized_correctly
+
+    def test_manifestation_detection(self):
+        fault = FaultSpec(RootCause.GPU_HARDWARE,
+                          Manifestation.FAIL_STOP, "h0")
+        hit = Diagnosis(job="j",
+                        manifestation=Manifestation.FAIL_STOP)
+        miss = Diagnosis(job="j",
+                         manifestation=Manifestation.FAIL_SLOW)
+        assert self._record(fault, hit).manifestation_detected
+        assert not self._record(fault, miss).manifestation_detected

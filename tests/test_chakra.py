@@ -1,0 +1,112 @@
+"""Tests for the profiler-trace -> operator-graph conversion."""
+
+import json
+
+import pytest
+
+from repro.seer import (
+    CommKind,
+    GraphError,
+    NetworkSuite,
+    OpType,
+    Seer,
+    classify_kernel,
+    from_pytorch_trace,
+)
+
+
+def _trace(events):
+    return json.dumps({"traceEvents": events})
+
+
+def _event(name, ts, dur, cat="kernel", stream=7, **args):
+    return {"name": name, "cat": cat, "ph": "X", "ts": ts,
+            "dur": dur, "args": {"stream": stream, **args}}
+
+
+SAMPLE = _trace([
+    _event("ampere_sgemm_128x64", 1000, 250),
+    _event("Memcpy HtoD", 1300, 40, cat="gpu_memcpy"),
+    _event("ncclDevKernel_AllReduce_Sum_f16", 1400, 300, stream=20,
+           bytes=8.0e6, group_size=8),
+    _event("elementwise_kernel", 1450, 120),
+    {"name": "aten::linear", "cat": "cpu_op", "ph": "X", "ts": 990,
+     "dur": 900, "args": {}},  # CPU event: dropped
+])
+
+
+class TestClassification:
+    def test_nccl_kinds(self):
+        cases = {
+            "ncclDevKernel_AllReduce_Sum_f16": CommKind.ALL_REDUCE,
+            "ncclKernel_ReduceScatter_RING": CommKind.REDUCE_SCATTER,
+            "ncclDevKernel_AllGather": CommKind.ALL_GATHER,
+            "ncclDevKernel_AllToAll": CommKind.ALL_TO_ALL,
+            "ncclKernel_SendRecv": CommKind.SEND_RECV,
+        }
+        for name, expected in cases.items():
+            op_type, kind = classify_kernel(name, "kernel")
+            assert op_type is OpType.COMMUNICATION
+            assert kind is expected, name
+
+    def test_memcpy_is_memory(self):
+        op_type, kind = classify_kernel("Memcpy DtoD", "gpu_memcpy")
+        assert op_type is OpType.MEMORY
+        assert kind is None
+
+    def test_gemm_is_compute(self):
+        op_type, _ = classify_kernel("ampere_h16816gemm", "kernel")
+        assert op_type is OpType.COMPUTE
+
+
+class TestConversion:
+    def test_cpu_events_dropped(self):
+        graph = from_pytorch_trace(SAMPLE)
+        assert len(graph) == 4
+        assert all("aten" not in op.name for op in graph)
+
+    def test_durations_preserved_in_seconds(self):
+        graph = from_pytorch_trace(SAMPLE)
+        gemm = next(op for op in graph if "sgemm" in op.name)
+        assert gemm.duration_s == pytest.approx(250e-6)
+
+    def test_same_stream_serialized(self):
+        graph = from_pytorch_trace(SAMPLE)
+        memcpy = next(op for op in graph if "Memcpy" in op.name)
+        gemm = next(op for op in graph if "sgemm" in op.name)
+        assert gemm.op_id in memcpy.deps
+
+    def test_comm_depends_on_compute_frontier(self):
+        graph = from_pytorch_trace(SAMPLE)
+        nccl = next(op for op in graph if "nccl" in op.name)
+        # Frontier at AllReduce launch = the memcpy (ends at 1340).
+        memcpy = next(op for op in graph if "Memcpy" in op.name)
+        assert memcpy.op_id in nccl.deps
+
+    def test_comm_attrs_parsed(self):
+        graph = from_pytorch_trace(SAMPLE)
+        nccl = next(op for op in graph if "nccl" in op.name)
+        assert nccl.comm_bytes == pytest.approx(8.0e6)
+        assert nccl.group_size == 8
+        assert nccl.stream == "comm"
+
+    def test_replay_through_timeline(self):
+        """Measured durations replay through the DES engine — the
+        'verify in-production results' use of a converted graph."""
+        graph = from_pytorch_trace(SAMPLE)
+        seer = Seer(gpu="H800", network=NetworkSuite(),
+                    corrected=False)
+        timeline = seer.forecast_graph(graph)
+        assert len(timeline.entries) == len(graph)
+        # Serial compute-stream time: 250 + 40 + 120 us, plus the
+        # overlapped 300 us AllReduce.
+        assert timeline.total_time_s >= 410e-6
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(GraphError):
+            from_pytorch_trace(_trace([]))
+
+    def test_bare_event_list_accepted(self):
+        graph = from_pytorch_trace(json.dumps([
+            _event("kernel_a", 0, 100)]))
+        assert len(graph) == 1

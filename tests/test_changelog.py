@@ -1,0 +1,106 @@
+"""Tests for maintenance-record change correlation (the §5 driver
+war story)."""
+
+import pytest
+
+from repro.monitoring import (
+    ChangeRecord,
+    FaultSpec,
+    HierarchicalAnalyzer,
+    JobConfig,
+    MaintenanceLog,
+    Manifestation,
+    MonitoredTrainingJob,
+    RootCause,
+)
+from repro.network import Fabric, reset_flow_ids
+from repro.topology import AstralParams, build_astral
+
+DAY = 86400.0
+HOSTS = tuple(f"p0.b0.h{i}" for i in range(6))
+
+
+def _log_with_driver_rollout():
+    log = MaintenanceLog()
+    log.record(ChangeRecord(0.0, "cabling",
+                            "re-seated optics in pod 3",
+                            hosts=["pX.bY.hZ"]))
+    log.record(ChangeRecord(5 * DAY, "driver",
+                            "NVIDIA driver 535.161 fleet rollout"))
+    log.record(ChangeRecord(20 * DAY, "nccl",
+                            "NCCL 2.21.5 on tenant B",
+                            hosts=["p9.b9.h9"]))
+    return log
+
+
+class TestSuspectRanking:
+    def test_changes_after_onset_excluded(self):
+        log = _log_with_driver_rollout()
+        suspects = log.suspects(onset_s=6 * DAY, affected_hosts=HOSTS)
+        descriptions = [s.change.description for s in suspects]
+        assert all("NCCL" not in d for d in descriptions)
+
+    def test_stale_changes_age_out(self):
+        log = _log_with_driver_rollout()
+        suspects = log.suspects(onset_s=30 * DAY,
+                                affected_hosts=HOSTS)
+        assert all(s.change.category != "cabling" for s in suspects)
+
+    def test_fleet_wide_change_covers_everything(self):
+        log = _log_with_driver_rollout()
+        suspects = log.suspects(onset_s=6 * DAY, affected_hosts=HOSTS)
+        driver = next(s for s in suspects
+                      if s.change.category == "driver")
+        assert driver.coverage == 1.0
+
+    def test_scoped_change_scores_by_overlap(self):
+        log = MaintenanceLog()
+        log.record(ChangeRecord(1 * DAY, "firmware", "NIC fw on h0-h2",
+                                hosts=list(HOSTS[:3])))
+        suspects = log.suspects(onset_s=2 * DAY,
+                                affected_hosts=HOSTS)
+        assert suspects[0].coverage == pytest.approx(0.5)
+
+    def test_only_suspicious_change_found(self):
+        """The §5 outcome: the driver rollout is the only change that
+        covers all affected hosts and dominates the ranking."""
+        log = _log_with_driver_rollout()
+        suspect = log.only_suspicious_change(onset_s=6 * DAY,
+                                             affected_hosts=HOSTS)
+        assert suspect is not None
+        assert suspect.change.category == "driver"
+
+    def test_no_clear_suspect_when_crowded(self):
+        log = MaintenanceLog()
+        log.record(ChangeRecord(5 * DAY, "driver", "driver A"))
+        log.record(ChangeRecord(5.1 * DAY, "nccl", "nccl B"))
+        assert log.only_suspicious_change(6 * DAY, HOSTS) is None
+
+    def test_empty_log(self):
+        assert MaintenanceLog().suspects(10.0) == []
+        assert MaintenanceLog().only_suspicious_change(10.0) is None
+
+
+class TestDriverWarStory:
+    def test_undiagnosable_hang_traced_to_rollout(self):
+        """Replay §5: a fail-hang with no abnormal logs defeats the
+        hierarchical analyzer; the maintenance log names the rollout."""
+        reset_flow_ids()
+        fabric = Fabric(build_astral(AstralParams.small()))
+        fault = FaultSpec(RootCause.CCL_BUG, Manifestation.FAIL_HANG,
+                          HOSTS[0], at_iteration=2)
+        result = MonitoredTrainingJob(
+            fabric, JobConfig(hosts=HOSTS, iterations=5),
+            fault=fault).run()
+        diagnosis = HierarchicalAnalyzer(
+            result.store, result.expected_compute_s,
+            result.expected_comm_s).diagnose("job0")
+        # Online analysis stops at "library-level hang, no device".
+        assert diagnosis.root_cause_device is None
+
+        log = _log_with_driver_rollout()
+        suspect = log.only_suspicious_change(
+            onset_s=6 * DAY, affected_hosts=diagnosis.abnormal_hosts
+            or HOSTS)
+        assert suspect is not None
+        assert "driver" in suspect.change.category

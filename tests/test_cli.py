@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_exits(self):
+        with pytest.raises(SystemExit):
+            main(["forecast", "--model", "bert-base"])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        # argparse stores subparser choices on the last action.
+        sub = next(a for a in parser._actions
+                   if hasattr(a, "choices") and a.choices)
+        assert set(sub.choices) == {
+            "describe", "forecast", "inference", "memory", "pue",
+            "sweep", "taxonomy", "overhead", "goodput",
+            "diagnose-demo",
+        }
+
+
+class TestCommands:
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "total_gpus" in out
+
+    def test_describe_paper_scale(self, capsys):
+        assert main(["describe", "--paper-scale"]) == 0
+        out = capsys.readouterr().out
+        assert "524,288" in out
+
+    def test_forecast(self, capsys):
+        assert main(["forecast", "--model", "llama3-70b", "--tp", "4",
+                     "--pp", "2", "--dp", "2",
+                     "--microbatches", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration time" in out
+        assert "deviation" in out
+
+    def test_forecast_uncorrected_skips_deviation(self, capsys):
+        assert main(["forecast", "--model", "llama3-70b", "--tp", "4",
+                     "--pp", "2", "--dp", "1", "--microbatches", "4",
+                     "--uncorrected"]) == 0
+        out = capsys.readouterr().out
+        assert "deviation" not in out
+
+    def test_inference(self, capsys):
+        assert main(["inference", "--model", "llama3-70b",
+                     "--batch", "4", "--context", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "decode tokens/s" in out
+
+    def test_memory(self, capsys):
+        assert main(["memory", "--model", "gpt3-175b", "--tp", "8",
+                     "--pp", "8", "--dp", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "optimizer" in out
+        assert "GB" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--model", "llama3-70b", "--gpus", "64",
+                     "--microbatches", "8", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top layouts" in out
+        assert "tok/s" in out
+
+    def test_sweep_no_feasible_layout(self, capsys):
+        # 70B params on 16 GPUs cannot fit 80 GB parts.
+        assert main(["sweep", "--model", "llama3-70b", "--gpus", "16",
+                     "--microbatches", "4"]) == 1
+        assert "no feasible layout" in capsys.readouterr().out
+
+    def test_pue(self, capsys):
+        assert main(["pue"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement vs traditional" in out
+
+    def test_taxonomy(self, capsys):
+        assert main(["taxonomy", "--count", "200", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fail-stop" in out
+        assert "host-env-config" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--gpus", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "INT storage" in out
+
+    def test_goodput(self, capsys):
+        assert main(["goodput", "--gpus", "1024", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "MTBF" in out
+        assert "8,192" in out
+
+    def test_diagnose_demo(self, capsys):
+        assert main(["diagnose-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "localized to" in out
+        assert "gpu-hardware" in out
+
+
+class TestTopLevelPackage:
+    def test_lazy_exports(self):
+        import repro
+        assert repro.AstralParams().total_gpus == 524_288
+        assert repro.Seer is not None
+        assert repro.AstralInfrastructure is not None
+        assert repro.FaultSpec is not None
+
+    def test_unknown_attribute_raises(self):
+        import repro
+        with pytest.raises(AttributeError):
+            repro.not_a_thing

@@ -1,0 +1,141 @@
+"""Tests for the cooling substrate (paper §2.2, Figure 5, §5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cooling import (
+    AirCoolingPlant,
+    AirflowConfig,
+    COOLING_GENERATIONS,
+    ColdPlateLoop,
+    ImmersionCooling,
+    IntegratedCoolingSystem,
+    delivered_fractions,
+    rack_temperatures,
+    temperature_spread,
+)
+
+
+class TestAirflow:
+    def test_velocity_inverse_to_cross_section(self):
+        """The fluid-dynamics principle the paper invokes: v = Q / A."""
+        side = AirflowConfig.side()
+        bottom = AirflowConfig.bottom_up()
+        assert side.duct_velocity_ms > bottom.duct_velocity_ms
+        ratio = side.cross_section_m2 / bottom.cross_section_m2
+        assert side.duct_velocity_ms * ratio \
+            == pytest.approx(bottom.duct_velocity_ms)
+
+    def test_side_spread_about_one_degree(self):
+        """Figure 5a: inter-rack variation reaching ~1 degC."""
+        loads = np.full(16, 20_000.0)
+        spread = temperature_spread(loads, AirflowConfig.side())
+        assert 0.8 < spread < 1.3
+
+    def test_bottom_up_spread_about_point_one_degree(self):
+        """Figure 5b: only ~0.11 degC across all racks."""
+        loads = np.full(16, 20_000.0)
+        spread = temperature_spread(loads, AirflowConfig.bottom_up())
+        assert 0.05 < spread < 0.2
+
+    def test_bottom_up_lowers_overall_temperature(self):
+        loads = np.full(16, 20_000.0)
+        side = rack_temperatures(loads, AirflowConfig.side())
+        bottom = rack_temperatures(loads, AirflowConfig.bottom_up())
+        assert np.max(bottom) < np.max(side)
+
+    def test_fractions_bounded(self):
+        for config in (AirflowConfig.side(), AirflowConfig.bottom_up()):
+            fractions = delivered_fractions(32, config)
+            assert np.all(fractions > 0.0)
+            assert np.all(fractions <= 1.0)
+
+    def test_zero_racks_rejected(self):
+        with pytest.raises(ValueError):
+            delivered_fractions(0, AirflowConfig.side())
+
+    @given(load=st.floats(min_value=1_000.0, max_value=60_000.0))
+    @settings(max_examples=25)
+    def test_hotter_racks_with_more_load(self, load):
+        base = rack_temperatures(np.full(8, load), AirflowConfig.side())
+        hotter = rack_temperatures(np.full(8, load * 1.5),
+                                   AirflowConfig.side())
+        assert np.all(hotter > base)
+
+
+class TestLiquid:
+    def test_cold_plate_beats_air_cop(self):
+        assert ColdPlateLoop().cop > AirCoolingPlant().cop
+
+    def test_extraction_bounded(self):
+        loop = ColdPlateLoop()
+        assert loop.extractable_watts(1000.0) \
+            == pytest.approx(1000.0 * loop.max_extraction_frac)
+
+    def test_negative_heat_rejected(self):
+        with pytest.raises(ValueError):
+            ColdPlateLoop().cooling_power_watts(-1.0)
+
+    def test_immersion_rejected_on_operational_grounds(self):
+        """The paper's selection criteria: immersion has the better COP
+        but fails ecosystem/maintenance/compatibility checks."""
+        immersion = ImmersionCooling()
+        assert immersion.cop > ColdPlateLoop().cop
+        assert not immersion.mature_ecosystem
+        assert not immersion.easy_maintenance
+        assert not immersion.compatible_with_air_cooled_fleet
+
+
+class TestIntegrated:
+    def test_split_respects_extraction_limit(self):
+        system = IntegratedCoolingSystem()
+        liquid, air = system.split_heat(1000.0, liquid_ratio=0.9)
+        # 0.9 exceeds the cold plates' 0.75 extraction cap.
+        assert liquid == pytest.approx(750.0)
+        assert air == pytest.approx(250.0)
+
+    def test_cooling_power_less_than_air_only(self):
+        system = IntegratedCoolingSystem()
+        air_only = system.air.cooling_power_watts(10_000.0)
+        integrated = system.cooling_power_watts(10_000.0,
+                                                liquid_ratio=0.7)
+        assert integrated < air_only
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            IntegratedCoolingSystem().split_heat(1000.0, 1.5)
+
+    def test_full_capacity_source_adapts_to_any_split(self):
+        """The design requirement: the shared primary cold source holds
+        100% capacity, 'otherwise the cooling system cannot adapt to
+        different workload patterns'."""
+        system = IntegratedCoolingSystem()
+        for ratio in (0.0, 0.3, 0.7, 1.0):
+            assert system.can_adapt(ratio)
+
+    def test_undersized_source_cannot_adapt(self):
+        system = IntegratedCoolingSystem(
+            primary_source_capacity_frac=0.6)
+        assert not system.can_adapt(0.0)   # all-air needs 100% air side
+        assert not system.can_adapt(1.0)
+        assert system.can_adapt(0.5)
+
+    def test_effective_cop_between_air_and_liquid(self):
+        system = IntegratedCoolingSystem()
+        cop = system.effective_cop(10_000.0, liquid_ratio=0.7)
+        assert system.air.cop < cop < system.liquid.cop
+
+
+class TestLegacyGenerations:
+    def test_three_pre_llm_generations(self):
+        assert [g.year for g in COOLING_GENERATIONS] == [2006, 2010, 2018]
+
+    def test_cop_improves_over_time(self):
+        cops = [g.cop for g in COOLING_GENERATIONS]
+        assert cops == sorted(cops)
+
+    def test_negative_heat_rejected(self):
+        with pytest.raises(ValueError):
+            COOLING_GENERATIONS[0].cooling_power_watts(-5.0)

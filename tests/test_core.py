@@ -1,0 +1,205 @@
+"""Tests for the core facade: placement and the infrastructure object."""
+
+import pytest
+
+from repro.core import (
+    AllocationError,
+    AstralInfrastructure,
+    GpuAllocator,
+    PlacementPolicy,
+)
+from repro.monitoring import FaultSpec, Manifestation, RootCause
+from repro.network import reset_flow_ids
+from repro.seer import LLAMA3_70B, ParallelismConfig
+from repro.topology import AstralParams, build_astral
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+class TestGpuAllocator:
+    @pytest.fixture()
+    def allocator(self):
+        return GpuAllocator(build_astral(AstralParams.small()))
+
+    def test_packed_stays_in_one_block(self, allocator):
+        allocation = allocator.allocate("j", 4, PlacementPolicy.PACKED)
+        blocks = {
+            (allocator.topology.devices[h].pod,
+             allocator.topology.devices[h].block)
+            for h in allocation.hosts
+        }
+        assert len(blocks) == 1
+
+    def test_fragmented_spans_pods(self, allocator):
+        allocator.allocate("j", 8, PlacementPolicy.FRAGMENTED)
+        assert allocator.pods_spanned("j") == 2
+
+    def test_double_allocation_rejected(self, allocator):
+        allocator.allocate("j", 2)
+        with pytest.raises(AllocationError):
+            allocator.allocate("j", 2)
+
+    def test_exhaustion_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.allocate("j", 10_000)
+
+    def test_release_returns_hosts(self, allocator):
+        before = allocator.free_hosts
+        allocator.allocate("j", 4)
+        assert allocator.free_hosts == before - 4
+        allocator.release("j")
+        assert allocator.free_hosts == before
+
+    def test_release_unknown_job(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.release("ghost")
+
+    def test_endpoints_on_rail(self, allocator):
+        allocation = allocator.allocate("j", 3)
+        endpoints = allocation.endpoints(rail=2)
+        assert all(e.rail == 2 for e in endpoints)
+        assert len(endpoints) == 3
+
+    def test_all_endpoints_cover_every_gpu(self, allocator):
+        allocation = allocator.allocate("j", 2)
+        assert len(allocation.all_endpoints()) == allocation.n_gpus
+
+
+class TestInfrastructure:
+    @pytest.fixture(scope="class")
+    def infra(self):
+        return AstralInfrastructure(params=AstralParams.small())
+
+    def test_describe_scale(self, infra):
+        info = infra.describe()
+        assert info["total_gpus"] == AstralParams.small().total_gpus
+        assert info["tier3_oversubscription"] == 1.0
+
+    def test_forecast_training(self, infra):
+        forecast = infra.forecast_training(
+            LLAMA3_70B, ParallelismConfig(tp=4, pp=2, dp=2,
+                                          microbatches=4))
+        assert forecast.iteration_time_s > 0
+
+    def test_forecast_inference(self, infra):
+        forecast = infra.forecast_inference(
+            LLAMA3_70B, ParallelismConfig(tp=4, pp=1, dp=1),
+            batch=4, context_len=1024)
+        assert forecast.decode_tokens_per_s > 0
+
+    def test_monitored_job_and_diagnosis_loop(self):
+        infra = AstralInfrastructure(params=AstralParams.small())
+        allocation = infra.allocate("train1", 4)
+        fault = FaultSpec(RootCause.GPU_HARDWARE,
+                          Manifestation.FAIL_STOP,
+                          allocation.hosts[0], at_iteration=2)
+        result = infra.run_monitored_job("train1", fault=fault,
+                                         iterations=4)
+        assert result.aborted
+        diagnosis = infra.diagnose("train1")
+        assert diagnosis.root_cause_device == allocation.hosts[0]
+        assert diagnosis.inferred_cause == "gpu-hardware"
+
+    def test_diagnose_without_run_raises(self, infra):
+        with pytest.raises(ValueError):
+            infra.diagnose("never-ran")
+
+    def test_run_without_allocation_raises(self, infra):
+        with pytest.raises(ValueError):
+            infra.run_monitored_job("ghost")
+
+    def test_commission_clean_fleet(self):
+        infra = AstralInfrastructure(params=AstralParams.tiny())
+        hosts = [h.name for h in infra.topology.hosts()][:4]
+        report = infra.commission(hosts)
+        assert report.ready_for_delivery
+
+    def test_commission_catches_defect(self):
+        from repro.monitoring import HostHealth
+        infra = AstralInfrastructure(params=AstralParams.tiny())
+        hosts = [h.name for h in infra.topology.hosts()][:4]
+        report = infra.commission(
+            hosts, health={hosts[1]: HostHealth(gpu_defect=True)})
+        assert not report.ready_for_delivery
+        assert report.stress_failures[0].host == hosts[1]
+
+    def test_pue_report(self, infra):
+        report = infra.pue_report()
+        assert report["improvement_frac"] == pytest.approx(0.1634,
+                                                           abs=0.01)
+        assert len(report["evolution"]) == 4
+
+
+class TestInfrastructureFleetHealth:
+    def test_pingmesh_sweep(self):
+        infra = AstralInfrastructure(params=AstralParams.tiny())
+        report = infra.pingmesh_sweep(max_pairs=20)
+        assert report.reachability == 1.0
+        assert len(report.probes) == 20
+
+    def test_health_report_after_job(self):
+        infra = AstralInfrastructure(params=AstralParams.small())
+        infra.allocate("hj", 4)
+        infra.run_monitored_job("hj", iterations=3)
+        report = infra.health_report("hj")
+        assert report.jobs[0].job == "hj"
+        assert report.healthy
+
+    def test_health_report_without_run_raises(self):
+        infra = AstralInfrastructure(params=AstralParams.tiny())
+        with pytest.raises(ValueError):
+            infra.health_report("ghost")
+
+    def test_goodput_defaults_to_deployment_scale(self):
+        infra = AstralInfrastructure(params=AstralParams.small())
+        report = infra.goodput()
+        assert report.n_gpus == AstralParams.small().total_gpus
+        assert 0.0 < report.goodput_fraction <= 1.0
+
+    def test_goodput_regimes_ordered(self):
+        infra = AstralInfrastructure(params=AstralParams.small())
+        auto = infra.goodput(n_gpus=8192, localization="automated")
+        manual = infra.goodput(n_gpus=8192, localization="manual")
+        assert auto.goodput_fraction > manual.goodput_fraction
+
+
+class TestMaintenanceCorrelation:
+    def test_undiagnosable_hang_names_the_rollout(self):
+        from repro.monitoring import ChangeRecord
+        infra = AstralInfrastructure(params=AstralParams.small())
+        infra.maintenance.record(ChangeRecord(
+            1000.0, "driver", "NVIDIA driver 535.161 fleet rollout"))
+        allocation = infra.allocate("hangjob", 4)
+        fault = FaultSpec(RootCause.CCL_BUG, Manifestation.FAIL_HANG,
+                          allocation.hosts[0], at_iteration=2)
+        infra.run_monitored_job("hangjob", fault=fault, iterations=5)
+        diagnosis = infra.diagnose("hangjob")
+        assert diagnosis.inferred_cause == "suspect-change:driver"
+        assert "roll back" in diagnosis.recommended_action
+        assert any("maintenance-record" in note
+                   for note in diagnosis.evidence)
+
+    def test_localized_diagnosis_ignores_changelog(self):
+        from repro.monitoring import ChangeRecord
+        infra = AstralInfrastructure(params=AstralParams.small())
+        infra.maintenance.record(ChangeRecord(
+            1000.0, "driver", "NVIDIA driver rollout"))
+        allocation = infra.allocate("gpu", 4)
+        fault = FaultSpec(RootCause.GPU_HARDWARE,
+                          Manifestation.FAIL_STOP,
+                          allocation.hosts[1], at_iteration=2)
+        infra.run_monitored_job("gpu", fault=fault, iterations=4)
+        diagnosis = infra.diagnose("gpu")
+        assert diagnosis.inferred_cause == "gpu-hardware"
+
+    def test_empty_changelog_leaves_diagnosis_untouched(self):
+        infra = AstralInfrastructure(params=AstralParams.small())
+        allocation = infra.allocate("hang2", 4)
+        fault = FaultSpec(RootCause.CCL_BUG, Manifestation.FAIL_HANG,
+                          allocation.hosts[0], at_iteration=2)
+        infra.run_monitored_job("hang2", fault=fault, iterations=5)
+        diagnosis = infra.diagnose("hang2")
+        assert diagnosis.inferred_cause == "ccl-bug"

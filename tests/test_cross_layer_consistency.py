@@ -1,0 +1,127 @@
+"""Cross-layer consistency: the analytic Seer network suite vs the
+flow-level fabric.
+
+Seer's network configurations "generate the ReduceScatter, AllGather,
+and All-to-All bandwidth" (§4.3); its calibration is supposed to fold
+real fabric behaviour into those numbers.  These tests pin the two
+layers of the reproduction against each other: for uncontended
+same-rail traffic the analytic effective bandwidth and the flow-level
+fabric must agree to first order, and both must agree on directional
+facts (NVLink >> NIC; bigger message => higher efficiency).
+"""
+
+import pytest
+
+from repro.network import (
+    Endpoint,
+    Fabric,
+    reset_flow_ids,
+    run_collective,
+)
+from repro.seer import NetworkSuite
+from repro.topology import AstralParams, build_astral
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_astral(AstralParams.small())
+
+
+def _ring_busbw_gbps(topo, n_hosts, size_bits):
+    """Per-link ring bandwidth measured on the fabric (busbw)."""
+    reset_flow_ids()
+    fabric = Fabric(topo)
+    endpoints = [Endpoint(f"p0.b0.h{i}", 0) for i in range(n_hosts)]
+    result = run_collective(fabric, endpoints, size_bits, "allreduce")
+    # Each ring leg moves 2(n-1)/n * size; the slowest leg's rate is
+    # the per-link (bus) bandwidth.
+    wire_bits = 2 * (n_hosts - 1) / n_hosts * size_bits
+    return wire_bits / result.network_time_s / 1e9
+
+
+class TestAnalyticVsFlowLevel:
+    def test_uncontended_ring_matches_line_rate_regime(self, topo):
+        """A 4-host same-rail ring is NIC-port-bound on the fabric;
+        the analytic suite's asymptotic inter-host bandwidth (one
+        400G NIC at 90% efficiency) must bracket it."""
+        suite = NetworkSuite()
+        fabric_busbw = _ring_busbw_gbps(topo, n_hosts=4,
+                                        size_bits=64e9)
+        # The flow-level model pins each ring leg to one 200G port.
+        assert fabric_busbw == pytest.approx(200.0, rel=0.05)
+        analytic = suite.effective_gbps(8e9, "inter_host")
+        # Analytic per-GPU bandwidth (2 ports) is 2x the per-flow port
+        # rate, within the efficiency factor.
+        assert analytic == pytest.approx(2 * fabric_busbw
+                                         * suite.network_efficiency,
+                                         rel=0.1)
+
+    def test_both_layers_agree_message_size_matters(self):
+        suite = NetworkSuite()
+        small = suite.effective_gbps(64e3, "inter_host")
+        large = suite.effective_gbps(1e9, "inter_host")
+        assert large > 2 * small
+
+    def test_both_layers_agree_nvlink_dominates(self, topo):
+        suite = NetworkSuite()
+        assert suite.effective_gbps(64e6, "intra_host") \
+            > 4 * suite.effective_gbps(64e6, "inter_host")
+        # Fabric side: an intra-host collective never emits flows at
+        # all (handled by the HB domain), hence zero network time.
+        reset_flow_ids()
+        fabric = Fabric(topo)
+        endpoints = [Endpoint("p0.b0.h0", r) for r in range(4)]
+        result = run_collective(fabric, endpoints, 8e9, "allreduce")
+        assert result.network_time_s == 0.0
+
+    def test_fabric_contention_shows_up_as_lower_busbw(self, topo):
+        """Two rings sharing the same hosts halve per-ring bandwidth —
+        the contention the analytic model folds into its efficiency
+        factor."""
+        reset_flow_ids()
+        fabric = Fabric(topo)
+        endpoints = [Endpoint(f"p0.b0.h{i}", 0) for i in range(4)]
+        from repro.network import ring_allreduce_flows
+        ring_a = ring_allreduce_flows(endpoints, 64e9)
+        ring_b = ring_allreduce_flows(endpoints, 64e9)
+        # Force both rings onto the same ports.
+        for flow_a, flow_b in zip(ring_a, ring_b):
+            flow_b.five_tuple = flow_b.five_tuple.with_src_port(
+                flow_a.five_tuple.src_port)
+        run = fabric.complete(ring_a + ring_b)
+        solo = _ring_busbw_gbps(topo, 4, 64e9)
+        shared_busbw = (2 * 3 / 4 * 64e9) / run.total_time_s / 1e9
+        assert shared_busbw == pytest.approx(solo / 2, rel=0.1)
+
+
+class TestCollectiveEquivalence:
+    def test_rs_plus_ag_moves_same_bytes_as_allreduce(self, topo):
+        """Ring AllReduce = ReduceScatter + AllGather: the wire-byte
+        identity 2(n-1)/n == (n-1)/n + (n-1)/n must hold in the flow
+        generators, so the composed and fused forms finish together."""
+        from repro.network import (
+            all_gather_flows,
+            reduce_scatter_flows,
+            ring_allreduce_flows,
+        )
+        endpoints = [Endpoint(f"p0.b0.h{i}", 0) for i in range(4)]
+        size = 64e9
+
+        reset_flow_ids()
+        fabric = Fabric(topo)
+        ar_time = fabric.complete(
+            ring_allreduce_flows(endpoints, size)).total_time_s
+
+        reset_flow_ids()
+        fabric = Fabric(topo)
+        rs_time = fabric.complete(
+            reduce_scatter_flows(endpoints, size)).total_time_s
+        reset_flow_ids()
+        ag_time = fabric.complete(
+            all_gather_flows(endpoints, size)).total_time_s
+        assert rs_time + ag_time == pytest.approx(ar_time, rel=0.01)

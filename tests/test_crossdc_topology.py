@@ -1,0 +1,109 @@
+"""Tests for the cross-datacenter extension (Appendix B)."""
+
+import pytest
+
+from repro.network import EcmpRouter, Fabric, make_flow, reset_flow_ids
+from repro.topology import (
+    AstralParams,
+    CrossDcParams,
+    DeviceKind,
+    FiberCostModel,
+    build_cross_dc,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_cross_dc(CrossDcParams())
+
+
+class TestStructure:
+    def test_two_complete_fabrics(self, topo):
+        per_dc = AstralParams.tiny().total_gpus
+        assert topo.gpu_count() == 2 * per_dc
+        datacenters = {h.datacenter for h in topo.hosts()}
+        assert datacenters == {0, 1}
+
+    def test_dci_routers_exist(self, topo):
+        dcis = topo.switches(DeviceKind.DCI)
+        assert len(dcis) == 4  # 2 DCs x 2 DCIs
+        assert {d.datacenter for d in dcis} == {0, 1}
+
+    def test_device_names_prefixed(self, topo):
+        assert "dc0.p0.b0.h0" in topo.devices
+        assert "dc1.p0.b0.h0" in topo.devices
+
+    def test_host_nics_renamed_consistently(self, topo):
+        host = topo.devices["dc1.p0.b0.h0"]
+        for nic in host.nics:
+            assert nic.host == host.name
+            assert nic.name.startswith("dc1.")
+
+    def test_single_dc_rejected(self):
+        with pytest.raises(ValueError):
+            build_cross_dc(CrossDcParams(n_datacenters=1))
+
+    def test_oversubscription_property(self):
+        params = CrossDcParams(fiber_gbps=800.0, dci_per_datacenter=2)
+        assert params.oversubscription > 1.0
+
+
+class TestCrossDcRouting:
+    def test_intra_dc_flow_stays_local(self, topo):
+        router = EcmpRouter(topo)
+        flow = make_flow("dc0.p0.b0.h0", "dc0.p0.b1.h0", rail=0,
+                         size_bits=8e9)
+        path = router.path(flow)
+        assert all(device.startswith("dc0.")
+                   for device in path.devices)
+
+    def test_cross_dc_flow_traverses_dci_pair(self, topo):
+        router = EcmpRouter(topo)
+        flow = make_flow("dc0.p0.b0.h0", "dc1.p0.b0.h0", rail=0,
+                         size_bits=8e9)
+        path = router.path(flow, max_hops=24)
+        kinds = [topo.devices[d].kind for d in path.devices]
+        assert kinds.count(DeviceKind.DCI) == 2
+        assert path.devices[0].startswith("dc0.")
+        assert path.devices[-1].startswith("dc1.")
+
+    def test_cross_dc_bandwidth_bottleneck(self, topo):
+        """The long-haul link caps cross-DC flow rates."""
+        fabric = Fabric(topo)
+        flows = [
+            make_flow(f"dc0.p0.b0.h{h}", f"dc1.p0.b0.h{h}", rail=0,
+                      size_bits=8e9, src_port=50000 + h)
+            for h in range(2)
+        ]
+        paths = {f.flow_id: fabric.router.path(f, max_hops=24)
+                 for f in flows}
+        rates = fabric.max_min_rates(flows, paths)
+        # Each DCI downlink leg carries fiber/len(attach) capacity;
+        # rates are finite and positive.
+        assert all(0 < rate <= 200.0 for rate in rates.values())
+
+
+class TestFiberCost:
+    def test_paper_rental_record(self):
+        """~70 $/km/month; 300 km ~ 250K$ a year (one fiber)."""
+        model = FiberCostModel()
+        yearly = model.yearly_cost_usd(300.0)
+        assert yearly == pytest.approx(252_000.0)
+
+    def test_fibers_for_bandwidth(self):
+        model = FiberCostModel()
+        assert model.fibers_for_bandwidth(1600.0,
+                                          gbps_per_fiber=400.0) == 4
+        assert model.fibers_for_bandwidth(0.0) == 0
+
+    def test_invalid_inputs(self):
+        model = FiberCostModel()
+        with pytest.raises(ValueError):
+            model.monthly_cost_usd(-1.0)
+        with pytest.raises(ValueError):
+            model.fibers_for_bandwidth(100.0, gbps_per_fiber=0.0)

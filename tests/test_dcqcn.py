@@ -1,0 +1,112 @@
+"""Tests for the DCQCN congestion-control dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.network import BottleneckSim, DcqcnFlowState, DcqcnParams
+
+
+class TestParams:
+    def test_mark_probability_ramp(self):
+        params = DcqcnParams()
+        assert params.mark_probability(0.0) == 0.0
+        assert params.mark_probability(params.kmin_bytes) == 0.0
+        assert params.mark_probability(params.kmax_bytes) == 1.0
+        mid = (params.kmin_bytes + params.kmax_bytes) / 2
+        assert 0.0 < params.mark_probability(mid) < 1.0
+
+    def test_mark_probability_monotone(self):
+        params = DcqcnParams()
+        queues = np.linspace(0, 2 * params.kmax_bytes, 50)
+        probs = [params.mark_probability(q) for q in queues]
+        assert probs == sorted(probs)
+
+
+class TestSenderStateMachine:
+    def test_cnp_cuts_rate(self):
+        params = DcqcnParams()
+        flow = DcqcnFlowState(rate_gbps=200.0, target_gbps=200.0)
+        flow.on_cnp(params)
+        assert flow.rate_gbps == pytest.approx(100.0)  # alpha=1 cut
+        assert flow.target_gbps == 200.0
+        assert flow.cnp_count == 1
+
+    def test_alpha_decays_without_cnps(self):
+        params = DcqcnParams()
+        flow = DcqcnFlowState(rate_gbps=100.0, target_gbps=200.0)
+        for _ in range(50):
+            flow.on_timer(params)
+        assert flow.alpha < 0.05
+
+    def test_recovery_approaches_target(self):
+        params = DcqcnParams()
+        flow = DcqcnFlowState(rate_gbps=50.0, target_gbps=200.0)
+        for _ in range(params.fast_recovery_rounds):
+            flow.on_timer(params)
+        assert 150.0 < flow.rate_gbps <= 200.0
+
+    def test_rate_never_exceeds_line_rate(self):
+        params = DcqcnParams()
+        flow = DcqcnFlowState(rate_gbps=params.line_rate_gbps,
+                              target_gbps=params.line_rate_gbps)
+        for _ in range(200):
+            flow.on_timer(params)
+        assert flow.rate_gbps <= params.line_rate_gbps
+
+    def test_rate_never_below_min(self):
+        params = DcqcnParams()
+        flow = DcqcnFlowState(rate_gbps=params.min_rate_gbps,
+                              target_gbps=params.min_rate_gbps)
+        for _ in range(20):
+            flow.on_cnp(params)
+        assert flow.rate_gbps >= params.min_rate_gbps
+
+
+class TestBottleneck:
+    def test_uncongested_flows_stay_at_line_rate(self):
+        sim = BottleneckSim(n_flows=2, capacity_gbps=400.0)
+        result = sim.run(duration_s=0.05)
+        assert np.all(result.final_rates
+                      == pytest.approx(200.0, rel=0.01))
+        assert result.cnp_counts == [0, 0]
+        assert result.queue_bytes.max() == 0.0
+
+    def test_congested_flows_back_off(self):
+        sim = BottleneckSim(n_flows=8, capacity_gbps=400.0)
+        result = sim.run(duration_s=0.1)
+        # Aggregate settles near (not persistently above) capacity.
+        tail = result.rates_gbps[len(result.times_s) // 2:]
+        aggregate = np.mean(np.sum(tail, axis=1))
+        assert aggregate < 1.2 * 400.0
+        assert all(count > 0 for count in result.cnp_counts)
+
+    def test_rough_fairness(self):
+        """DCQCN converges to an approximately fair allocation — the
+        property that justifies the fabric's max-min abstraction."""
+        sim = BottleneckSim(n_flows=4, capacity_gbps=400.0)
+        result = sim.run(duration_s=0.1)
+        assert result.fairness_index() > 0.85
+
+    def test_utilization_reasonable(self):
+        sim = BottleneckSim(n_flows=4, capacity_gbps=400.0)
+        result = sim.run(duration_s=0.1)
+        assert result.mean_utilization(400.0) > 0.6
+
+    def test_queue_bounded_by_marking(self):
+        params = DcqcnParams()
+        sim = BottleneckSim(n_flows=8, capacity_gbps=400.0,
+                            params=params)
+        result = sim.run(duration_s=0.1)
+        # The RED ramp keeps the queue within a few kmax of the knee.
+        assert result.queue_bytes.max() < 10 * params.kmax_bytes
+
+    def test_deterministic_with_seed(self):
+        a = BottleneckSim(4, 400.0, seed=3).run(0.02)
+        b = BottleneckSim(4, 400.0, seed=3).run(0.02)
+        assert np.array_equal(a.rates_gbps, b.rates_gbps)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BottleneckSim(0, 400.0)
+        with pytest.raises(ValueError):
+            BottleneckSim(2, 0.0)

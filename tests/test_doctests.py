@@ -1,0 +1,14 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.simcore.engine
+
+
+@pytest.mark.parametrize("module", [repro.simcore.engine])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

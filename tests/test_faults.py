@@ -1,0 +1,100 @@
+"""Tests for the failure taxonomy and fault sampling (Figure 7)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.monitoring import (
+    CAUSE_PROFILES,
+    MANIFESTATION_PREVALENCE,
+    Manifestation,
+    ROOT_CAUSE_PREVALENCE,
+    RootCause,
+    FaultSpec,
+    sample_faults,
+)
+
+
+class TestTaxonomy:
+    def test_manifestation_prevalence_sums_to_one(self):
+        assert sum(MANIFESTATION_PREVALENCE.values()) \
+            == pytest.approx(1.0)
+
+    def test_root_cause_prevalence_sums_to_one(self):
+        assert sum(ROOT_CAUSE_PREVALENCE.values()) == pytest.approx(1.0)
+
+    def test_paper_percentages(self):
+        """Fig. 7 inner ring (normalized from the published 101%)."""
+        assert ROOT_CAUSE_PREVALENCE[RootCause.HOST_ENV_CONFIG] \
+            == pytest.approx(32 / 101)
+        assert ROOT_CAUSE_PREVALENCE[RootCause.NIC_ERROR] \
+            == pytest.approx(15 / 101)
+
+    def test_every_cause_has_profile(self):
+        for cause in RootCause:
+            assert cause in CAUSE_PROFILES
+            profile = CAUSE_PROFILES[cause]
+            assert sum(profile.manifestation_weights.values()) \
+                == pytest.approx(1.0)
+
+    def test_silent_failures_lack_fatal_logs(self):
+        """§3.1: fail-slow/fail-hang causes tend not to log explicitly;
+        the hang-prone CCL bug and congestion-prone switch config must
+        be silent."""
+        assert not CAUSE_PROFILES[RootCause.CCL_BUG].fatal_log
+        assert not CAUSE_PROFILES[RootCause.SWITCH_CONFIG].fatal_log
+
+    def test_hardware_failures_have_fatal_logs(self):
+        assert CAUSE_PROFILES[RootCause.GPU_HARDWARE].fatal_log
+        assert CAUSE_PROFILES[RootCause.MEMORY].fatal_log
+
+
+class TestSampling:
+    def test_sample_count(self):
+        assert len(sample_faults(50, seed=1)) == 50
+
+    def test_deterministic(self):
+        a = sample_faults(20, seed=42)
+        b = sample_faults(20, seed=42)
+        assert a == b
+
+    def test_cause_marginal_matches_figure7(self):
+        faults = sample_faults(3000, seed=7)
+        counts = Counter(f.cause for f in faults)
+        for cause, expected in ROOT_CAUSE_PREVALENCE.items():
+            observed = counts[cause] / len(faults)
+            assert observed == pytest.approx(expected, abs=0.03)
+
+    def test_manifestation_marginal_roughly_matches_figure7(self):
+        faults = sample_faults(3000, seed=7)
+        counts = Counter(f.manifestation for f in faults)
+        for manifestation, expected in MANIFESTATION_PREVALENCE.items():
+            observed = counts[manifestation] / len(faults)
+            assert observed == pytest.approx(expected, abs=0.06)
+
+    def test_fail_on_start_at_iteration_zero(self):
+        faults = sample_faults(300, seed=3)
+        for fault in faults:
+            if fault.manifestation is Manifestation.FAIL_ON_START:
+                assert fault.at_iteration == 0
+            else:
+                assert fault.at_iteration >= 1
+
+    def test_targets_drawn_from_pools(self):
+        faults = sample_faults(
+            200, seed=5, hosts=["hA", "hB"], switches=["sA"],
+            link_ids=[7, 9])
+        for fault in faults:
+            kind = fault.profile.target_kind
+            if kind == "host":
+                assert fault.target in ("hA", "hB")
+            elif kind == "switch":
+                assert fault.target == "sA"
+            elif kind == "link":
+                assert fault.target in ("link:7", "link:9")
+
+    def test_syslog_message_renders(self):
+        fault = FaultSpec(RootCause.GPU_HARDWARE,
+                          Manifestation.FAIL_STOP, "h0", detail="79")
+        assert "Xid" in fault.syslog_message()
+        assert "h0" in fault.syslog_message()

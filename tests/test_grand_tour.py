@@ -1,0 +1,89 @@
+"""Grand tour: the whole Figure-1 loop in one integration test.
+
+Build the infrastructure, commission hosts, forecast with Seer, run a
+monitored production job and verify it against the forecast, break it,
+diagnose it, read the health report, and price the monitoring system's
+payoff — every pillar touching every other, the way the paper draws
+them.
+"""
+
+import pytest
+
+from repro.core import AstralInfrastructure, PlacementPolicy
+from repro.monitoring import (
+    ChangeRecord,
+    FaultSpec,
+    Manifestation,
+    RootCause,
+)
+from repro.network import reset_flow_ids
+from repro.seer import LLAMA3_70B, ParallelismConfig
+from repro.topology import AstralParams, validate_port_math
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+def test_grand_tour():
+    # -- 0. The architecture is deployable silicon-wise. ----------------
+    assert validate_port_math(AstralParams()) == []
+
+    # -- 1. Stand up the infrastructure. --------------------------------
+    infra = AstralInfrastructure(params=AstralParams.small(),
+                                 gpu="H800")
+    assert infra.describe()["total_gpus"] == 128
+
+    # -- 2. Commission hosts before handing them to the tenant. ----------
+    allocation = infra.allocate("tenant", 6,
+                                policy=PlacementPolicy.PACKED)
+    commissioning = infra.commission(allocation.hosts)
+    assert commissioning.ready_for_delivery
+
+    # -- 3. Plan the training run with Seer. -----------------------------
+    parallel = ParallelismConfig(tp=4, pp=4, dp=2, microbatches=8)
+    forecast = infra.forecast_training(LLAMA3_70B, parallel)
+    assert forecast.iteration_time_s > 0
+    assert infra.seer.accuracy_deviation(LLAMA3_70B, parallel) < 0.02
+
+    # -- 4. Run the job healthy; verify against the forecast threshold. --
+    result = infra.run_monitored_job("tenant", iterations=5)
+    assert result.completed_iterations == 5
+    measured_comm = max(
+        record.comm_time_s
+        for record in result.store.timeline_for("tenant"))
+    # §3.3: the Seer-derived threshold is 1.5x the expectation; the
+    # healthy run must sit inside it.
+    assert measured_comm < result.expected_comm_s * 1.5
+    health = infra.health_report("tenant")
+    assert health.healthy
+
+    # -- 5. Break it; the monitoring system localizes the root cause. ----
+    infra.maintenance.record(ChangeRecord(
+        100.0, "driver", "driver rollout (red herring)"))
+    victim = allocation.hosts[3]
+    infra.allocator.release("tenant")
+    infra.allocate("tenant2", 6)
+    fault = FaultSpec(RootCause.GPU_HARDWARE, Manifestation.FAIL_STOP,
+                      victim, at_iteration=2)
+    result = infra.run_monitored_job("tenant2", fault=fault,
+                                     iterations=5)
+    assert result.aborted
+    diagnosis = infra.diagnose("tenant2")
+    assert diagnosis.manifestation is Manifestation.FAIL_STOP
+    assert diagnosis.root_cause_device == victim
+    assert diagnosis.inferred_cause == "gpu-hardware"
+    # The red-herring change is NOT blamed: the device evidence wins.
+    assert "suspect-change" not in diagnosis.inferred_cause
+
+    # -- 6. The health report shows the wreckage. ------------------------
+    health = infra.health_report("tenant2")
+    assert not health.healthy
+    assert any(device == victim
+               for device, _ in health.fatal_devices)
+
+    # -- 7. And the payoff: automated localization buys goodput. ---------
+    auto = infra.goodput(n_gpus=8192, localization="automated")
+    manual = infra.goodput(n_gpus=8192, localization="manual")
+    assert auto.goodput_fraction - manual.goodput_fraction > 0.15

@@ -1,0 +1,160 @@
+"""Unit tests for the monitored-job simulator internals."""
+
+import pytest
+
+from repro.monitoring import (
+    Effect,
+    FaultSpec,
+    JobConfig,
+    Manifestation,
+    MonitoredTrainingJob,
+    RootCause,
+)
+from repro.network import Fabric, reset_flow_ids
+from repro.topology import AstralParams, build_astral
+
+HOSTS = tuple(f"p0.b0.h{i}" for i in range(4))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+def _job(fault=None, **overrides):
+    defaults = dict(hosts=HOSTS, iterations=4)
+    defaults.update(overrides)
+    fabric = Fabric(build_astral(AstralParams.small()))
+    return MonitoredTrainingJob(fabric, JobConfig(**defaults),
+                                fault=fault)
+
+
+class TestJobConfig:
+    def test_needs_hosts(self):
+        fabric = Fabric(build_astral(AstralParams.tiny()))
+        with pytest.raises(ValueError):
+            MonitoredTrainingJob(fabric, JobConfig(hosts=()))
+
+    def test_all_to_all_collective_supported(self):
+        result = _job(collective="all_to_all").run()
+        assert result.completed_iterations == 4
+        kinds = {group.kind
+                 for group in result.store.jobs["job0"].comm_groups}
+        assert kinds == {"all_to_all"}
+
+
+class TestStableQps:
+    def test_five_tuples_stable_across_iterations(self):
+        job = _job()
+        result = job.run()
+        tuples_by_iteration = {}
+        for record in result.store.qp_rates:
+            key = round(record.time_s, 6)
+            tuples_by_iteration.setdefault(key, set()).add(
+                record.five_tuple)
+        distinct = set()
+        for tuples in tuples_by_iteration.values():
+            distinct |= tuples
+        # As many distinct five-tuples as QPs, not per-iteration ones.
+        assert len(distinct) == len(result.store.jobs["job0"].qps())
+
+    def test_metadata_matches_flow_tuples(self):
+        job = _job()
+        result = job.run()
+        meta_tuples = {qp.five_tuple
+                       for qp in result.store.jobs["job0"].qps()}
+        seen = {record.five_tuple for record in result.store.qp_rates}
+        assert seen == meta_tuples
+
+
+class TestExpectedTimes:
+    def test_expected_comm_matches_clean_run(self):
+        job = _job()
+        result = job.run()
+        last = max(r.iteration for r in result.store.nccl_timeline)
+        comm_times = [r.comm_time_s
+                      for r in result.store.timeline_for(
+                          "job0", iteration=last)]
+        assert max(comm_times) \
+            == pytest.approx(result.expected_comm_s, rel=0.05)
+
+    def test_compute_noise_bounded(self):
+        result = _job().run()
+        for record in result.store.nccl_timeline:
+            assert 0.4 < record.compute_time_s < 0.6
+
+
+class TestAbortSemantics:
+    def test_fail_stop_halts_at_fault_iteration(self):
+        fault = FaultSpec(RootCause.GPU_HARDWARE,
+                          Manifestation.FAIL_STOP, HOSTS[0],
+                          at_iteration=2)
+        result = _job(fault=fault).run()
+        assert result.aborted
+        assert result.completed_iterations == 2
+        iterations = {r.iteration for r in result.store.nccl_timeline}
+        assert max(iterations) == 2  # the failing iteration is logged
+
+    def test_hang_stops_progress_without_abort(self):
+        fault = FaultSpec(RootCause.CCL_BUG, Manifestation.FAIL_HANG,
+                          HOSTS[1], at_iteration=1)
+        result = _job(fault=fault).run()
+        assert result.hung
+        assert not result.aborted
+        last = max(r.iteration for r in result.store.iterations)
+        report = [r for r in result.store.iterations
+                  if r.iteration == last][0]
+        assert not report.completed
+
+    def test_fail_on_start_logs_iteration_zero_only(self):
+        fault = FaultSpec(RootCause.HOST_ENV_CONFIG,
+                          Manifestation.FAIL_ON_START, HOSTS[0],
+                          at_iteration=0)
+        result = _job(fault=fault).run()
+        assert result.completed_iterations == 0
+        assert {r.iteration for r in result.store.iterations} == {0}
+
+
+class TestEffects:
+    def test_switch_storm_degrades_capacity(self):
+        fabric = Fabric(build_astral(AstralParams.small()))
+        topo = fabric.topology
+        tor = "p0.b0.r0.g0.tor"
+        before = [link.capacity_gbps for link in topo.links_of(tor)]
+        fault = FaultSpec(RootCause.SWITCH_CONFIG,
+                          Manifestation.FAIL_SLOW, tor, at_iteration=1)
+        MonitoredTrainingJob(
+            fabric, JobConfig(hosts=HOSTS, iterations=3),
+            fault=fault).run()
+        after = [link.capacity_gbps for link in topo.links_of(tor)]
+        assert all(b > a for a, b in zip(after, before))
+
+    def test_link_down_marks_link_unhealthy(self):
+        fabric = Fabric(build_astral(AstralParams.small()))
+        fault = FaultSpec(RootCause.OPTICAL_FIBER,
+                          Manifestation.FAIL_STOP, "link:0",
+                          at_iteration=1)
+        MonitoredTrainingJob(
+            fabric, JobConfig(hosts=HOSTS, iterations=3),
+            fault=fault).run()
+        assert not fabric.topology.links[0].healthy
+
+    def test_nic_fail_slow_keeps_traffic_flowing(self):
+        fault = FaultSpec(RootCause.NIC_ERROR, Manifestation.FAIL_SLOW,
+                          HOSTS[1], at_iteration=1)
+        result = _job(fault=fault).run()
+        assert not result.aborted
+        # The flaky host's QPs still carry (slow) traffic.
+        rates = [r.rate_gbps for r in result.store.qp_rates
+                 if r.host == HOSTS[1] and r.time_s > 0.5]
+        assert rates
+        assert all(rate > 0 for rate in rates)
+
+    def test_effect_override_respected(self):
+        fault = FaultSpec(RootCause.GPU_HARDWARE,
+                          Manifestation.FAIL_SLOW, HOSTS[0],
+                          effect_override=Effect.PCIE_PFC_STORM)
+        assert fault.effect is Effect.PCIE_PFC_STORM
+        result = _job(fault=fault).run()
+        sensors = result.store.sensors_for(HOSTS[0])
+        assert sensors[-1].pcie_errors > 0

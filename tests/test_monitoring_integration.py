@@ -1,0 +1,185 @@
+"""End-to-end monitoring tests: inject a fault, run the monitored job,
+diagnose from telemetry only, and check the verdict (§3.3 cases)."""
+
+import pytest
+
+from repro.monitoring import (
+    FaultSpec,
+    HierarchicalAnalyzer,
+    JobConfig,
+    Manifestation,
+    MonitoredTrainingJob,
+    RootCause,
+)
+from repro.network import Endpoint, Fabric, reset_flow_ids
+from repro.network.collectives import ring_allreduce_flows
+from repro.topology import AstralParams, build_astral
+
+HOSTS = tuple(f"p0.b0.h{i}" for i in range(4)) \
+    + ("p0.b1.h0", "p0.b1.h1")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+def run_scenario(fault=None, hosts=HOSTS, iterations=5,
+                 collective="allreduce"):
+    topo = build_astral(AstralParams.small())
+    fabric = Fabric(topo)
+    config = JobConfig(hosts=hosts, iterations=iterations,
+                       collective=collective)
+    result = MonitoredTrainingJob(fabric, config, fault=fault).run()
+    analyzer = HierarchicalAnalyzer(
+        result.store, result.expected_compute_s, result.expected_comm_s)
+    return result, analyzer.diagnose(config.name)
+
+
+def job_link_on_fabric(hosts=HOSTS, hop_index=1):
+    """A switch-switch link crossed by the job's ring traffic."""
+    topo = build_astral(AstralParams.small())
+    fabric = Fabric(topo)
+    flows = ring_allreduce_flows([Endpoint(h, 0) for h in hosts], 8e9)
+    for flow in flows:
+        path = fabric.router.path(flow)
+        if path.hops > 2:
+            reset_flow_ids()
+            return path.link_ids[hop_index]
+    raise AssertionError("no multi-hop flow found")
+
+
+class TestHealthyJob:
+    def test_no_anomaly_detected(self):
+        result, diagnosis = run_scenario()
+        assert result.completed_iterations == 5
+        assert diagnosis.manifestation is None
+        assert diagnosis.anomaly_kind is None
+
+    def test_expected_times_positive(self):
+        result, _ = run_scenario()
+        assert result.expected_compute_s > 0
+        assert result.expected_comm_s > 0
+
+
+class TestComputationBranch:
+    def test_gpu_fatal_localized_to_host(self):
+        fault = FaultSpec(RootCause.GPU_HARDWARE,
+                          Manifestation.FAIL_STOP, HOSTS[1],
+                          at_iteration=2)
+        result, diagnosis = run_scenario(fault)
+        assert result.aborted
+        assert diagnosis.manifestation is Manifestation.FAIL_STOP
+        assert diagnosis.anomaly_kind == "computation"
+        assert diagnosis.root_cause_device == HOSTS[1]
+        assert diagnosis.inferred_cause == "gpu-hardware"
+        assert "restart" in diagnosis.recommended_action
+
+    def test_ecc_fatal_localized(self):
+        fault = FaultSpec(RootCause.MEMORY, Manifestation.FAIL_STOP,
+                          HOSTS[3], at_iteration=3)
+        _, diagnosis = run_scenario(fault)
+        assert diagnosis.root_cause_device == HOSTS[3]
+        assert diagnosis.inferred_cause == "memory"
+
+    def test_user_code_multi_host_alarm(self):
+        fault = FaultSpec(RootCause.USER_CODE, Manifestation.FAIL_STOP,
+                          "job0", at_iteration=2)
+        _, diagnosis = run_scenario(fault)
+        assert diagnosis.anomaly_kind == "computation"
+        assert len(diagnosis.abnormal_hosts) >= 2
+        assert diagnosis.inferred_cause == "user-code"
+        assert "manual intervention" in diagnosis.recommended_action
+
+    def test_config_error_fail_on_start(self):
+        fault = FaultSpec(RootCause.HOST_ENV_CONFIG,
+                          Manifestation.FAIL_ON_START, HOSTS[0],
+                          at_iteration=0)
+        result, diagnosis = run_scenario(fault)
+        assert result.completed_iterations == 0
+        assert diagnosis.manifestation is Manifestation.FAIL_ON_START
+        assert diagnosis.root_cause_device == HOSTS[0]
+        assert diagnosis.inferred_cause == "host-env-config"
+
+
+class TestCommunicationBranch:
+    def test_optical_link_down_localized_by_path_overlap(self):
+        link_id = job_link_on_fabric()
+        fault = FaultSpec(RootCause.OPTICAL_FIBER,
+                          Manifestation.FAIL_STOP, f"link:{link_id}",
+                          at_iteration=2)
+        result, diagnosis = run_scenario(fault)
+        assert result.aborted
+        assert diagnosis.anomaly_kind == "communication"
+        assert diagnosis.root_cause_device == f"link:{link_id}"
+        assert diagnosis.inferred_cause == "optical-fiber"
+
+    def test_nic_error_localized_to_common_endpoint(self):
+        fault = FaultSpec(RootCause.NIC_ERROR, Manifestation.FAIL_STOP,
+                          HOSTS[2], at_iteration=3)
+        _, diagnosis = run_scenario(fault)
+        assert diagnosis.anomaly_kind == "communication"
+        assert diagnosis.root_cause_device == HOSTS[2]
+        assert diagnosis.inferred_cause == "nic-error"
+
+    def test_switch_ecn_storm_traced_via_int_and_counters(self):
+        """The Figure 9 drill-down: timeline -> QP rate -> INT hop ->
+        PFC counters -> congestion root cause."""
+        fault = FaultSpec(RootCause.SWITCH_CONFIG,
+                          Manifestation.FAIL_SLOW, "p0.b0.r0.g0.tor",
+                          at_iteration=2)
+        result, diagnosis = run_scenario(fault)
+        assert not result.aborted
+        assert diagnosis.manifestation is Manifestation.FAIL_SLOW
+        assert diagnosis.anomaly_kind == "communication"
+        assert diagnosis.inferred_cause == "switch-config"
+        assert diagnosis.root_cause_device == "p0.b0.r0.g0.tor"
+        evidence = " ".join(diagnosis.evidence)
+        assert "QP" in evidence
+        assert "INT" in evidence
+
+    def test_ccl_hang_flagged_without_logs(self):
+        fault = FaultSpec(RootCause.CCL_BUG, Manifestation.FAIL_HANG,
+                          HOSTS[0], at_iteration=2)
+        result, diagnosis = run_scenario(fault)
+        assert result.hung
+        assert diagnosis.manifestation is Manifestation.FAIL_HANG
+        assert HOSTS[0] in diagnosis.abnormal_hosts
+        assert diagnosis.inferred_cause == "ccl-bug"
+        assert "offline" in diagnosis.recommended_action
+
+    def test_link_degrade_fail_slow(self):
+        link_id = job_link_on_fabric()
+        fault = FaultSpec(RootCause.LINK_FLAP, Manifestation.FAIL_SLOW,
+                          f"link:{link_id}", at_iteration=2)
+        result, diagnosis = run_scenario(fault)
+        assert diagnosis.manifestation is Manifestation.FAIL_SLOW
+        assert diagnosis.anomaly_kind == "communication"
+        # The analyzer should reach the network/physical layer.
+        assert diagnosis.root_cause_device is not None
+
+
+class TestDiagnosisPlumbing:
+    def test_evidence_chain_nonempty(self):
+        fault = FaultSpec(RootCause.GPU_HARDWARE,
+                          Manifestation.FAIL_STOP, HOSTS[1],
+                          at_iteration=2)
+        _, diagnosis = run_scenario(fault)
+        assert diagnosis.drill_down_steps >= 3
+        assert diagnosis.localized
+
+    def test_unknown_job(self):
+        result, _ = run_scenario()
+        analyzer = HierarchicalAnalyzer(result.store, 0.5, 0.1)
+        diagnosis = analyzer.diagnose("not-a-job")
+        assert not diagnosis.localized
+
+    def test_store_contains_all_layers(self):
+        result, _ = run_scenario()
+        store = result.store
+        assert store.nccl_timeline
+        assert store.qp_rates
+        assert store.sflow_paths
+        assert store.int_pings
+        assert store.switch_counters
+        assert store.host_sensors

@@ -1,0 +1,135 @@
+"""Tests for Appendix C (monitoring overhead) and Appendix D (evolving
+detectors, including the §5 PCIe incident replay)."""
+
+import pytest
+
+from repro.monitoring import (
+    FaultSpec,
+    HierarchicalAnalyzer,
+    JobConfig,
+    Manifestation,
+    MonitoredTrainingJob,
+    MonitoringOverhead,
+    PhysicalDetector,
+    default_registry,
+    pcie_pfc_detector,
+    pre_incident_registry,
+)
+from repro.network import Fabric, reset_flow_ids
+from repro.topology import AstralParams, build_astral
+
+HOSTS = tuple(f"p0.b0.h{i}" for i in range(4)) \
+    + ("p0.b1.h0", "p0.b1.h1")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+class TestMonitoringOverhead:
+    def test_appendix_c_mirror_numbers(self):
+        """100K GPUs => ~10 Gbps of mirror traffic, ~0.00005% share."""
+        overhead = MonitoringOverhead()
+        assert overhead.mirror_traffic_gbps(100_000) \
+            == pytest.approx(10.0)
+        assert overhead.mirror_fraction(100_000) \
+            == pytest.approx(5e-7, rel=0.05)
+
+    def test_appendix_c_int_storage(self):
+        """10K GPUs => 173 GB/day, 15-day retention."""
+        overhead = MonitoringOverhead()
+        assert overhead.int_storage_bytes_per_day(10_000) \
+            == pytest.approx(173e9)
+        assert overhead.int_storage_bytes_retained(10_000) \
+            == pytest.approx(173e9 * 15)
+
+    def test_node_rounding(self):
+        overhead = MonitoringOverhead()
+        assert overhead.nodes(8) == 1
+        assert overhead.nodes(9) == 2
+
+    def test_zero_cluster(self):
+        overhead = MonitoringOverhead()
+        assert overhead.mirror_fraction(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MonitoringOverhead().nodes(-1)
+
+    def test_report_keys(self):
+        report = MonitoringOverhead().report(1000)
+        assert set(report) == {"n_gpus", "mirror_gbps",
+                               "mirror_fraction", "int_gb_per_day",
+                               "int_gb_retained"}
+
+
+class TestDetectorRegistry:
+    def test_default_includes_pcie(self):
+        assert "pcie-pfc" in default_registry().names()
+
+    def test_pre_incident_lacks_pcie(self):
+        assert "pcie-pfc" not in pre_incident_registry().names()
+
+    def test_duplicate_registration_rejected(self):
+        registry = default_registry()
+        with pytest.raises(ValueError):
+            registry.register(pcie_pfc_detector)
+
+    def test_custom_detector_patched_in(self):
+        registry = pre_incident_registry()
+        custom = PhysicalDetector(
+            "always-fires",
+            lambda store, device: None)
+        registry.register(custom)
+        assert "always-fires" in registry.names()
+
+
+class TestPcieIncidentReplay:
+    """The §5 war story: a broken PCIe triggers PFC storms; the
+    original monitoring system could only see the congested end-host,
+    not why.  After the physical-layer detector is patched in, the same
+    telemetry yields the exact root cause."""
+
+    @pytest.fixture(scope="class")
+    def incident(self):
+        reset_flow_ids()
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        fault = FaultSpec.pcie_storm(HOSTS[1], at_iteration=2)
+        result = MonitoredTrainingJob(
+            fabric, JobConfig(hosts=HOSTS, iterations=5),
+            fault=fault).run()
+        return result
+
+    def _diagnose(self, result, registry):
+        analyzer = HierarchicalAnalyzer(
+            result.store, result.expected_compute_s,
+            result.expected_comm_s, detectors=registry)
+        return analyzer.diagnose("job0")
+
+    def test_manifests_as_fail_slow(self, incident):
+        diagnosis = self._diagnose(incident, default_registry())
+        assert diagnosis.manifestation is Manifestation.FAIL_SLOW
+
+    def test_pre_incident_cannot_pinpoint(self, incident):
+        """Before the detector existed: congestion seen, cause opaque
+        (the incident took hours of manual diagnosis)."""
+        diagnosis = self._diagnose(incident, pre_incident_registry())
+        assert diagnosis.inferred_cause != "pcie-anomaly"
+
+    def test_post_incident_finds_host_and_cause(self, incident):
+        diagnosis = self._diagnose(incident, default_registry())
+        assert diagnosis.inferred_cause == "pcie-anomaly"
+        assert diagnosis.root_cause_device == HOSTS[1]
+        assert "PCIe" in diagnosis.recommended_action
+
+    def test_detector_evidence_in_chain(self, incident):
+        diagnosis = self._diagnose(incident, default_registry())
+        evidence = " ".join(diagnosis.evidence)
+        assert "pcie-pfc" in evidence
+
+    def test_pcie_storm_constructor(self):
+        fault = FaultSpec.pcie_storm("hX")
+        assert fault.manifestation is Manifestation.FAIL_SLOW
+        assert fault.effect.value == "pcie-pfc-storm"

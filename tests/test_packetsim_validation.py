@@ -1,0 +1,110 @@
+"""Packet-level validation of the fluid congestion model.
+
+The flow-level fabric prices congestion with a fluid queue model; this
+suite checks the abstraction against a packet-granular simulation of
+the same egress queue, in the three regimes that matter: underloaded
+(no queue, no marks), near capacity (transient queues only), and
+persistently overloaded (buffer-bound queue, heavy marking, hundreds of
+microseconds of sojourn — the Figure 9c magnitude).
+"""
+
+import pytest
+
+from repro.network.congestion import CongestionModel
+from repro.network.fabric import LinkLoad
+from repro.network.packetsim import PacketQueueSim
+
+CAPACITY = 400.0
+
+
+def _packet(offered, seed=0, duration=0.02):
+    return PacketQueueSim(CAPACITY, offered, seed=seed).run(duration)
+
+
+def _fluid(offered):
+    load = LinkLoad(link_dir=(0, True), capacity_gbps=CAPACITY,
+                    offered_gbps=offered,
+                    carried_gbps=min(offered, CAPACITY))
+    return CongestionModel().evaluate(load)
+
+
+class TestUnderloaded:
+    def test_no_marks_either_level(self):
+        packet = _packet(200.0)
+        fluid = _fluid(200.0)
+        assert packet.mark_fraction == 0.0
+        assert fluid.ecn_marks_per_poll == 0.0
+
+    def test_queues_negligible(self):
+        packet = _packet(200.0)
+        fluid = _fluid(200.0)
+        assert packet.mean_queue_bytes < 0.01 * 16e6
+        assert fluid.queue_bytes == 0.0
+
+    def test_latency_is_base_forwarding(self):
+        packet = _packet(200.0)
+        fluid = _fluid(200.0)
+        # Packet sojourn is sub-us; fluid adds the fixed 0.6 us base.
+        assert packet.mean_sojourn_us < fluid.hop_latency_us
+
+
+class TestNearCapacity:
+    def test_transient_queues_but_no_sustained_marking(self):
+        packet = _packet(0.95 * CAPACITY)
+        assert packet.mark_fraction < 0.02
+        assert packet.mean_queue_bytes < 0.05 * 16e6
+
+    def test_fluid_agrees_no_congestion_at_capacity(self):
+        fluid = _fluid(CAPACITY)
+        assert fluid.ecn_marks_per_poll == 0.0
+
+
+class TestOverloaded:
+    def test_both_levels_mark_heavily(self):
+        packet = _packet(2 * CAPACITY)
+        fluid = _fluid(2 * CAPACITY)
+        assert packet.mark_fraction > 0.2
+        assert fluid.ecn_marks_per_poll > 0
+
+    def test_queue_pinned_at_buffer_both_levels(self):
+        packet = _packet(2 * CAPACITY)
+        fluid = _fluid(2 * CAPACITY)
+        assert packet.max_queue_bytes == pytest.approx(16e6, rel=0.05)
+        assert fluid.queue_bytes == pytest.approx(16e6, rel=0.05)
+
+    def test_sojourn_in_figure9c_magnitude(self):
+        """Hundreds of microseconds at the congested hop, both levels
+        (paper: 179/266 us vs 0.6 us healthy)."""
+        packet = _packet(2 * CAPACITY)
+        fluid = _fluid(2 * CAPACITY)
+        assert 100.0 < packet.mean_sojourn_us < 1000.0
+        assert 100.0 < fluid.hop_latency_us < 1000.0
+        # The two levels agree within a small factor.
+        ratio = packet.mean_sojourn_us / fluid.hop_latency_us
+        assert 0.3 < ratio < 3.0
+
+    def test_lossless_fluid_vs_lossy_packet_tail(self):
+        """The packet queue drops once the buffer fills (no PFC in the
+        micro-sim); the fluid fabric instead throttles senders — both
+        express the same 'cannot exceed the buffer' physics."""
+        packet = _packet(2 * CAPACITY)
+        assert packet.drops > 0
+
+
+class TestSimulatorProperties:
+    def test_deterministic_with_seed(self):
+        a = _packet(600.0, seed=4)
+        b = _packet(600.0, seed=4)
+        assert a.mean_queue_bytes == b.mean_queue_bytes
+        assert a.mark_fraction == b.mark_fraction
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PacketQueueSim(0.0, 100.0)
+        with pytest.raises(ValueError):
+            PacketQueueSim(400.0, -1.0)
+
+    def test_zero_offered_is_empty(self):
+        stats = PacketQueueSim(400.0, 0.0).run(0.01)
+        assert stats.packets == 0
+        assert stats.mean_queue_bytes == 0.0

@@ -1,0 +1,88 @@
+"""Tests for telemetry-store JSON persistence."""
+
+import pytest
+
+from repro.monitoring import (
+    FaultSpec,
+    HierarchicalAnalyzer,
+    JobConfig,
+    Manifestation,
+    MonitoredTrainingJob,
+    RootCause,
+    store_from_json,
+    store_to_json,
+)
+from repro.network import Fabric, reset_flow_ids
+from repro.topology import AstralParams, build_astral
+
+HOSTS = tuple(f"p0.b0.h{i}" for i in range(4))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+@pytest.fixture()
+def faulty_result():
+    fabric = Fabric(build_astral(AstralParams.small()))
+    fault = FaultSpec(RootCause.GPU_HARDWARE, Manifestation.FAIL_STOP,
+                      HOSTS[1], at_iteration=2)
+    return MonitoredTrainingJob(
+        fabric, JobConfig(hosts=HOSTS, iterations=4),
+        fault=fault).run()
+
+
+class TestRoundTrip:
+    def test_record_counts_preserved(self, faulty_result):
+        store = faulty_result.store
+        restored = store_from_json(store_to_json(store))
+        for bucket in ("nccl_timeline", "iterations", "qp_rates",
+                       "err_cqes", "sflow_paths", "int_pings",
+                       "switch_counters", "syslogs", "host_sensors"):
+            assert len(getattr(restored, bucket)) \
+                == len(getattr(store, bucket)), bucket
+
+    def test_job_metadata_preserved(self, faulty_result):
+        store = faulty_result.store
+        restored = store_from_json(store_to_json(store))
+        original = store.jobs["job0"]
+        clone = restored.jobs["job0"]
+        assert clone.hosts == original.hosts
+        assert [qp.five_tuple for qp in clone.qps()] \
+            == [qp.five_tuple for qp in original.qps()]
+
+    def test_five_tuples_survive_as_join_keys(self, faulty_result):
+        store = faulty_result.store
+        restored = store_from_json(store_to_json(store))
+        ft = restored.jobs["job0"].qps()[0].five_tuple
+        assert restored.qp_rates_for(ft)
+
+    def test_tuples_restored_for_paths(self, faulty_result):
+        restored = store_from_json(store_to_json(faulty_result.store))
+        record = restored.sflow_paths[0]
+        assert isinstance(record.devices, tuple)
+        assert isinstance(record.link_ids, tuple)
+        ping = restored.int_pings[0]
+        assert isinstance(ping.hop_latencies_us, tuple)
+        assert ping.worst_hop()  # usable API after reload
+
+    def test_diagnosis_identical_on_reloaded_store(self, faulty_result):
+        """Offline re-analysis of archived telemetry reaches the same
+        verdict as the live run (the §3.1 offline fallback)."""
+        live = HierarchicalAnalyzer(
+            faulty_result.store, faulty_result.expected_compute_s,
+            faulty_result.expected_comm_s).diagnose("job0")
+        restored = store_from_json(store_to_json(faulty_result.store))
+        offline = HierarchicalAnalyzer(
+            restored, faulty_result.expected_compute_s,
+            faulty_result.expected_comm_s).diagnose("job0")
+        assert offline.root_cause_device == live.root_cause_device
+        assert offline.inferred_cause == live.inferred_cause
+        assert offline.manifestation == live.manifestation
+
+    def test_empty_store_round_trips(self):
+        from repro.monitoring import TelemetryStore
+        restored = store_from_json(store_to_json(TelemetryStore()))
+        assert restored.nccl_timeline == []
+        assert restored.jobs == {}

@@ -1,0 +1,92 @@
+"""Tests for the INT-armed pingmesh prober."""
+
+import pytest
+
+from repro.monitoring import Pingmesh
+from repro.network import Fabric, make_flow, reset_flow_ids
+from repro.topology import AstralParams, build_astral
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+@pytest.fixture()
+def fabric():
+    return Fabric(build_astral(AstralParams.tiny()))
+
+
+class TestProbe:
+    def test_healthy_pair_reachable_fast(self, fabric):
+        probe = Pingmesh(fabric).probe("p0.b0.h0", "p0.b0.h1")
+        assert probe.reachable
+        # Two hops at 0.6 us each, doubled for the round trip.
+        assert probe.rtt_us == pytest.approx(2 * 2 * 0.6)
+        assert probe.hops == 2
+
+    def test_cross_pod_has_more_hops(self, fabric):
+        local = Pingmesh(fabric).probe("p0.b0.h0", "p0.b0.h1")
+        remote = Pingmesh(fabric).probe("p0.b0.h0", "p1.b0.h0")
+        assert remote.hops > local.hops
+        assert remote.rtt_us > local.rtt_us
+
+    def test_isolated_host_unreachable(self, fabric):
+        topo = fabric.topology
+        dst = "p0.b0.h1"
+        for link in topo.links_of(dst):
+            other = topo.devices[link.other(dst)]
+            if other.rail == 0:
+                topo.fail_link(link.link_id)
+        probe = Pingmesh(fabric).probe("p0.b0.h0", dst, rail=0)
+        assert not probe.reachable
+        assert probe.rtt_us == float("inf")
+
+    def test_background_load_raises_hop_latency(self, fabric):
+        # Saturate both of the destination's rail-0 ingress ports so
+        # every ECMP choice the ping can make crosses a hot hop.
+        background = [
+            make_flow(src, "p0.b0.h1", rail=0, size_bits=8e9,
+                      src_port=port)
+            for src in ("p0.b0.h0", "p0.b1.h0", "p0.b1.h1")
+            for port in range(50000, 50008)
+        ]
+        pinger = Pingmesh(fabric)
+        quiet = pinger.probe("p0.b0.h0", "p0.b0.h1")
+        loaded = pinger.probe("p0.b0.h0", "p0.b0.h1",
+                              background=background)
+        assert loaded.worst_hop_us > quiet.worst_hop_us
+        assert loaded.worst_hop_device is not None
+
+
+class TestSweep:
+    def test_full_mesh_healthy(self, fabric):
+        report = Pingmesh(fabric).sweep(max_pairs=1000)
+        assert report.reachability == 1.0
+        assert report.unreachable == []
+        assert report.mean_rtt_us() < 50.0
+
+    def test_sampling_respects_max_pairs(self, fabric):
+        report = Pingmesh(fabric).sweep(max_pairs=5)
+        assert len(report.probes) == 5
+
+    def test_sweep_detects_black_hole(self, fabric):
+        topo = fabric.topology
+        dst = "p1.b1.h1"
+        for link in topo.links_of(dst):
+            topo.fail_link(link.link_id)
+        report = Pingmesh(fabric).sweep(max_pairs=1000)
+        assert report.reachability < 1.0
+        assert all(p.dst == dst or p.src == dst
+                   for p in report.unreachable)
+
+    def test_hotspot_listing(self, fabric):
+        background = [
+            make_flow(src, "p0.b0.h1", rail=0, size_bits=8e9,
+                      src_port=port)
+            for src in ("p0.b0.h0", "p0.b1.h0", "p0.b1.h1")
+            for port in range(50000, 50008)
+        ]
+        report = Pingmesh(fabric).sweep(
+            hosts=["p0.b0.h0", "p0.b0.h1"], background=background)
+        assert report.hotspots(latency_threshold_us=50.0)

@@ -1,0 +1,68 @@
+"""Tests for the Figure-3 ASIC port/bandwidth accounting."""
+
+import pytest
+
+from repro.topology import (
+    AsicEnvelope,
+    AstralParams,
+    port_budgets,
+    validate_port_math,
+)
+
+
+class TestPaperScalePortMath:
+    """Figure 3's annotations, verified arithmetically."""
+
+    @pytest.fixture(scope="class")
+    def budgets(self):
+        return port_budgets(AstralParams())
+
+    def test_tor_matches_figure3(self, budgets):
+        """ToR(51.2T): 64*2*200G down to hosts, 64*400G up to Aggs."""
+        tor = budgets["tor"]
+        assert tor.down_ports == 128
+        assert tor.down_gbps_per_port == 200.0
+        assert tor.up_ports == 64
+        assert tor.up_gbps_per_port == 400.0
+        assert tor.total_gbps == pytest.approx(51_200.0)
+
+    def test_agg_matches_figure3(self, budgets):
+        """Agg(51.2T): 64*400G down, 64*400G up."""
+        agg = budgets["agg"]
+        assert agg.down_ports == 64
+        assert agg.up_ports == 64
+        assert agg.up_gbps_per_port == pytest.approx(400.0)
+        assert agg.total_gbps == pytest.approx(51_200.0)
+
+    def test_core_matches_figure3(self, budgets):
+        """Core(51.2T): 128*400G (8 pods x 8 rails x 2 groups)."""
+        core = budgets["core"]
+        assert core.down_ports == 128
+        assert core.down_gbps_per_port == pytest.approx(400.0)
+        assert core.total_gbps == pytest.approx(51_200.0)
+
+    def test_paper_scale_is_deployable(self):
+        assert validate_port_math(AstralParams()) == []
+
+
+class TestInfeasibleConfigs:
+    def test_too_many_hosts_per_block_overflows_tor(self):
+        params = AstralParams(hosts_per_block=512)
+        problems = validate_port_math(params)
+        assert any("tor" in problem for problem in problems)
+
+    def test_small_asic_rejects_paper_wiring(self):
+        envelope = AsicEnvelope(capacity_tbps=12.8)
+        problems = validate_port_math(AstralParams(), envelope)
+        assert len(problems) == 3  # every role overflows
+
+    def test_port_count_limit(self):
+        envelope = AsicEnvelope(max_logical_ports=100)
+        problems = validate_port_math(AstralParams(), envelope)
+        assert any("logical ports" in problem for problem in problems)
+
+    def test_oversubscription_relaxes_agg_uplinks(self):
+        base = port_budgets(AstralParams())["agg"]
+        oversub = port_budgets(
+            AstralParams().with_oversubscription(2.0))["agg"]
+        assert oversub.up_gbps == pytest.approx(base.up_gbps / 2)

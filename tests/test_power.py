@@ -1,0 +1,221 @@
+"""Tests for the power substrate: GPU traces, HVDC, tidal scheduling,
+PUE (paper §2.2, §5, Figures 6/15/16)."""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    AC_UPS_CHAIN,
+    GpuSpec,
+    HVDC_CHAIN,
+    HvdcUnit,
+    NightTrainingScheduler,
+    PowerAllocationError,
+    RackSpec,
+    RenewableMix,
+    TidalProfile,
+    astral_vs_traditional,
+    compute_pue,
+    daily_inference_power,
+    inference_request_phases,
+    pue_evolution,
+    supply_stability,
+    synthesize_trace,
+    training_iteration_phases,
+)
+
+
+class TestGpuPowerTraces:
+    def test_training_peak_reaches_tdp(self):
+        """Figure 15a: peaks hit (or exceed) TDP during fwd/bwd compute."""
+        gpu = GpuSpec(tdp_watts=500.0)
+        trace = synthesize_trace(gpu, training_iteration_phases(),
+                                 repeats=3)
+        assert trace.exceeds_tdp
+
+    def test_training_dips_during_communication(self):
+        gpu = GpuSpec(tdp_watts=500.0)
+        trace = synthesize_trace(gpu, training_iteration_phases(),
+                                 repeats=1, jitter_frac=0.0)
+        # The communication phase sits well below TDP.
+        comm_start = 0.6  # after compute phases
+        comm_samples = trace.watts[(trace.times_s > comm_start + 0.1)
+                                   & (trace.times_s < 0.8)]
+        assert np.mean(comm_samples) < 0.7 * gpu.tdp_watts
+
+    def test_inference_prefill_high_decode_low(self):
+        """Figure 15b: prefill ~TDP, decode well below."""
+        gpu = GpuSpec(tdp_watts=500.0)
+        trace = synthesize_trace(gpu, inference_request_phases(),
+                                 repeats=2, jitter_frac=0.0)
+        prefill = trace.watts[trace.times_s < 0.15]
+        decode = trace.watts[(trace.times_s > 0.8)
+                             & (trace.times_s < 1.3)]
+        assert np.mean(prefill) > 2 * np.mean(decode)
+
+    def test_deterministic_with_seed(self):
+        gpu = GpuSpec()
+        a = synthesize_trace(gpu, training_iteration_phases(), seed=7)
+        b = synthesize_trace(gpu, training_iteration_phases(), seed=7)
+        assert np.array_equal(a.watts, b.watts)
+
+    def test_trace_scaling(self):
+        gpu = GpuSpec(tdp_watts=500.0)
+        trace = synthesize_trace(gpu, training_iteration_phases())
+        big = trace.scaled(8)
+        assert big.peak_watts == pytest.approx(8 * trace.peak_watts)
+        assert big.tdp_watts == 8 * trace.tdp_watts
+
+    def test_energy_positive(self):
+        trace = synthesize_trace(GpuSpec(), training_iteration_phases())
+        assert trace.energy_joules() > 0
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            synthesize_trace(GpuSpec(), training_iteration_phases(),
+                             sample_hz=0)
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.power.gpu_power import PowerTrace
+        with pytest.raises(ValueError):
+            PowerTrace(np.zeros(3), np.zeros(4), 500.0)
+
+
+class TestPowerChains:
+    def test_hvdc_more_efficient_than_ac_ups(self):
+        assert HVDC_CHAIN.efficiency > AC_UPS_CHAIN.efficiency
+
+    def test_grid_draw_exceeds_it_load(self):
+        assert AC_UPS_CHAIN.grid_draw_watts(1000.0) > 1000.0
+
+    def test_loss_consistency(self):
+        it = 5000.0
+        assert AC_UPS_CHAIN.loss_watts(it) == pytest.approx(
+            AC_UPS_CHAIN.grid_draw_watts(it) - it)
+
+    def test_ups_fluctuation_in_paper_band(self):
+        """Paper: UPS battery capacity fluctuates 20-30% under training."""
+        assert 0.20 <= AC_UPS_CHAIN.battery_fluctuation_frac <= 0.30
+
+    def test_hvdc_supply_tighter_than_ups(self):
+        demand = np.full(1000, 1e6)
+        hvdc = supply_stability(HVDC_CHAIN, demand, seed=3)
+        ups = supply_stability(AC_UPS_CHAIN, demand, seed=3)
+        assert np.std(hvdc) < np.std(ups)
+        assert np.min(hvdc) > np.min(ups)
+
+
+class TestHvdcUnit:
+    def _unit(self):
+        racks = [RackSpec(f"r{i}", tdp_watts=40_000.0) for i in range(4)]
+        return HvdcUnit(racks)
+
+    def test_budget_is_row_tdp(self):
+        assert self._unit().budget_watts == 160_000.0
+
+    def test_rack_can_exceed_tdp_by_30_percent(self):
+        unit = self._unit()
+        granted = unit.request("r0", 52_000.0)  # 1.3x TDP
+        assert granted == 52_000.0
+
+    def test_rack_cannot_exceed_elastic_limit(self):
+        unit = self._unit()
+        with pytest.raises(PowerAllocationError):
+            unit.request("r0", 52_001.0)
+
+    def test_row_budget_enforced(self):
+        unit = self._unit()
+        for i in range(3):
+            unit.request(f"r{i}", 45_000.0)
+        # 135k used; r3 may only take 25k more despite a 52k rack limit.
+        with pytest.raises(PowerAllocationError):
+            unit.request("r3", 26_000.0)
+        assert unit.request("r3", 25_000.0) == 25_000.0
+
+    def test_negative_request_rejected(self):
+        with pytest.raises(PowerAllocationError):
+            self._unit().request("r0", -1.0)
+
+    def test_unknown_rack(self):
+        with pytest.raises(PowerAllocationError):
+            self._unit().request("nope", 1.0)
+
+    def test_grid_draw_includes_chain_loss(self):
+        unit = self._unit()
+        unit.request("r0", 40_000.0)
+        assert unit.grid_draw_watts() > 40_000.0
+
+
+class TestRenewables:
+    def test_paper_renewable_fraction(self):
+        assert RenewableMix().renewable_fraction == pytest.approx(0.22)
+
+    def test_carbon_accounting(self):
+        mix = RenewableMix()
+        total = mix.carbon_kg(1000.0) + mix.carbon_saved_kg(1000.0)
+        assert total == pytest.approx(1000.0 * mix.grid_carbon_kg_per_kwh)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            RenewableMix(renewable_fraction=1.5).carbon_kg(1.0)
+
+
+class TestTidal:
+    def test_night_detection_wraps_midnight(self):
+        profile = TidalProfile()
+        assert profile.is_night(23.0)
+        assert profile.is_night(3.0)
+        assert not profile.is_night(12.0)
+
+    def test_daily_curve_tidal_shape(self):
+        """Figure 16: high by day, trough between 22:00 and 08:00."""
+        profile = TidalProfile(peak_mw=100.0, trough_frac=0.35)
+        hours = np.linspace(0, 24, 24 * 60, endpoint=False)
+        power = daily_inference_power(profile, hours)
+        noon = power[(hours > 11) & (hours < 13)]
+        deep_night = power[(hours > 2) & (hours < 5)]
+        assert np.all(noon == pytest.approx(100.0))
+        assert np.all(deep_night == pytest.approx(35.0))
+
+    def test_scheduler_flattens_total(self):
+        profile = TidalProfile()
+        scheduler = NightTrainingScheduler(profile)
+        hours = np.linspace(0, 24, 24 * 60, endpoint=False)
+        unflattened = np.std(daily_inference_power(profile, hours))
+        flattened = scheduler.flatness(hours) \
+            * np.mean(scheduler.schedule(hours)["total_mw"])
+        assert flattened < unflattened / 10
+
+    def test_training_fills_only_headroom(self):
+        scheduler = NightTrainingScheduler(TidalProfile(peak_mw=50.0))
+        hours = np.linspace(0, 24, 24 * 60, endpoint=False)
+        result = scheduler.schedule(hours)
+        assert np.all(result["total_mw"] <= 50.0 + 1e-9)
+
+    def test_limited_training_demand(self):
+        scheduler = NightTrainingScheduler(TidalProfile(peak_mw=100.0))
+        hours = np.linspace(0, 24, 24 * 60, endpoint=False)
+        result = scheduler.schedule(hours, training_demand_mw=10.0)
+        assert np.max(result["training_mw"]) == pytest.approx(10.0)
+
+
+class TestPue:
+    def test_astral_improvement_matches_paper(self):
+        """Headline: average PUE improved by (up to) 16.34%."""
+        result = astral_vs_traditional()
+        assert result["improvement_frac"] == pytest.approx(0.1634,
+                                                           abs=0.01)
+
+    def test_evolution_strictly_improves(self):
+        """Figure 6: every cooling generation lowers PUE."""
+        pues = [report.pue for report in pue_evolution()]
+        assert pues == sorted(pues, reverse=True)
+        assert len(pues) == 4
+
+    def test_pue_above_one(self):
+        for report in pue_evolution():
+            assert report.pue > 1.0
+
+    def test_compute_pue_rejects_nonpositive_it(self):
+        with pytest.raises(ValueError):
+            compute_pue(0.0, 100.0, HVDC_CHAIN)

@@ -1,0 +1,106 @@
+"""Tests for deriving power traces from Seer timelines (Fig 15 loop)."""
+
+import numpy as np
+import pytest
+
+from repro.power import GpuSpec, power_from_timeline
+from repro.seer import (
+    LLAMA3_70B,
+    NetworkSuite,
+    OpType,
+    ParallelismConfig,
+    Seer,
+    Timeline,
+)
+from repro.seer.timeline import TimelineEntry
+
+GPU = GpuSpec(tdp_watts=500.0)
+
+
+def _manual_timeline(entries):
+    timeline = Timeline(graph_name="manual")
+    timeline.entries.extend(entries)
+    return timeline
+
+
+def _entry(op_id, name, op_type, start, end, device="d0",
+           stream="compute"):
+    return TimelineEntry(op_id=op_id, name=name, device=device,
+                         stream=stream, op_type=op_type, start_s=start,
+                         end_s=end)
+
+
+class TestPowerFromTimeline:
+    def test_compute_hot_comm_cool(self):
+        timeline = _manual_timeline([
+            _entry(0, "gemm", OpType.COMPUTE, 0.0, 1.0),
+            _entry(1, "allreduce", OpType.COMMUNICATION, 1.0, 2.0,
+                   stream="comm"),
+        ])
+        trace = power_from_timeline(timeline, GPU, smooth_tau_s=0.0)
+        compute = trace.watts[(trace.times_s > 0.1)
+                              & (trace.times_s < 0.9)]
+        comm = trace.watts[(trace.times_s > 1.1)
+                           & (trace.times_s < 1.9)]
+        assert np.mean(compute) > 1.0 * GPU.tdp_watts
+        assert np.mean(comm) < 0.5 * GPU.tdp_watts
+
+    def test_overlap_draws_maximum(self):
+        timeline = _manual_timeline([
+            _entry(0, "gemm", OpType.COMPUTE, 0.0, 1.0),
+            _entry(1, "prefetch", OpType.COMMUNICATION, 0.0, 1.0,
+                   stream="comm"),
+        ])
+        trace = power_from_timeline(timeline, GPU, smooth_tau_s=0.0)
+        mid = trace.watts[(trace.times_s > 0.2)
+                          & (trace.times_s < 0.8)]
+        assert np.all(mid == pytest.approx(1.04 * GPU.tdp_watts))
+
+    def test_idle_gap_near_idle_power(self):
+        timeline = _manual_timeline([
+            _entry(0, "a", OpType.COMPUTE, 0.0, 0.5),
+            _entry(1, "b", OpType.COMPUTE, 2.0, 2.5),
+        ])
+        trace = power_from_timeline(timeline, GPU, smooth_tau_s=0.0)
+        gap = trace.watts[(trace.times_s > 1.0)
+                          & (trace.times_s < 1.8)]
+        assert np.mean(gap) < 0.2 * GPU.tdp_watts
+
+    def test_unknown_device_rejected(self):
+        timeline = _manual_timeline([
+            _entry(0, "a", OpType.COMPUTE, 0.0, 1.0)])
+        with pytest.raises(ValueError):
+            power_from_timeline(timeline, GPU, device="ghost")
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ValueError):
+            power_from_timeline(Timeline(graph_name="empty"), GPU)
+
+    def test_invalid_sample_rate(self):
+        timeline = _manual_timeline([
+            _entry(0, "a", OpType.COMPUTE, 0.0, 1.0)])
+        with pytest.raises(ValueError):
+            power_from_timeline(timeline, GPU, sample_hz=0)
+
+
+class TestForecastDrivenPower:
+    """Close the loop: Seer forecast -> power trace (Figure 15a from
+    first principles rather than canned phases)."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        seer = Seer(gpu="H800", network=NetworkSuite())
+        forecast = seer.forecast_training(
+            LLAMA3_70B,
+            ParallelismConfig(tp=8, pp=4, dp=2, microbatches=8))
+        return power_from_timeline(forecast.timeline, GPU,
+                                   device="stage1")
+
+    def test_peak_near_tdp(self, trace):
+        assert trace.peak_watts > 0.95 * GPU.tdp_watts
+
+    def test_mean_below_peak_due_to_comm_and_bubbles(self, trace):
+        assert trace.mean_watts < 0.9 * trace.peak_watts
+
+    def test_energy_positive(self, trace):
+        assert trace.energy_joules() > 0

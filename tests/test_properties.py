@@ -1,0 +1,228 @@
+"""Property-based tests on the core data structures and invariants.
+
+Hypothesis drives random instances through:
+
+* the timeline engine — dependency order, per-stream mutual exclusion,
+  conservation of work;
+* the operator-graph JSON round-trip;
+* the fabric's max-min allocation — capacity feasibility and work
+  conservation;
+* the GPU allocator — no double allocation, exact free-list round-trip.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GpuAllocator, PlacementPolicy
+from repro.network import Fabric, make_flow, reset_flow_ids
+from repro.seer import (
+    CommKind,
+    OperatorGraph,
+    OpType,
+    TimelineEngine,
+)
+from repro.topology import AstralParams, build_astral
+
+
+# --------------------------------------------------------------------------
+# Random DAG scheduling
+# --------------------------------------------------------------------------
+
+@st.composite
+def random_dags(draw):
+    """A random operator DAG with durations, devices, and streams."""
+    n = draw(st.integers(min_value=1, max_value=18))
+    devices = draw(st.integers(min_value=1, max_value=3))
+    graph = OperatorGraph(name="random")
+    durations = {}
+    for index in range(n):
+        deps = []
+        if index > 0:
+            dep_count = draw(st.integers(min_value=0,
+                                         max_value=min(3, index)))
+            deps = sorted(draw(st.sets(
+                st.integers(min_value=0, max_value=index - 1),
+                min_size=dep_count, max_size=dep_count)))
+        device = f"d{draw(st.integers(0, devices - 1))}"
+        stream = draw(st.sampled_from(["compute", "comm"]))
+        op = graph.add(f"op{index}", OpType.COMPUTE, deps=deps,
+                       device=device, stream=stream)
+        durations[op.op_id] = draw(st.floats(min_value=0.01,
+                                             max_value=2.0))
+    return graph, durations
+
+
+class _MapModel:
+    def __init__(self, durations):
+        self.durations = durations
+
+    def operator_time(self, op):
+        return self.durations[op.op_id]
+
+
+class TestTimelineProperties:
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_dependencies_and_exclusivity(self, dag):
+        graph, durations = dag
+        timeline = TimelineEngine(_MapModel(durations)).run(graph)
+        entries = {entry.op_id: entry for entry in timeline.entries}
+
+        # Every operator scheduled exactly once, with its duration.
+        assert len(entries) == len(graph)
+        for op in graph:
+            entry = entries[op.op_id]
+            assert entry.duration_s \
+                == pytest.approx(durations[op.op_id])
+            # Dependency order respected.
+            for dep in op.deps:
+                assert entries[dep].end_s <= entry.start_s + 1e-9
+
+        # Per-(device, stream) mutual exclusion.
+        by_stream = {}
+        for entry in timeline.entries:
+            by_stream.setdefault((entry.device, entry.stream),
+                                 []).append(entry)
+        for stream_entries in by_stream.values():
+            stream_entries.sort(key=lambda e: e.start_s)
+            for a, b in zip(stream_entries, stream_entries[1:]):
+                assert a.end_s <= b.start_s + 1e-9
+
+        # Conservation: busy time equals the sum of durations.
+        total_busy = sum(
+            timeline.busy_time_s(device, stream)
+            for device, stream in by_stream
+        )
+        assert total_busy == pytest.approx(sum(durations.values()))
+
+    @given(random_dags())
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_bounds(self, dag):
+        graph, durations = dag
+        for op in graph:
+            op.duration_s = durations[op.op_id]
+        critical = graph.critical_path_s()
+        for op in graph:
+            op.duration_s = None
+        timeline = TimelineEngine(_MapModel(durations)).run(graph)
+        total = sum(durations.values())
+        # Makespan is at least the critical path, at most serial time.
+        assert timeline.total_time_s >= critical - 1e-9
+        assert timeline.total_time_s <= total + 1e-9
+
+
+# --------------------------------------------------------------------------
+# Graph JSON round-trip
+# --------------------------------------------------------------------------
+
+class TestGraphRoundTripProperties:
+    @given(random_dags(),
+           st.sampled_from(list(CommKind)))
+    @settings(max_examples=30, deadline=None)
+    def test_json_round_trip_preserves_structure(self, dag, kind):
+        graph, durations = dag
+        # Decorate the last op as a communication op for coverage.
+        last = graph.operators[-1]
+        last.op_type = OpType.COMMUNICATION
+        last.comm_kind = kind
+        last.comm_bytes = 1e6
+        last.group_size = 4
+
+        restored = OperatorGraph.from_json(graph.to_json())
+        assert len(restored) == len(graph)
+        for op in graph:
+            twin = restored.op(op.op_id)
+            assert twin.name == op.name
+            assert sorted(twin.deps) == sorted(op.deps)
+            assert twin.device == op.device
+            assert twin.op_type == op.op_type
+        # The JSON itself is valid and carries the node list.
+        payload = json.loads(graph.to_json())
+        assert len(payload["nodes"]) == len(graph)
+
+
+# --------------------------------------------------------------------------
+# Fabric allocation feasibility
+# --------------------------------------------------------------------------
+
+class TestFabricProperties:
+    @given(st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7),
+                  st.integers(0, 3), st.integers(0, 16000)),
+        min_size=1, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_max_min_is_feasible_and_work_conserving(self, specs):
+        reset_flow_ids()
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        flows = []
+        for src, dst, rail, port in specs:
+            if src == dst:
+                continue
+            flows.append(make_flow(
+                f"p0.b0.h{src}", f"p0.b1.h{dst}", rail=rail,
+                size_bits=8e9, src_port=49152 + port))
+        if not flows:
+            return
+        paths = fabric.resolve_paths(flows)
+        rates = fabric.max_min_rates(flows, paths)
+
+        # Feasibility: no directed link carries more than its capacity.
+        usage = {}
+        for flow in flows:
+            for hop in fabric._directed_hops(paths[flow.flow_id]):
+                usage[hop] = usage.get(hop, 0.0) + rates[flow.flow_id]
+        for (link_id, _), used in usage.items():
+            assert used <= topology.links[link_id].capacity_gbps + 1e-6
+
+        # Work conservation: every flow gets a strictly positive rate.
+        assert all(rate > 0 for rate in rates.values())
+
+        # Pareto: no flow could be trivially raised to line rate
+        # without help — flows below line rate sit on a tight link.
+        for flow in flows:
+            rate = rates[flow.flow_id]
+            if rate < fabric.host_line_rate_gbps - 1e-6:
+                hops = fabric._directed_hops(paths[flow.flow_id])
+                tight = any(
+                    usage[hop] >= topology.links[hop[0]].capacity_gbps
+                    - 1e-6
+                    for hop in hops
+                )
+                assert tight
+
+
+# --------------------------------------------------------------------------
+# Allocator round-trips
+# --------------------------------------------------------------------------
+
+class TestAllocatorProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                    max_size=5),
+           st.sampled_from(list(PlacementPolicy)))
+    @settings(max_examples=25, deadline=None)
+    def test_no_double_allocation_and_full_release(self, requests,
+                                                   policy):
+        allocator = GpuAllocator(build_astral(AstralParams.small()))
+        total = allocator.free_hosts
+        granted = {}
+        for index, n_hosts in enumerate(requests):
+            if n_hosts > allocator.free_hosts:
+                break
+            granted[f"job{index}"] = allocator.allocate(
+                f"job{index}", n_hosts, policy)
+
+        # No host handed to two jobs.
+        seen = set()
+        for allocation in granted.values():
+            for host in allocation.hosts:
+                assert host not in seen
+                seen.add(host)
+        assert allocator.free_hosts == total - len(seen)
+
+        for job in granted:
+            allocator.release(job)
+        assert allocator.free_hosts == total

@@ -1,0 +1,101 @@
+"""Tests for the failure/goodput model."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    CheckpointPolicy,
+    FailureModel,
+    training_goodput,
+)
+
+
+class TestFailureModel:
+    def test_rate_scales_linearly(self):
+        model = FailureModel()
+        small = model.cluster_failure_rate_per_hour(1000)
+        big = model.cluster_failure_rate_per_hour(10_000)
+        assert big == pytest.approx(10 * small)
+
+    def test_mtbf_inverse_of_rate(self):
+        model = FailureModel()
+        assert model.mtbf_hours(8192) \
+            == pytest.approx(1.0 / model.cluster_failure_rate_per_hour(
+                8192))
+
+    def test_zero_cluster_never_fails(self):
+        assert FailureModel().mtbf_hours(0) == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FailureModel().cluster_failure_rate_per_hour(-1)
+
+    def test_large_job_fails_within_days(self):
+        """The production regime: 10K-GPU jobs fail every day or two."""
+        mtbf = FailureModel().mtbf_hours(10_000)
+        assert 5 < mtbf < 100
+
+
+class TestCheckpointPolicy:
+    def test_young_daly_formula(self):
+        policy = CheckpointPolicy(checkpoint_write_s=100.0)
+        mtbf = 50.0
+        expected = math.sqrt(2 * 100.0 * 50.0 * 3600.0)
+        assert policy.optimal_interval_s(mtbf) \
+            == pytest.approx(expected)
+
+    def test_fixed_interval_respected(self):
+        policy = CheckpointPolicy(interval_s=1800.0)
+        assert policy.effective_interval_s(10.0) == 1800.0
+
+    def test_infinite_mtbf_means_no_checkpoints(self):
+        policy = CheckpointPolicy()
+        assert policy.optimal_interval_s(float("inf")) == float("inf")
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy().optimal_interval_s(0.0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(interval_s=-5.0).effective_interval_s(1.0)
+
+
+class TestGoodput:
+    def test_goodput_bounded(self):
+        report = training_goodput(8192)
+        assert 0.0 < report.goodput_fraction < 1.0
+        total = (report.goodput_fraction
+                 + report.checkpoint_overhead_fraction
+                 + report.failure_overhead_fraction)
+        assert total == pytest.approx(1.0)
+
+    def test_goodput_decreases_with_scale(self):
+        values = [training_goodput(n).goodput_fraction
+                  for n in (1024, 8192, 65536)]
+        assert values == sorted(values, reverse=True)
+
+    def test_automated_localization_beats_manual(self):
+        """The monitoring system's payoff grows with scale."""
+        gains = []
+        for n_gpus in (1024, 8192, 65536):
+            auto = training_goodput(n_gpus, localization="automated")
+            manual = training_goodput(n_gpus, localization="manual")
+            assert auto.goodput_fraction > manual.goodput_fraction
+            gains.append(auto.goodput_fraction
+                         - manual.goodput_fraction)
+        assert gains[1] > gains[0]  # bigger cluster, bigger payoff
+
+    def test_mid_scale_gain_is_substantial(self):
+        """At the paper's 8K-GPU production scale, minutes-vs-days
+        localization is worth tens of percent of goodput."""
+        auto = training_goodput(8192, localization="automated")
+        manual = training_goodput(8192, localization="manual")
+        assert auto.goodput_fraction - manual.goodput_fraction > 0.15
+
+    def test_invalid_regime(self):
+        with pytest.raises(ValueError):
+            training_goodput(1024, localization="psychic")
+
+    def test_localization_hours_reported(self):
+        report = training_goodput(8192, localization="automated")
+        assert 0 < report.localization_hours_per_failure < 2.0

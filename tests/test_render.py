@@ -1,0 +1,99 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.seer import (
+    OpType,
+    Timeline,
+    render_comparison,
+    render_timeline,
+)
+from repro.seer.timeline import TimelineEntry
+
+
+def _entry(op_id, name, op_type, start, end, device="d0",
+           stream="compute"):
+    return TimelineEntry(op_id=op_id, name=name, device=device,
+                         stream=stream, op_type=op_type, start_s=start,
+                         end_s=end)
+
+
+def _timeline(entries):
+    timeline = Timeline(graph_name="t")
+    timeline.entries.extend(entries)
+    return timeline
+
+
+class TestRenderTimeline:
+    def test_compute_and_comm_rows(self):
+        timeline = _timeline([
+            _entry(0, "gemm", OpType.COMPUTE, 0.0, 0.5),
+            _entry(1, "ar", OpType.COMMUNICATION, 0.5, 1.0,
+                   stream="comm"),
+        ])
+        art = render_timeline(timeline, width=20)
+        assert "d0/compute" in art
+        assert "d0/comm" in art
+        assert "#" in art
+        assert "=" in art
+
+    def test_idle_cells_dotted(self):
+        timeline = _timeline([
+            _entry(0, "a", OpType.COMPUTE, 0.0, 0.1),
+            _entry(1, "b", OpType.COMPUTE, 0.9, 1.0),
+        ])
+        art = render_timeline(timeline, width=20, show_scale=False)
+        row = art.splitlines()[0]
+        assert "." in row
+
+    def test_memory_glyph(self):
+        timeline = _timeline([
+            _entry(0, "load", OpType.MEMORY, 0.0, 1.0)])
+        art = render_timeline(timeline, width=16, show_scale=False)
+        assert "m" in art
+
+    def test_scale_shows_total_ms(self):
+        timeline = _timeline([
+            _entry(0, "a", OpType.COMPUTE, 0.0, 0.25)])
+        art = render_timeline(timeline, width=16)
+        assert "250.00 ms" in art
+
+    def test_device_filter(self):
+        timeline = _timeline([
+            _entry(0, "a", OpType.COMPUTE, 0.0, 1.0, device="d0"),
+            _entry(1, "b", OpType.COMPUTE, 0.0, 1.0, device="d1"),
+        ])
+        art = render_timeline(timeline, width=16, devices=["d1"])
+        assert "d1/compute" in art
+        assert "d0/compute" not in art
+
+    def test_empty_timeline(self):
+        assert render_timeline(Timeline(graph_name="e")) \
+            == "(empty timeline)"
+
+    def test_narrow_width_rejected(self):
+        timeline = _timeline([
+            _entry(0, "a", OpType.COMPUTE, 0.0, 1.0)])
+        with pytest.raises(ValueError):
+            render_timeline(timeline, width=4)
+
+    def test_short_op_still_visible(self):
+        """Every operator paints at least one cell."""
+        timeline = _timeline([
+            _entry(0, "long", OpType.COMPUTE, 0.0, 10.0),
+            _entry(1, "blip", OpType.COMMUNICATION, 10.0, 10.001,
+                   stream="comm"),
+        ])
+        art = render_timeline(timeline, width=20, show_scale=False)
+        comm_row = [line for line in art.splitlines()
+                    if "comm" in line][0]
+        assert "=" in comm_row
+
+
+class TestRenderComparison:
+    def test_both_sections_present(self):
+        a = _timeline([_entry(0, "x", OpType.COMPUTE, 0.0, 1.0)])
+        b = _timeline([_entry(0, "x", OpType.COMPUTE, 0.0, 1.01)])
+        art = render_comparison(a, b, width=20)
+        assert "Seer foresight" in art
+        assert "Testbed result" in art

@@ -1,0 +1,110 @@
+"""Tests for the green-energy generation and sizing models (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    RenewableGeneration,
+    RenewableMix,
+    TidalProfile,
+    daily_inference_power,
+    self_consumption,
+    size_for_renewable_share,
+    solar_curve_mw,
+    wind_curve_mw,
+)
+
+HOURS = np.linspace(0.0, 24.0, 24 * 60, endpoint=False)
+
+
+class TestSolarCurve:
+    def test_zero_at_night(self):
+        curve = solar_curve_mw(10.0, HOURS)
+        night = curve[(HOURS < 5.5) | (HOURS > 19.5)]
+        assert np.all(night == 0.0)
+
+    def test_peaks_at_midday(self):
+        curve = solar_curve_mw(10.0, HOURS)
+        assert curve[(HOURS > 12.0) & (HOURS < 13.0)].max() \
+            == pytest.approx(10.0, rel=0.01)
+
+    def test_invalid_daylight_window(self):
+        with pytest.raises(ValueError):
+            solar_curve_mw(10.0, HOURS, sunrise=20.0, sunset=6.0)
+
+
+class TestWindCurve:
+    def test_never_negative(self):
+        curve = wind_curve_mw(5.0, HOURS, noise_frac=0.5, seed=2)
+        assert np.all(curve >= 0.0)
+
+    def test_mean_near_nominal(self):
+        curve = wind_curve_mw(5.0, HOURS, seed=1)
+        assert np.mean(curve) == pytest.approx(5.0, rel=0.1)
+
+    def test_deterministic_with_seed(self):
+        a = wind_curve_mw(5.0, HOURS, seed=9)
+        b = wind_curve_mw(5.0, HOURS, seed=9)
+        assert np.array_equal(a, b)
+
+
+class TestSelfConsumption:
+    def test_flat_demand_absorbs_generation(self):
+        generation = RenewableGeneration(solar_peak_mw=10.0,
+                                         wind_mean_mw=5.0)
+        demand = np.full_like(HOURS, 100.0)
+        report = self_consumption(generation.generation_mw(HOURS),
+                                  demand, HOURS)
+        assert report["curtailment"] == pytest.approx(0.0, abs=1e-9)
+        assert 0.0 < report["renewable_share"] < 0.2
+
+    def test_oversized_solar_gets_curtailed(self):
+        generation = RenewableGeneration(solar_peak_mw=500.0,
+                                         wind_mean_mw=0.0)
+        demand = np.full_like(HOURS, 100.0)
+        report = self_consumption(generation.generation_mw(HOURS),
+                                  demand, HOURS)
+        assert report["curtailment"] > 0.3
+
+    def test_solar_matches_tidal_demand_better_than_night_wind(self):
+        """The tidal load is daytime-heavy — exactly solar's shape."""
+        profile = TidalProfile()
+        demand = daily_inference_power(profile, HOURS)
+        solar_only = self_consumption(
+            solar_curve_mw(60.0, HOURS), demand, HOURS)
+        # Same daily energy from wind (flat-ish):
+        solar_energy = np.sum(solar_curve_mw(60.0, HOURS)) / len(HOURS)
+        wind_only = self_consumption(
+            wind_curve_mw(solar_energy, HOURS, noise_frac=0.0),
+            demand, HOURS)
+        assert solar_only["curtailment"] <= wind_only["curtailment"] \
+            + 0.02
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            self_consumption(np.zeros(5), np.zeros(6), np.zeros(5))
+
+
+class TestSizing:
+    def test_hits_paper_share(self):
+        """Size the farms for the paper's 22% renewable share."""
+        _, report = size_for_renewable_share(0.22)
+        assert report["renewable_share"] == pytest.approx(0.22,
+                                                          abs=0.005)
+
+    def test_sized_capacity_scales_with_target(self):
+        small, _ = size_for_renewable_share(0.10)
+        large, _ = size_for_renewable_share(0.30)
+        assert large.solar_peak_mw > small.solar_peak_mw
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            size_for_renewable_share(0.95)
+
+    def test_carbon_closure_with_paper_numbers(self):
+        """22% share x the paper's implied consumption = 778 kt saved."""
+        mix = RenewableMix()
+        yearly_kwh = 778e6 / (mix.renewable_fraction
+                              * mix.grid_carbon_kg_per_kwh)
+        assert mix.carbon_saved_kg(yearly_kwh) \
+            == pytest.approx(778e6, rel=1e-6)

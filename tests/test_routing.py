@@ -1,0 +1,191 @@
+"""Tests for ECMP routing over the fabric graphs."""
+
+import pytest
+
+from repro.network import EcmpRouter, RoutingError, make_flow, reset_flow_ids
+from repro.topology import (
+    AstralParams,
+    DeviceKind,
+    build_astral,
+    build_clos,
+    build_rail_only,
+    ClosParams,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+@pytest.fixture(scope="module")
+def astral_small():
+    return build_astral(AstralParams.small())
+
+
+@pytest.fixture()
+def router(astral_small):
+    return EcmpRouter(astral_small)
+
+
+def _host(pod, block, host):
+    return f"p{pod}.b{block}.h{host}"
+
+
+class TestAstralPathShapes:
+    def test_same_block_same_rail_one_switch(self, router):
+        """Intra-block same-rail: host -> ToR -> host (1 switch hop)."""
+        flow = make_flow(_host(0, 0, 0), _host(0, 0, 1), rail=0,
+                         size_bits=8e9)
+        path = router.path(flow)
+        assert path.switch_hops == 1
+        kinds = [router.topology.devices[d].kind for d in path.devices]
+        assert kinds == [DeviceKind.HOST, DeviceKind.TOR, DeviceKind.HOST]
+
+    def test_cross_block_same_rail_stays_below_core(self, router):
+        """Same-rail cross-block: ToR -> Agg -> ToR, never Core (P1)."""
+        flow = make_flow(_host(0, 0, 0), _host(0, 1, 0), rail=1,
+                         size_bits=8e9)
+        path = router.path(flow)
+        kinds = [router.topology.devices[d].kind for d in path.devices]
+        assert DeviceKind.CORE not in kinds
+        assert kinds == [DeviceKind.HOST, DeviceKind.TOR, DeviceKind.AGG,
+                         DeviceKind.TOR, DeviceKind.HOST]
+
+    def test_cross_pod_traverses_core(self, router):
+        flow = make_flow(_host(0, 0, 0), _host(1, 0, 0), rail=0,
+                         size_bits=8e9)
+        path = router.path(flow)
+        kinds = [router.topology.devices[d].kind for d in path.devices]
+        assert DeviceKind.CORE in kinds
+        assert path.switch_hops == 5  # ToR-Agg-Core-Agg-ToR
+
+    def test_cross_rail_same_block_traverses_core(self, router):
+        """Without PXN, cross-rail traffic must climb to the Core tier."""
+        flow = make_flow(_host(0, 0, 0), _host(0, 0, 1), rail=0,
+                         size_bits=8e9, dst_rail=2)
+        path = router.path(flow)
+        kinds = [router.topology.devices[d].kind for d in path.devices]
+        assert DeviceKind.CORE in kinds
+
+    def test_path_respects_source_rail(self, router):
+        flow = make_flow(_host(0, 0, 0), _host(0, 1, 0), rail=3,
+                         size_bits=8e9)
+        path = router.path(flow)
+        first_tor = router.topology.devices[path.devices[1]]
+        assert first_tor.rail == 3
+
+    def test_path_respects_destination_rail(self, router):
+        flow = make_flow(_host(0, 0, 0), _host(0, 1, 0), rail=2,
+                         size_bits=8e9)
+        path = router.path(flow)
+        last_tor = router.topology.devices[path.devices[-2]]
+        assert last_tor.rail == 2
+
+    def test_path_never_transits_hosts(self, router):
+        flow = make_flow(_host(0, 0, 0), _host(1, 1, 3), rail=0,
+                         size_bits=8e9)
+        path = router.path(flow)
+        for name in path.devices[1:-1]:
+            assert router.topology.devices[name].kind is not DeviceKind.HOST
+
+    def test_deterministic_paths(self, router):
+        flow = make_flow(_host(0, 0, 0), _host(0, 1, 0), rail=0,
+                         size_bits=8e9)
+        assert router.path(flow).devices == router.path(flow).devices
+
+    def test_different_src_ports_spread_paths(self, router):
+        """ECMP: varying the source port changes the chosen Agg."""
+        aggs = set()
+        for port in range(49152, 49152 + 64):
+            flow = make_flow(_host(0, 0, 0), _host(0, 1, 0), rail=0,
+                             size_bits=8e9, src_port=port)
+            path = router.path(flow)
+            aggs.add(path.devices[2])
+        assert len(aggs) > 1
+
+
+class TestFailureRerouting:
+    def test_reroutes_around_failed_tor_uplink(self):
+        topo = build_astral(AstralParams.tiny())
+        router = EcmpRouter(topo)
+        flow = make_flow(_host(0, 0, 0), _host(0, 1, 0), rail=0,
+                         size_bits=8e9)
+        path = router.path(flow)
+        # Fail the first ToR->Agg link on the path.
+        failed = path.link_ids[1]
+        topo.fail_link(failed)
+        new_path = router.path(flow)
+        assert failed not in new_path.link_ids
+
+    def test_dual_tor_survives_tor_isolation(self):
+        """P3: with one ToR's host links all failed, the other carries."""
+        topo = build_astral(AstralParams.tiny())
+        router = EcmpRouter(topo)
+        flow = make_flow(_host(0, 0, 0), _host(0, 0, 1), rail=0,
+                         size_bits=8e9)
+        tor0 = "p0.b0.r0.g0.tor"
+        for link in topo.links_of(tor0):
+            topo.fail_link(link.link_id)
+        path = router.path(flow)
+        assert tor0 not in path.devices
+
+    def test_unreachable_raises(self):
+        topo = build_astral(AstralParams.tiny())
+        router = EcmpRouter(topo)
+        flow = make_flow(_host(0, 0, 0), _host(0, 0, 1), rail=0,
+                         size_bits=8e9)
+        # Sever the destination host from rail 0 completely.
+        dst = _host(0, 0, 1)
+        for link in topo.links_of(dst):
+            other = topo.devices[link.other(dst)]
+            if other.rail == 0:
+                topo.fail_link(link.link_id)
+        with pytest.raises(RoutingError):
+            router.path(flow)
+
+    def test_min_hops_unreachable_raises(self):
+        topo = build_rail_only(AstralParams.tiny())
+        router = EcmpRouter(topo)
+        # Cross-rail flow on a rail-only fabric has no route at all.
+        flow = make_flow(_host(0, 0, 0), _host(0, 1, 0), rail=0,
+                         size_bits=8e9, dst_rail=1)
+        assert not router.reachable(flow)
+        with pytest.raises(RoutingError):
+            router.min_hops(flow)
+
+
+class TestClosRouting:
+    def test_any_pair_routes(self):
+        topo = build_clos(ClosParams.tiny())
+        router = EcmpRouter(topo)
+        flow = make_flow("p0.b0.h0", "p1.b1.h1", rail=0, size_bits=8e9)
+        path = router.path(flow)
+        assert path.devices[0] == "p0.b0.h0"
+        assert path.devices[-1] == "p1.b1.h1"
+
+    def test_same_rail_gets_no_shortcut(self):
+        """In CLOS, same-rail cross-block still climbs to the Agg tier
+        shared by all rails (no same-rail dedication)."""
+        topo = build_clos(ClosParams.tiny())
+        router = EcmpRouter(topo)
+        flow = make_flow("p0.b0.h0", "p0.b1.h0", rail=0, size_bits=8e9)
+        path = router.path(flow)
+        kinds = [topo.devices[d].kind for d in path.devices]
+        assert DeviceKind.AGG in kinds
+        aggs = [topo.devices[d] for d in path.devices
+                if topo.devices[d].kind is DeviceKind.AGG]
+        assert all(agg.rail is None for agg in aggs)
+
+
+class TestRouterCaching:
+    def test_cache_invalidated_on_failure(self):
+        topo = build_astral(AstralParams.tiny())
+        router = EcmpRouter(topo)
+        flow = make_flow(_host(0, 0, 0), _host(0, 1, 0), rail=0,
+                         size_bits=8e9)
+        router.path(flow)
+        assert router._dist_cache
+        topo.fail_link(0)
+        router.path(flow)
+        assert router._cache_version == topo.version

@@ -1,0 +1,305 @@
+"""Tests for the Seer facade: accuracy, speed, and case-study trends
+(§4.3, §4.4, Figures 12/13/14)."""
+
+import time
+
+import pytest
+
+from repro.seer import (
+    DEEPSEEK_MOE,
+    GPT3_175B,
+    HUNYUAN_MOE,
+    LLAMA3_70B,
+    NetworkSuite,
+    ParallelismConfig,
+    Seer,
+)
+
+
+@pytest.fixture(scope="module")
+def seer():
+    return Seer(gpu="H800", network=NetworkSuite(), corrected=True)
+
+
+@pytest.fixture(scope="module")
+def uncorrected():
+    return Seer(gpu="H800", network=NetworkSuite(), corrected=False)
+
+
+GPT3_PAR = ParallelismConfig(tp=8, pp=8, dp=16, microbatches=16)
+HUNYUAN_PAR = ParallelismConfig(tp=4, pp=4, dp=8, ep=16, microbatches=8)
+
+
+class TestForecastBasics:
+    def test_iteration_time_positive(self, seer):
+        forecast = seer.forecast_training(GPT3_175B, GPT3_PAR)
+        assert forecast.iteration_time_s > 0
+        assert forecast.tokens_per_s > 0
+
+    def test_forecast_within_seconds(self, seer):
+        """Headline: Seer forecasts within seconds (vs hours/days for
+        packet-level simulators)."""
+        start = time.monotonic()
+        seer.forecast_training(GPT3_175B, GPT3_PAR)
+        assert time.monotonic() - start < 5.0
+
+    def test_comm_partially_overlapped(self, seer):
+        """Communication overlaps with computation: the exposed share
+        must be well below 100% (the paper reports ~15% in production,
+        where TP collectives are faster relative to compute)."""
+        forecast = seer.forecast_training(GPT3_175B, GPT3_PAR)
+        assert 0.0 < forecast.exposed_comm_fraction() < 0.8
+
+    def test_more_microbatches_improve_throughput(self, seer):
+        few = seer.forecast_training(
+            GPT3_175B, ParallelismConfig(tp=8, pp=8, dp=1,
+                                         microbatches=8))
+        many = seer.forecast_training(
+            GPT3_175B, ParallelismConfig(tp=8, pp=8, dp=1,
+                                         microbatches=32))
+        assert many.throughput_per_gpu > few.throughput_per_gpu
+
+    def test_detail_and_aggregate_agree_roughly(self, seer):
+        parallel = ParallelismConfig(tp=8, pp=2, dp=1, microbatches=4)
+        coarse = seer.forecast_training(LLAMA3_70B, parallel)
+        fine = seer.forecast_training(LLAMA3_70B, parallel, detail=True)
+        ratio = fine.iteration_time_s / coarse.iteration_time_s
+        assert 0.5 < ratio < 2.0
+
+
+class TestAccuracy:
+    def test_hunyuan_deviation_sub_percent(self, seer):
+        """Figure 12: ~0.3% deviation on the Hunyuan model."""
+        deviation = seer.accuracy_deviation(HUNYUAN_MOE, HUNYUAN_PAR)
+        assert deviation < 0.01
+
+    def test_dense_models_acceptable(self, seer):
+        for model, parallel in (
+            (GPT3_175B, GPT3_PAR),
+            (LLAMA3_70B, ParallelismConfig(tp=8, pp=4, dp=4,
+                                           microbatches=8)),
+        ):
+            assert seer.accuracy_deviation(model, parallel) < 0.02
+
+    def test_moe_deviation_higher_than_hunyuan(self, seer):
+        """DeepSeek-class MoE: 'relatively higher due to unpredictable
+        expert selection'."""
+        deepseek = seer.accuracy_deviation(
+            DEEPSEEK_MOE,
+            ParallelismConfig(tp=1, pp=1, dp=8, ep=8, microbatches=8))
+        hunyuan = seer.accuracy_deviation(HUNYUAN_MOE, HUNYUAN_PAR)
+        assert deepseek > hunyuan
+
+    def test_uncorrected_deviates_far_more(self, seer, uncorrected):
+        """§5: the basic model deviates >5% once communication (and, on
+        a simulated substrate, everything else) bottlenecks."""
+        testbed = uncorrected.testbed_training(GPT3_175B, GPT3_PAR)
+        basic = uncorrected.forecast_training(GPT3_175B, GPT3_PAR)
+        basic_dev = abs(basic.iteration_time_s
+                        - testbed.iteration_time_s) \
+            / testbed.iteration_time_s
+        corrected_dev = seer.accuracy_deviation(GPT3_175B, GPT3_PAR)
+        assert basic_dev > 0.05
+        assert corrected_dev < basic_dev / 5
+
+
+class TestCaseStudyTrends:
+    def test_cross_dc_pp_cheap_dp_overlappable(self):
+        """Figure 13 shape: both PP and DP tolerate cross-DC placement;
+        ZeRO-DP does not."""
+        base_net = NetworkSuite().with_cross_dc(8.0, rtt_ms=3.0)
+        results = {}
+        for dim, zero in (("pp", 0), ("dp", 0), ("dp", 3)):
+            par = ParallelismConfig(tp=8, pp=4, dp=4, microbatches=16,
+                                    zero_stage=zero,
+                                    cross_dc_dimension=dim)
+            seer_x = Seer(gpu="H800", network=base_net)
+            tag = f"zero-{dim}" if zero else dim
+            results[tag] = seer_x.forecast_training(
+                LLAMA3_70B, par).iteration_time_s
+        baseline = Seer(gpu="H800", network=NetworkSuite()) \
+            .forecast_training(
+                LLAMA3_70B,
+                ParallelismConfig(tp=8, pp=4, dp=4, microbatches=16)) \
+            .iteration_time_s
+        # PP and DP lose little; ZeRO-DP loses clearly more.
+        assert results["pp"] < baseline * 1.15
+        assert results["dp"] < baseline * 1.15
+        assert results["zero-dp"] > max(results["pp"], results["dp"])
+
+    def test_intra_host_scale_helps_moe_more(self):
+        """Figure 14a/b: the MoE model benefits more from a larger HB
+        domain than GPT-3."""
+        def gain(model, parallel):
+            small = Seer(gpu="H800",
+                         network=NetworkSuite().with_intra_host_size(8))
+            large = Seer(gpu="H800",
+                         network=NetworkSuite()
+                         .with_intra_host_size(64))
+            t_small = small.forecast_training(model, parallel) \
+                .iteration_time_s
+            t_large = large.forecast_training(model, parallel) \
+                .iteration_time_s
+            return (t_small - t_large) / t_small
+
+        gpt3_gain = gain(GPT3_175B,
+                         ParallelismConfig(tp=8, pp=4, dp=2,
+                                           microbatches=8))
+        moe_gain = gain(HUNYUAN_MOE,
+                        ParallelismConfig(tp=4, pp=4, dp=2, ep=16,
+                                          microbatches=8))
+        assert moe_gain > gpt3_gain
+
+    def test_inference_prefill_faster_per_token_than_decode(self, seer):
+        forecast = seer.forecast_inference(
+            LLAMA3_70B, ParallelismConfig(tp=8, pp=1, dp=1),
+            batch=8, context_len=2048)
+        assert forecast.prefill_tokens_per_s \
+            > 10 * forecast.decode_tokens_per_s
+
+    def test_oversubscription_slows_cross_pod_moe_training(self):
+        """Figure 2 right: with a fragmented (cross-pod) placement,
+        tier-3 oversubscription costs training performance; the MoE
+        model's all-to-all makes it sensitive."""
+        par = ParallelismConfig(tp=4, pp=4, dp=2, ep=16,
+                                microbatches=8)
+        flat = Seer(gpu="H800",
+                    network=NetworkSuite(cross_pod_fraction=0.5))
+        oversub = Seer(
+            gpu="H800",
+            network=NetworkSuite(cross_pod_fraction=0.5,
+                                 tier3_oversubscription=3.0))
+        t_flat = flat.forecast_training(HUNYUAN_MOE, par) \
+            .iteration_time_s
+        t_over = oversub.forecast_training(HUNYUAN_MOE, par) \
+            .iteration_time_s
+        assert t_over > t_flat
+
+
+class TestSeerConfiguration:
+    def test_gpu_by_name_or_suite(self):
+        from repro.seer import gpu_suite
+        by_name = Seer(gpu="A100", corrected=False)
+        by_suite = Seer(gpu=gpu_suite("A100"), corrected=False)
+        assert by_name.gpu == by_suite.gpu
+
+    def test_forecast_handcrafted_graph(self, seer):
+        from repro.seer import OperatorGraph, OpType
+        graph = OperatorGraph(name="custom")
+        a = graph.add("SA", OpType.COMPUTE, flops=1e12,
+                      bytes_accessed=1e8)
+        graph.add("MLP", OpType.COMPUTE, deps=[a.op_id], flops=2e12,
+                  bytes_accessed=2e8)
+        timeline = seer.forecast_graph(graph)
+        assert timeline.total_time_s > 0
+        assert len(timeline.entries) == 2
+
+
+class TestTimeToTrain:
+    def test_token_budget_to_wallclock(self, seer):
+        forecast = seer.forecast_training(GPT3_175B, GPT3_PAR)
+        seconds = forecast.time_to_train_s(1e12)  # a trillion tokens
+        days = seconds / 86400
+        assert 0 < days < 10_000
+        # Consistency: tokens/s x time == budget.
+        assert forecast.tokens_per_s * seconds == pytest.approx(1e12)
+
+    def test_gpu_hours_scale_with_world_size(self, seer):
+        small = seer.forecast_training(
+            GPT3_175B, ParallelismConfig(tp=8, pp=8, dp=1,
+                                         microbatches=16))
+        big = seer.forecast_training(
+            GPT3_175B, ParallelismConfig(tp=8, pp=8, dp=16,
+                                         microbatches=16))
+        # More GPUs finish faster but burn similar total GPU-hours
+        # (within the near-linear-scaling regime).
+        budget = 1e11
+        assert big.time_to_train_s(budget) \
+            < small.time_to_train_s(budget)
+        ratio = big.gpu_hours(budget) / small.gpu_hours(budget)
+        assert 0.9 < ratio < 1.3
+
+    def test_negative_budget_rejected(self, seer):
+        forecast = seer.forecast_training(GPT3_175B, GPT3_PAR)
+        with pytest.raises(ValueError):
+            forecast.time_to_train_s(-1.0)
+
+
+class TestInterleavedPipeline:
+    def test_virtual_stages_reduce_bubbles(self, seer):
+        """Megatron-interleaved 1F1B: with few microbatches, splitting
+        each stage into model chunks shrinks pipeline bubbles."""
+        times = {}
+        for virtual in (1, 2, 4):
+            parallel = ParallelismConfig(tp=8, pp=8, dp=1,
+                                         microbatches=8,
+                                         virtual_stages=virtual)
+            times[virtual] = seer.forecast_training(
+                GPT3_175B, parallel).iteration_time_s
+        assert times[2] < times[1]
+        assert times[4] < times[2]
+
+    def test_interleaving_irrelevant_without_pipeline(self, seer):
+        a = seer.forecast_training(
+            GPT3_175B, ParallelismConfig(tp=8, pp=1, dp=1,
+                                         microbatches=4))
+        b = seer.forecast_training(
+            GPT3_175B, ParallelismConfig(tp=8, pp=1, dp=1,
+                                         microbatches=4,
+                                         virtual_stages=2))
+        assert b.iteration_time_s == pytest.approx(
+            a.iteration_time_s, rel=0.05)
+
+    def test_chunks_must_divide_layers(self):
+        from repro.seer import build_training_graph
+        with pytest.raises(ValueError):
+            build_training_graph(
+                GPT3_175B,
+                ParallelismConfig(tp=8, pp=8, virtual_stages=5),
+                NetworkSuite())
+
+    def test_total_flops_independent_of_interleaving(self, seer):
+        from repro.seer import build_training_graph
+        flat = build_training_graph(
+            GPT3_175B, ParallelismConfig(tp=8, pp=4, microbatches=4),
+            NetworkSuite())
+        interleaved = build_training_graph(
+            GPT3_175B, ParallelismConfig(tp=8, pp=4, microbatches=4,
+                                         virtual_stages=3),
+            NetworkSuite())
+        assert sum(op.flops for op in interleaved) \
+            == pytest.approx(sum(op.flops for op in flat))
+
+
+class TestEnergyIntegration:
+    def test_energy_positive_and_bounded(self, seer):
+        forecast = seer.forecast_training(
+            LLAMA3_70B, ParallelismConfig(tp=8, pp=4, dp=2,
+                                          microbatches=8))
+        energy = forecast.energy_per_iteration_j(tdp_watts=500.0)
+        assert energy > 0
+        # Upper bound: every GPU at 1.1x TDP for the whole iteration.
+        upper = (forecast.parallel.world_size * 550.0
+                 * forecast.iteration_time_s)
+        assert energy < upper
+
+    def test_tokens_per_joule_consistent(self, seer):
+        forecast = seer.forecast_training(
+            LLAMA3_70B, ParallelismConfig(tp=8, pp=4, dp=2,
+                                          microbatches=8))
+        tpj = forecast.tokens_per_joule()
+        assert tpj == pytest.approx(
+            forecast.tokens_per_iteration
+            / forecast.energy_per_iteration_j())
+
+    def test_interleaving_improves_energy_efficiency(self, seer):
+        """Fewer bubbles = less near-idle burn per token."""
+        flat = seer.forecast_training(
+            GPT3_175B, ParallelismConfig(tp=8, pp=8, dp=1,
+                                         microbatches=8))
+        interleaved = seer.forecast_training(
+            GPT3_175B, ParallelismConfig(tp=8, pp=8, dp=1,
+                                         microbatches=8,
+                                         virtual_stages=4))
+        assert interleaved.tokens_per_joule() \
+            > flat.tokens_per_joule()

@@ -1,0 +1,115 @@
+"""Tests for the HBM memory-footprint estimator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seer import (
+    GPT3_175B,
+    HUNYUAN_MOE,
+    LLAMA3_70B,
+    ParallelismConfig,
+    estimate_memory,
+    fits_memory,
+    gpu_suite,
+)
+
+
+class TestTrainingFootprint:
+    def test_known_layout_near_capacity(self):
+        """GPT-3 at TPxPP = 64-way sharding sits near (but within a few
+        GB of) an 80 GB part — the realistic production regime."""
+        estimate = estimate_memory(
+            GPT3_175B,
+            ParallelismConfig(tp=8, pp=8, dp=16, microbatches=16))
+        assert 50 < estimate.total_gb < 90
+
+    def test_tiny_sharding_does_not_fit(self):
+        estimate = estimate_memory(
+            GPT3_175B, ParallelismConfig(tp=2, pp=2, dp=2,
+                                         microbatches=8))
+        assert not estimate.fits(gpu_suite("H800"))
+
+    def test_zero3_shards_optimizer_and_weights(self):
+        plain = estimate_memory(
+            LLAMA3_70B, ParallelismConfig(tp=4, pp=4, dp=8,
+                                          microbatches=8))
+        zero3 = estimate_memory(
+            LLAMA3_70B, ParallelismConfig(tp=4, pp=4, dp=8,
+                                          zero_stage=3,
+                                          microbatches=8))
+        assert zero3.optimizer < plain.optimizer
+        assert zero3.weights < plain.weights
+        assert zero3.total < plain.total
+
+    def test_ep_shards_expert_weights(self):
+        ep1 = estimate_memory(
+            HUNYUAN_MOE, ParallelismConfig(tp=4, pp=4, dp=2, ep=1,
+                                           microbatches=8))
+        ep16 = estimate_memory(
+            HUNYUAN_MOE, ParallelismConfig(tp=4, pp=4, dp=2, ep=16,
+                                           microbatches=8))
+        assert ep16.weights < ep1.weights / 4
+
+    def test_more_tp_reduces_activations(self):
+        tp2 = estimate_memory(
+            LLAMA3_70B, ParallelismConfig(tp=2, pp=4, dp=1,
+                                          microbatches=8))
+        tp8 = estimate_memory(
+            LLAMA3_70B, ParallelismConfig(tp=8, pp=4, dp=1,
+                                          microbatches=8))
+        assert tp8.activations < tp2.activations
+
+    @given(tp=st.sampled_from([1, 2, 4, 8]),
+           pp=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=16, deadline=None)
+    def test_footprint_monotone_in_sharding(self, tp, pp):
+        base = estimate_memory(
+            LLAMA3_70B, ParallelismConfig(tp=tp, pp=pp, dp=1,
+                                          microbatches=4))
+        sharded = estimate_memory(
+            LLAMA3_70B, ParallelismConfig(tp=tp, pp=pp * 2, dp=1,
+                                          microbatches=4)) \
+            if (LLAMA3_70B.n_layers % (pp * 2) == 0) else None
+        if sharded is not None:
+            assert sharded.weights <= base.weights
+
+
+class TestInferenceFootprint:
+    def test_kv_cache_grows_with_context(self):
+        short = estimate_memory(
+            LLAMA3_70B, ParallelismConfig(tp=8, pp=1, dp=1),
+            training=False, inference_batch=8, inference_context=512)
+        long = estimate_memory(
+            LLAMA3_70B, ParallelismConfig(tp=8, pp=1, dp=1),
+            training=False, inference_batch=8,
+            inference_context=8192)
+        assert long.kv_cache > 10 * short.kv_cache
+
+    def test_inference_lighter_than_training(self):
+        parallel = ParallelismConfig(tp=8, pp=1, dp=1, microbatches=4)
+        train = estimate_memory(LLAMA3_70B, parallel)
+        infer = estimate_memory(LLAMA3_70B, parallel, training=False)
+        assert infer.total < train.total
+
+    def test_llama3_inference_fits_tp8(self):
+        assert fits_memory(
+            LLAMA3_70B, ParallelismConfig(tp=8, pp=1, dp=1),
+            gpu_suite("H800"), training=False)
+
+
+class TestFitsHelper:
+    def test_headroom_respected(self):
+        estimate = estimate_memory(
+            LLAMA3_70B, ParallelismConfig(tp=8, pp=8, dp=4,
+                                          microbatches=8))
+        gpu = gpu_suite("H800")
+        # With 100% headroom demanded, nothing fits.
+        assert not estimate.fits(gpu, headroom_frac=1.0)
+
+    def test_h20_extra_hbm_helps(self):
+        parallel = ParallelismConfig(tp=8, pp=8, dp=16,
+                                     microbatches=16)
+        estimate = estimate_memory(GPT3_175B, parallel)
+        h800 = estimate.fits(gpu_suite("H800"))
+        h20 = estimate.fits(gpu_suite("H20"))   # 96 GB part
+        assert h20 or not h800  # H20 never fits less than H800

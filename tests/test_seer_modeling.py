@@ -1,0 +1,246 @@
+"""Tests for Appendix-E formulas, hardware suites, and calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+
+from repro.seer import (
+    BasicModel,
+    CommKind,
+    EffectiveModel,
+    NetworkSuite,
+    Operator,
+    OpType,
+    ThroughputFit,
+    TestbedOracle,
+    addition_time,
+    calibrate,
+    collective_wire_factor,
+    dp_comm_time,
+    gpu_suite,
+    memory_access_time,
+    multiplication_time,
+    pp_comm_time,
+    tp_comm_time,
+)
+
+
+class TestAppendixEFormulas:
+    def test_multiplication_formula(self):
+        # T = (2n-1) * m * p / flops
+        assert multiplication_time(4, 8, 2, flops=1e3) \
+            == pytest.approx((2 * 8 - 1) * 4 * 2 / 1e3)
+
+    def test_addition_formula(self):
+        assert addition_time(3, 5, flops=100.0) == pytest.approx(0.15)
+
+    def test_memory_formula_uses_bitwidth(self):
+        # FP16 matrix: m*n*16 bits over the bandwidth.
+        assert memory_access_time(10, 10, bits=16,
+                                  hbm_bw_bits_per_s=1600.0) \
+            == pytest.approx(1.0)
+
+    def test_tp_pp_relationship(self):
+        """Eq. (5) divides Eq. (4) by the TP group count."""
+        tp = tp_comm_time(2, 1024, 4096, 16, 1e12)
+        pp = pp_comm_time(2, 1024, 4096, 16, tp_groups=8,
+                          net_bw_bits_per_s=1e12)
+        assert pp == pytest.approx(tp / 8)
+
+    def test_dp_formula(self):
+        t = dp_comm_time(1e9, 16, tp_groups=8, pp_groups=4,
+                         net_bw_bits_per_s=1e12)
+        assert t == pytest.approx(1e9 * 16 / 32 / 1e12)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            multiplication_time(1, 1, 1, flops=0)
+        with pytest.raises(ValueError):
+            memory_access_time(1, 1, 16, 0)
+
+
+class TestWireFactors:
+    def test_allreduce_factor(self):
+        assert collective_wire_factor(CommKind.ALL_REDUCE, 4) \
+            == pytest.approx(1.5)
+
+    def test_reduce_scatter_half_of_allreduce(self):
+        n = 8
+        ar = collective_wire_factor(CommKind.ALL_REDUCE, n)
+        rs = collective_wire_factor(CommKind.REDUCE_SCATTER, n)
+        assert ar == pytest.approx(2 * rs)
+
+    def test_single_rank_is_free(self):
+        for kind in CommKind:
+            assert collective_wire_factor(kind, 1) == 0.0
+
+    def test_send_recv_unit(self):
+        assert collective_wire_factor(CommKind.SEND_RECV, 2) == 1.0
+
+
+class TestGpuSuite:
+    def test_known_suites_available(self):
+        for name in ("V100", "A100", "H100", "H800", "H20"):
+            assert gpu_suite(name).name == name
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            gpu_suite("TPU")
+
+    def test_h20_is_low_flops_high_bandwidth(self):
+        """The paper's motivating hardware constraint."""
+        h20 = gpu_suite("H20")
+        h100 = gpu_suite("H100")
+        assert h20.peak_tflops < h100.peak_tflops / 4
+        assert h20.hbm_tbps > h100.hbm_tbps
+
+    def test_effective_flops_below_peak(self):
+        gpu = gpu_suite("H800")
+        for intensity in (1.0, 10.0, 1000.0):
+            assert gpu.effective_flops(intensity) < gpu.peak_flops
+
+    def test_effective_flops_monotone_in_intensity(self):
+        gpu = gpu_suite("H800")
+        values = [gpu.effective_flops(x) for x in (1, 10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_memory_bound_region_linear_in_intensity(self):
+        gpu = gpu_suite("H800")
+        low = gpu.effective_flops(0.5)
+        assert low <= 0.5 * gpu.hbm_bytes_per_s \
+            * gpu.memory_efficiency + 1e-6
+
+    def test_hbm_ramp_with_size(self):
+        gpu = gpu_suite("A100")
+        small = gpu.effective_hbm_bytes_per_s(1e4)
+        big = gpu.effective_hbm_bytes_per_s(1e9)
+        assert big > small
+        assert big <= gpu.hbm_bytes_per_s
+
+
+class TestNetworkSuite:
+    def test_scopes_ordered_by_bandwidth(self):
+        net = NetworkSuite().with_cross_dc(8.0)
+        size = 64e6
+        intra = net.effective_gbps(size, "intra_host")
+        inter = net.effective_gbps(size, "inter_host")
+        cross = net.effective_gbps(size, "cross_dc")
+        assert intra > inter > cross
+
+    def test_oversubscription_cuts_cross_pod(self):
+        base = NetworkSuite()
+        oversub = base.with_oversubscription(3.0)
+        size = 64e6
+        assert oversub.effective_gbps(size, "cross_pod") \
+            == pytest.approx(base.effective_gbps(size, "cross_pod") / 3)
+
+    def test_small_messages_pay_latency(self):
+        net = NetworkSuite()
+        assert net.effective_gbps(4e3, "inter_host") \
+            < 0.1 * net.effective_gbps(1e9, "inter_host")
+
+    def test_cross_dc_rtt_in_transfer_time(self):
+        net = NetworkSuite().with_cross_dc(1.0, rtt_ms=5.0)
+        t = net.transfer_time_s(1e3, "cross_dc")
+        assert t >= 5e-3
+
+    def test_unknown_scope(self):
+        with pytest.raises(ValueError):
+            NetworkSuite().effective_gbps(1e6, "warp")
+
+    def test_invalid_hb_size(self):
+        with pytest.raises(ValueError):
+            NetworkSuite().with_intra_host_size(0)
+
+
+class TestExecutionModels:
+    def _compute_op(self):
+        return Operator(0, "gemm", OpType.COMPUTE, flops=1e12,
+                        bytes_accessed=1e9)
+
+    def _comm_op(self):
+        return Operator(1, "ar", OpType.COMMUNICATION,
+                        comm_kind=CommKind.ALL_REDUCE, comm_bytes=1e9,
+                        group_size=8, scope="inter_host")
+
+    def test_basic_faster_than_effective(self):
+        """Theoretical peaks always under-estimate: T_basic < T_truth."""
+        gpu = gpu_suite("H800")
+        net = NetworkSuite()
+        basic = BasicModel(gpu=gpu, network=net)
+        truth = EffectiveModel(gpu=gpu, network=net)
+        for op in (self._compute_op(), self._comm_op()):
+            assert basic.operator_time(op) < truth.operator_time(op)
+
+    def test_zero_size_comm_free(self):
+        model = BasicModel(gpu=gpu_suite("H800"), network=NetworkSuite())
+        op = Operator(0, "noop", OpType.COMMUNICATION,
+                      comm_kind=CommKind.ALL_REDUCE, comm_bytes=0,
+                      group_size=8)
+        assert model.operator_time(op) == 0.0
+
+    def test_moe_imbalance_only_on_all_to_all(self):
+        gpu = gpu_suite("H800")
+        net = NetworkSuite(a2a_imbalance=0.5)
+        truth = EffectiveModel(gpu=gpu, network=net)
+        a2a = Operator(0, "a2a", OpType.COMMUNICATION,
+                       comm_kind=CommKind.ALL_TO_ALL, comm_bytes=1e9,
+                       group_size=8, scope="inter_host")
+        ag = Operator(1, "ag", OpType.COMMUNICATION,
+                      comm_kind=CommKind.ALL_GATHER, comm_bytes=1e9,
+                      group_size=8, scope="inter_host")
+        flat = EffectiveModel(gpu=gpu,
+                              network=NetworkSuite(a2a_imbalance=0.0))
+        assert truth.operator_time(a2a) \
+            == pytest.approx(flat.operator_time(a2a) * 1.5)
+        assert truth.operator_time(ag) \
+            == pytest.approx(flat.operator_time(ag))
+
+
+class TestCalibration:
+    def test_fit_recovers_power_law(self):
+        xs = np.geomspace(1, 1e6, 40)
+        ys = 3.0 * xs ** 0.5
+        fit = ThroughputFit.fit(xs, ys, degree=3)
+        assert fit.predict(1e4) == pytest.approx(300.0, rel=0.01)
+
+    def test_fit_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            ThroughputFit.fit([1.0, 2.0], [1.0, 2.0], degree=3)
+
+    def test_fit_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ThroughputFit.fit([0.0, 1.0, 2.0, 3.0], [1, 1, 1, 1],
+                              degree=1)
+
+    def test_predict_clamps_outside_range(self):
+        xs = np.geomspace(1, 100, 20)
+        fit = ThroughputFit.fit(xs, xs, degree=1)
+        assert fit.predict(1e9) == pytest.approx(fit.predict(100.0))
+
+    def test_oracle_noise_seeded(self):
+        gpu = gpu_suite("H800")
+        net = NetworkSuite()
+        a = TestbedOracle(gpu, net, seed=5).measure_flops([10.0])
+        b = TestbedOracle(gpu, net, seed=5).measure_flops([10.0])
+        assert a == b
+
+    def test_calibrated_tracks_truth_closely(self):
+        gpu = gpu_suite("H800")
+        net = NetworkSuite()
+        calibrated = calibrate(gpu, net, seed=0)
+        truth = EffectiveModel(gpu=gpu, network=net)
+        op = Operator(0, "gemm", OpType.COMPUTE, flops=5e12,
+                      bytes_accessed=2e9)
+        t_true = truth.operator_time(op)
+        t_cal = calibrated.operator_time(op)
+        assert abs(t_cal - t_true) / t_true < 0.02
+
+    def test_calibrated_unknown_scope_raises(self):
+        calibrated = calibrate(gpu_suite("H800"), NetworkSuite())
+        op = Operator(0, "x", OpType.COMMUNICATION,
+                      comm_kind=CommKind.ALL_REDUCE, comm_bytes=1e6,
+                      group_size=4, scope="hyperspace")
+        with pytest.raises(KeyError):
+            calibrated.operator_time(op)

@@ -1,0 +1,157 @@
+"""Tests for the DES timeline engine: serialization, overlap, pipelines."""
+
+import pytest
+
+from repro.seer import (
+    CommKind,
+    OperatorGraph,
+    OpType,
+    Timeline,
+    TimelineEngine,
+)
+
+
+class _FixedModel:
+    """Execution model with externally chosen durations."""
+
+    def __init__(self, durations):
+        self.durations = durations
+
+    def operator_time(self, op):
+        return self.durations[op.name]
+
+
+class TestScheduling:
+    def test_dependencies_respected(self):
+        graph = OperatorGraph()
+        a = graph.add("a", OpType.COMPUTE, device="d0")
+        graph.add("b", OpType.COMPUTE, deps=[a.op_id], device="d0")
+        timeline = TimelineEngine(_FixedModel({"a": 1.0, "b": 2.0})) \
+            .run(graph)
+        entries = {e.name: e for e in timeline.entries}
+        assert entries["b"].start_s >= entries["a"].end_s
+        assert timeline.total_time_s == pytest.approx(3.0)
+
+    def test_same_stream_serializes(self):
+        graph = OperatorGraph()
+        graph.add("a", OpType.COMPUTE, device="d0")
+        graph.add("b", OpType.COMPUTE, device="d0")
+        timeline = TimelineEngine(_FixedModel({"a": 1.0, "b": 1.0})) \
+            .run(graph)
+        assert timeline.total_time_s == pytest.approx(2.0)
+
+    def test_different_devices_parallel(self):
+        graph = OperatorGraph()
+        graph.add("a", OpType.COMPUTE, device="d0")
+        graph.add("b", OpType.COMPUTE, device="d1")
+        timeline = TimelineEngine(_FixedModel({"a": 1.0, "b": 1.0})) \
+            .run(graph)
+        assert timeline.total_time_s == pytest.approx(1.0)
+
+    def test_comm_overlaps_compute(self):
+        """Independent comm on its own stream runs under compute."""
+        graph = OperatorGraph()
+        graph.add("gemm", OpType.COMPUTE, device="d0")
+        graph.add("prefetch", OpType.COMMUNICATION, device="d0",
+                  stream="comm", comm_kind=CommKind.ALL_GATHER,
+                  comm_bytes=1, group_size=2)
+        timeline = TimelineEngine(
+            _FixedModel({"gemm": 2.0, "prefetch": 1.5})).run(graph)
+        assert timeline.total_time_s == pytest.approx(2.0)
+        assert timeline.exposed_comm_s("d0") == pytest.approx(0.0)
+
+    def test_exposed_comm_measured(self):
+        """Comm serialized after compute is fully exposed."""
+        graph = OperatorGraph()
+        a = graph.add("gemm", OpType.COMPUTE, device="d0")
+        graph.add("ar", OpType.COMMUNICATION, deps=[a.op_id],
+                  device="d0", stream="comm",
+                  comm_kind=CommKind.ALL_REDUCE, comm_bytes=1,
+                  group_size=2)
+        timeline = TimelineEngine(
+            _FixedModel({"gemm": 1.0, "ar": 0.5})).run(graph)
+        assert timeline.exposed_comm_s("d0") == pytest.approx(0.5)
+
+    def test_preset_durations_honored(self):
+        graph = OperatorGraph()
+        graph.add("handcrafted", OpType.COMPUTE, duration_s=0.25)
+
+        class Boom:
+            def operator_time(self, op):
+                raise AssertionError("must not be called")
+
+        timeline = TimelineEngine(Boom()).run(graph)
+        assert timeline.total_time_s == pytest.approx(0.25)
+
+    def test_deterministic(self):
+        graph1 = OperatorGraph()
+        graph2 = OperatorGraph()
+        for graph in (graph1, graph2):
+            a = graph.add("a", OpType.COMPUTE, device="d0")
+            graph.add("b", OpType.COMPUTE, device="d0")
+            graph.add("c", OpType.COMPUTE, deps=[a.op_id], device="d1")
+        model = _FixedModel({"a": 1.0, "b": 2.0, "c": 0.5})
+        t1 = TimelineEngine(model).run(graph1)
+        t2 = TimelineEngine(model).run(graph2)
+        assert [(e.name, e.start_s) for e in t1.entries] \
+            == [(e.name, e.start_s) for e in t2.entries]
+
+
+class TestPipelineBehaviour:
+    def _pipeline_graph(self, stages=3, microbatches=4):
+        """A minimal fwd pipeline with unit-time stage work."""
+        graph = OperatorGraph()
+        prev = {}
+        for mb in range(microbatches):
+            for stage in range(stages):
+                deps = []
+                if stage > 0:
+                    deps = [prev[(stage - 1, mb)]]
+                op = graph.add(f"f.s{stage}.m{mb}", OpType.COMPUTE,
+                               deps=deps, device=f"s{stage}")
+                prev[(stage, mb)] = op.op_id
+        return graph
+
+    def test_pipeline_fill_and_drain(self):
+        """Total = (stages + microbatches - 1) for unit ops."""
+        graph = self._pipeline_graph(stages=3, microbatches=4)
+        model = _FixedModel({op.name: 1.0 for op in graph})
+        timeline = TimelineEngine(model).run(graph)
+        assert timeline.total_time_s == pytest.approx(3 + 4 - 1)
+
+    def test_bubble_fraction_shrinks_with_microbatches(self):
+        def bubble(microbatches):
+            graph = self._pipeline_graph(stages=4,
+                                         microbatches=microbatches)
+            model = _FixedModel({op.name: 1.0 for op in graph})
+            timeline = TimelineEngine(model).run(graph)
+            ideal = float(microbatches)
+            return (timeline.total_time_s - ideal) \
+                / timeline.total_time_s
+
+        assert bubble(16) < bubble(4)
+
+
+class TestTimelineQueries:
+    def test_entries_for_device_sorted(self):
+        graph = OperatorGraph()
+        a = graph.add("a", OpType.COMPUTE, device="d0")
+        graph.add("b", OpType.COMPUTE, deps=[a.op_id], device="d0")
+        timeline = TimelineEngine(_FixedModel({"a": 1.0, "b": 1.0})) \
+            .run(graph)
+        entries = timeline.entries_for("d0")
+        assert [e.name for e in entries] == ["a", "b"]
+
+    def test_busy_and_utilization(self):
+        graph = OperatorGraph()
+        graph.add("a", OpType.COMPUTE, device="d0")
+        graph.add("idlepad", OpType.COMPUTE, device="d1")
+        timeline = TimelineEngine(
+            _FixedModel({"a": 1.0, "idlepad": 4.0})).run(graph)
+        assert timeline.busy_time_s("d0") == pytest.approx(1.0)
+        assert timeline.utilization("d0") == pytest.approx(0.25)
+
+    def test_empty_timeline(self):
+        timeline = Timeline(graph_name="empty")
+        assert timeline.total_time_s == 0.0
+        assert timeline.devices() == []

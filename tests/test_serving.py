@@ -1,0 +1,95 @@
+"""Tests for the continuous-batching serving simulator."""
+
+import pytest
+
+from repro.seer import (
+    HUNYUAN_MOE,
+    LLAMA3_70B,
+    NetworkSuite,
+    ParallelismConfig,
+    Seer,
+    ServingConfig,
+    ServingSimulator,
+)
+
+PARALLEL = ParallelismConfig(tp=8, pp=1, dp=1, ep=16)
+
+
+@pytest.fixture(scope="module")
+def seer():
+    return Seer(gpu="H800", network=NetworkSuite())
+
+
+def _run(seer, rate, duration=90.0, batch_max=16, model=HUNYUAN_MOE,
+         output_len=128, seed=0):
+    config = ServingConfig(arrival_rate_per_s=rate,
+                           duration_s=duration, batch_max=batch_max,
+                           output_len_mean=output_len, seed=seed)
+    return ServingSimulator(seer, model, PARALLEL, config).run()
+
+
+class TestBasics:
+    def test_all_requests_eventually_complete(self, seer):
+        report = _run(seer, rate=1.0)
+        assert report.completion_rate == 1.0
+        assert report.arrived > 0
+
+    def test_deterministic_with_seed(self, seer):
+        a = _run(seer, rate=1.0, seed=5)
+        b = _run(seer, rate=1.0, seed=5)
+        assert [r.finish_s for r in a.completed] \
+            == [r.finish_s for r in b.completed]
+
+    def test_request_timestamps_ordered(self, seer):
+        report = _run(seer, rate=1.0)
+        for record in report.completed:
+            assert record.arrival_s <= record.prefill_start_s
+            assert record.prefill_start_s < record.first_token_s
+            assert record.first_token_s <= record.finish_s
+
+    def test_idle_system_has_low_ttft(self, seer):
+        report = _run(seer, rate=0.2)
+        # TTFT ~ one prefill at batch 1.
+        simulator = ServingSimulator(seer, HUNYUAN_MOE, PARALLEL,
+                                     ServingConfig())
+        assert report.mean_ttft_s() \
+            < 3 * simulator.prefill_step_s() + 0.5
+
+
+class TestQueueingBehaviour:
+    def test_ttft_explodes_past_saturation(self, seer):
+        light = _run(seer, rate=0.5)
+        heavy = _run(seer, rate=8.0)
+        assert heavy.mean_ttft_s() > 10 * light.mean_ttft_s()
+
+    def test_throughput_grows_with_load_then_saturates(self, seer):
+        rates = (0.5, 2.0, 8.0, 16.0)
+        throughputs = [
+            _run(seer, rate=r).output_tokens_per_s() for r in rates
+        ]
+        assert throughputs[1] > throughputs[0]
+        # Saturation: doubling offered load past the knee gains <2x.
+        assert throughputs[3] < 1.9 * throughputs[2]
+
+    def test_tpot_grows_with_batch(self, seer):
+        simulator = ServingSimulator(seer, HUNYUAN_MOE, PARALLEL,
+                                     ServingConfig())
+        assert simulator.decode_step_s(16) > simulator.decode_step_s(1)
+
+    def test_larger_batch_limit_raises_saturated_throughput(self, seer):
+        small = _run(seer, rate=8.0, batch_max=4)
+        large = _run(seer, rate=8.0, batch_max=32)
+        assert large.output_tokens_per_s() \
+            > small.output_tokens_per_s()
+
+    def test_p99_at_least_mean(self, seer):
+        report = _run(seer, rate=4.0)
+        assert report.p99_ttft_s() >= report.mean_ttft_s()
+
+
+class TestModels:
+    def test_dense_model_served_too(self, seer):
+        report = _run(seer, rate=1.0,
+                      model=LLAMA3_70B.with_seq_len(2048))
+        assert report.completion_rate == 1.0
+        assert report.output_tokens_per_s() > 0

@@ -1,0 +1,251 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simcore import Resource, SimulationError, Simulator, Store
+
+
+class TestSimulatorBasics:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+
+        def worker(tag, delay):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.process(worker("late", 3.0))
+        sim.process(worker("early", 1.0))
+        sim.process(worker("mid", 2.0))
+        sim.run()
+        assert order == ["early", "mid", "late"]
+
+    def test_equal_timestamps_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+
+        def worker(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            sim.process(worker(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+    def test_run_until_past_last_event_advances_to_until(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.run(until=9.0)
+        assert sim.now == 9.0
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().step()
+
+    def test_peek_returns_next_timestamp(self):
+        sim = Simulator()
+        sim.timeout(2.5)
+        assert sim.peek() == 2.5
+
+    def test_peek_empty_returns_none(self):
+        assert Simulator().peek() is None
+
+
+class TestProcesses:
+    def test_process_return_value_propagates(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(1.0)
+            return 42
+
+        def parent(results):
+            value = yield sim.process(child())
+            results.append(value)
+
+        results = []
+        sim.process(parent(results))
+        sim.run()
+        assert results == [42]
+
+    def test_process_chain_accumulates_time(self):
+        sim = Simulator()
+
+        def seq():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+            yield sim.timeout(3.0)
+
+        sim.process(seq())
+        sim.run()
+        assert sim.now == 6.0
+
+    def test_yielding_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield "not an event"
+
+        sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_all_of_waits_for_slowest(self):
+        sim = Simulator()
+        done_at = []
+
+        def parent():
+            yield sim.all_of([sim.timeout(1.0), sim.timeout(5.0)])
+            done_at.append(sim.now)
+
+        sim.process(parent())
+        sim.run()
+        assert done_at == [5.0]
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulator()
+        done = []
+
+        def parent():
+            yield sim.all_of([])
+            done.append(sim.now)
+
+        sim.process(parent())
+        sim.run()
+        assert done == [0.0]
+
+    def test_any_of_fires_on_fastest(self):
+        sim = Simulator()
+        done_at = []
+
+        def parent():
+            yield sim.any_of([sim.timeout(4.0), sim.timeout(1.5)])
+            done_at.append(sim.now)
+
+        sim.process(parent())
+        sim.run()
+        assert done_at == [1.5]
+
+    def test_event_succeed_twice_raises(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+
+class TestResource:
+    def test_capacity_one_serializes(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        spans = []
+
+        def worker(tag):
+            yield resource.request()
+            start = sim.now
+            yield sim.timeout(2.0)
+            resource.release()
+            spans.append((tag, start, sim.now))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert spans == [("a", 0.0, 2.0), ("b", 2.0, 4.0)]
+
+    def test_capacity_two_runs_in_parallel(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        finished = []
+
+        def worker(tag):
+            yield resource.request()
+            yield sim.timeout(3.0)
+            resource.release()
+            finished.append((tag, sim.now))
+
+        for tag in "abc":
+            sim.process(worker(tag))
+        sim.run()
+        # a and b run together; c waits for the first release.
+        assert finished == [("a", 3.0), ("b", 3.0), ("c", 6.0)]
+
+    def test_release_without_request_raises(self):
+        sim = Simulator()
+        resource = Resource(sim)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        store.put("x")
+        sim.process(consumer())
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(3.0)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(3.0, "late")]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        for item in (1, 2, 3):
+            store.put(item)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.process(consumer())
+        sim.run()
+        assert got == [1, 2, 3]

@@ -1,0 +1,135 @@
+"""Tests for telemetry records, join keys, and the store (§3.2)."""
+
+import pytest
+
+from repro.network import FiveTuple
+from repro.monitoring import (
+    CommGroup,
+    ErrCqeRecord,
+    HostSensorRecord,
+    IntPingRecord,
+    JobMetadata,
+    NcclTimelineRecord,
+    QpMetadata,
+    QpRateRecord,
+    SflowPathRecord,
+    SwitchCounterRecord,
+    SyslogRecord,
+    TelemetryStore,
+)
+
+
+def _ft(src="h0.nic0", dst="h1.nic0", port=50000):
+    return FiveTuple(src, dst, port)
+
+
+class TestRecords:
+    def test_nccl_incomplete_flag(self):
+        record = NcclTimelineRecord(0.0, "job0", "h0", 1, 0.5, 0.1,
+                                    started=3, finished=2)
+        assert record.incomplete
+        done = NcclTimelineRecord(0.0, "job0", "h0", 1, 0.5, 0.1,
+                                  started=3, finished=3)
+        assert not done.incomplete
+
+    def test_int_worst_hop(self):
+        record = IntPingRecord(0.0, _ft(), ("h0", "t0", "a0", "h1"),
+                               (0.6, 179.0, 266.0))
+        index, latency = record.worst_hop()
+        assert index == 2
+        assert latency == 266.0
+
+    def test_int_worst_hop_empty_raises(self):
+        record = IntPingRecord(0.0, _ft(), ("h0",), ())
+        with pytest.raises(ValueError):
+            record.worst_hop()
+
+
+class TestJoinKeys:
+    def test_job_metadata_resolves_qp_to_five_tuple(self):
+        ft = _ft()
+        meta = JobMetadata("job0", ["h0", "h1"], [
+            CommGroup("g", "allreduce", ["h0", "h1"],
+                      [QpMetadata(1001, "h0", "h1", ft)])
+        ])
+        assert meta.five_tuple_of_qp(1001) == ft
+        assert meta.five_tuple_of_qp(9999) is None
+
+    def test_comm_group_lookup_by_five_tuple(self):
+        ft = _ft()
+        group = CommGroup("g", "allreduce", ["h0"],
+                          [QpMetadata(1, "h0", "h1", ft)])
+        assert group.qp_for_five_tuple(ft).qp == 1
+        assert group.qp_for_five_tuple(_ft(port=1)) is None
+
+
+class TestStore:
+    def test_dispatch_by_type(self):
+        store = TelemetryStore()
+        store.add(SyslogRecord(0.0, "h0", "err", "boom", fatal=True))
+        store.add(HostSensorRecord(0.0, "h0"))
+        assert len(store.syslogs) == 1
+        assert len(store.host_sensors) == 1
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            TelemetryStore().add(object())
+
+    def test_timeline_scoped_by_job_and_iteration(self):
+        store = TelemetryStore()
+        for it in range(3):
+            store.add(NcclTimelineRecord(it, "job0", "h0", it, 0.5, 0.1,
+                                         1, 1))
+        store.add(NcclTimelineRecord(0, "other", "h0", 0, 0.5, 0.1, 1, 1))
+        assert len(store.timeline_for("job0")) == 3
+        assert len(store.timeline_for("job0", iteration=1)) == 1
+
+    def test_err_cqes_scoped_to_job_qps(self):
+        store = TelemetryStore()
+        ft = _ft()
+        store.register_job(JobMetadata("job0", ["h0"], [
+            CommGroup("g", "allreduce", ["h0"],
+                      [QpMetadata(1, "h0", "h1", ft)])
+        ]))
+        store.add(ErrCqeRecord(0.0, "h0", 1, ft))
+        store.add(ErrCqeRecord(0.0, "hX", 9, _ft(port=123)))
+        assert len(store.err_cqes_for_job("job0")) == 1
+        assert store.err_cqes_for_job("missing") == []
+
+    def test_path_for_returns_latest(self):
+        store = TelemetryStore()
+        ft = _ft()
+        store.add(SflowPathRecord(1.0, ft, ("h0", "t0", "h1"), (0, 1)))
+        store.add(SflowPathRecord(2.0, ft, ("h0", "t1", "h1"), (2, 3)))
+        assert store.path_for(ft).devices == ("h0", "t1", "h1")
+
+    def test_path_for_historical_lookup(self):
+        """The before_s lookup must return the pre-reroute path."""
+        store = TelemetryStore()
+        ft = _ft()
+        store.add(SflowPathRecord(1.0, ft, ("h0", "t0", "h1"), (0,)))
+        store.add(SflowPathRecord(2.0, ft, ("h0", "t1", "h1"), (1,)))
+        assert store.path_for(ft, before_s=2.0).devices \
+            == ("h0", "t0", "h1")
+
+    def test_path_for_before_falls_back_when_no_earlier(self):
+        store = TelemetryStore()
+        ft = _ft()
+        store.add(SflowPathRecord(5.0, ft, ("h0", "t0", "h1"), (0,)))
+        assert store.path_for(ft, before_s=5.0) is not None
+
+    def test_counters_and_syslog_scoping(self):
+        store = TelemetryStore()
+        store.add(SwitchCounterRecord(0.0, "t0", 4, pfc_pause=10.0))
+        store.add(SyslogRecord(0.0, "t0", "warn", "x", fatal=False))
+        store.add(SyslogRecord(0.0, "t0", "crit", "y", fatal=True))
+        assert len(store.counters_for_device("t0")) == 1
+        assert len(store.syslogs_for("t0")) == 2
+        assert len(store.syslogs_for("t0", fatal_only=True)) == 1
+
+    def test_qp_rates_scoped_by_five_tuple(self):
+        store = TelemetryStore()
+        ft = _ft()
+        store.add(QpRateRecord(0.0, "h0", 1, ft, 150.0))
+        store.add(QpRateRecord(0.0, "h0", 2, _ft(port=2), 150.0))
+        assert len(store.qp_rates_for(ft)) == 1

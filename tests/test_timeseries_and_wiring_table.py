@@ -1,0 +1,88 @@
+"""Tests for the sliding-window detector and the wiring-plan table."""
+
+import pytest
+
+from repro.monitoring import (
+    SlidingWindowDetector,
+    expected_wiring_table,
+    verify_wiring,
+)
+from repro.topology import AstralParams, build_astral
+
+
+class TestSlidingWindowDetector:
+    def test_flat_series_quiet(self):
+        detector = SlidingWindowDetector()
+        assert detector.scan([1.0] * 20) == []
+
+    def test_step_regression_flagged(self):
+        detector = SlidingWindowDetector()
+        series = [1.0] * 10 + [1.5] * 3
+        alerts = detector.scan(series)
+        assert alerts
+        assert alerts[0].index == 10
+        assert alerts[0].slowdown == pytest.approx(1.5)
+
+    def test_baseline_excludes_flagged_samples(self):
+        """A persistent regression keeps alerting: outliers never
+        contaminate the baseline."""
+        detector = SlidingWindowDetector()
+        series = [1.0] * 10 + [1.5] * 5
+        alerts = detector.scan(series)
+        assert len(alerts) == 5
+
+    def test_small_wobble_ignored(self):
+        detector = SlidingWindowDetector(min_relative=0.05)
+        series = [1.0] * 10 + [1.02]
+        assert detector.latest(series) is None
+
+    def test_noisy_baseline_raises_bar(self):
+        detector = SlidingWindowDetector(threshold=4.0)
+        noisy = [1.0, 1.2, 0.8, 1.1, 0.9, 1.15, 0.85, 1.05]
+        assert detector.latest(noisy + [1.3]) is None
+        assert detector.latest(noisy + [3.0]) is not None
+
+    def test_latest_on_short_series(self):
+        detector = SlidingWindowDetector()
+        assert detector.latest([]) is None
+        assert detector.latest([1.0]) is None
+        assert detector.latest([1.0, 5.0]) is None  # 1-point baseline
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDetector(window=1)
+        with pytest.raises(ValueError):
+            SlidingWindowDetector(threshold=0.0)
+
+    def test_faster_is_not_an_alert(self):
+        detector = SlidingWindowDetector()
+        series = [1.0] * 10 + [0.5]
+        assert detector.latest(series) is None
+
+
+class TestExpectedWiringTable:
+    def test_row_count(self):
+        params = AstralParams.tiny()
+        rows = expected_wiring_table(params)
+        hosts = params.pods * params.blocks_per_pod \
+            * params.hosts_per_block
+        assert len(rows) == hosts * params.rails * params.nic_ports
+
+    def test_table_matches_builder_wiring(self):
+        """The plan and the builder agree: a fabric built from the
+        params passes verification, and every planned (host, port, ToR)
+        triple exists as a link."""
+        params = AstralParams.tiny()
+        topology = build_astral(params)
+        assert verify_wiring(topology, params) == []
+        for host, port, tor in expected_wiring_table(params):
+            links = topology.link_between(host, tor)
+            ports = {link.endpoint(host).port for link in links}
+            assert port in ports
+
+    def test_ports_alternate_groups(self):
+        rows = expected_wiring_table(AstralParams.tiny())
+        first_host = [r for r in rows if r[0] == "p0.b0.h0"]
+        # port 0 -> g0 ToR, port 1 -> g1 ToR (P3 dual-ToR wiring).
+        assert first_host[0][2].endswith("g0.tor")
+        assert first_host[1][2].endswith("g1.tor")

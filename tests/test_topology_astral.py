@@ -1,0 +1,166 @@
+"""Tests for the Astral topology builder (paper §2.1, Figure 3)."""
+
+import pytest
+
+from repro.topology import (
+    AstralParams,
+    DeviceKind,
+    TopologyError,
+    build_astral,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return build_astral(AstralParams.tiny())
+
+
+@pytest.fixture(scope="module")
+def small():
+    return build_astral(AstralParams.small())
+
+
+class TestParams:
+    def test_paper_scale_totals(self):
+        params = AstralParams()
+        assert params.total_gpus == 512 * 1024
+        assert params.gpus_per_pod == 64 * 1024
+        assert params.gpus_per_block == 1024
+        assert params.rail_size == 8 * 1024
+
+    def test_rail_size_is_8k_at_paper_scale(self):
+        # §2.1: "currently supporting up to 8K GPUs within a single rail".
+        assert AstralParams().rail_size == 8192
+
+    def test_oversubscription_builder(self):
+        params = AstralParams.tiny().with_oversubscription(3.0)
+        assert params.tier3_oversubscription == 3.0
+
+    def test_invalid_oversubscription_rejected(self):
+        with pytest.raises(ValueError):
+            AstralParams.tiny().with_oversubscription(0.5)
+
+
+class TestStructure:
+    def test_device_counts(self, tiny):
+        params = AstralParams.tiny()
+        hosts = tiny.hosts()
+        assert len(hosts) == params.pods * params.blocks_per_pod \
+            * params.hosts_per_block
+        tors = tiny.switches(DeviceKind.TOR)
+        assert len(tors) == params.pods * params.blocks_per_pod \
+            * params.rails * params.tor_groups
+        aggs = tiny.switches(DeviceKind.AGG)
+        assert len(aggs) == params.pods * params.rails \
+            * params.tor_groups * params.aggs_per_group
+        cores = tiny.switches(DeviceKind.CORE)
+        assert len(cores) == params.core_groups * params.cores_per_group
+
+    def test_gpu_count(self, tiny):
+        assert tiny.gpu_count() == AstralParams.tiny().total_gpus
+
+    def test_host_has_one_nic_per_rail(self, tiny):
+        host = tiny.hosts()[0]
+        rails = sorted(nic.rail for nic in host.nics)
+        assert rails == list(range(AstralParams.tiny().gpus_per_host))
+
+    def test_p3_dual_tor_nic_wiring(self, tiny):
+        """Each host reaches two *different* ToRs per rail (P3)."""
+        params = AstralParams.tiny()
+        host = tiny.hosts()[0]
+        for rail in range(params.rails):
+            tors = {
+                neighbor.name
+                for _, neighbor in tiny.neighbors(host.name)
+                if neighbor.rail == rail
+            }
+            assert len(tors) == params.nic_ports
+
+    def test_tor_is_rail_dedicated(self, tiny):
+        """All hosts below a ToR connect on the same rail (P1 substrate)."""
+        for tor in tiny.switches(DeviceKind.TOR):
+            assert tor.rail is not None
+
+    def test_agg_serves_one_rail(self, tiny):
+        """Tier-2 aggregation is same-rail (P1)."""
+        for agg in tiny.switches(DeviceKind.AGG):
+            downstream_rails = {
+                neighbor.rail
+                for _, neighbor in tiny.neighbors(agg.name)
+                if neighbor.kind is DeviceKind.TOR
+            }
+            assert downstream_rails == {agg.rail}
+
+    def test_agg_reaches_every_block_of_pod(self, tiny):
+        params = AstralParams.tiny()
+        agg = tiny.switches(DeviceKind.AGG)[0]
+        blocks = {
+            neighbor.block
+            for _, neighbor in tiny.neighbors(agg.name)
+            if neighbor.kind is DeviceKind.TOR
+        }
+        assert blocks == set(range(params.blocks_per_pod))
+
+    def test_same_rank_aggs_share_core_group(self, tiny):
+        """§2.1 cluster side: same-rank Aggs meet at one core group."""
+        for core in tiny.switches(DeviceKind.CORE):
+            ranks = {
+                neighbor.rank
+                for _, neighbor in tiny.neighbors(core.name)
+                if neighbor.kind is DeviceKind.AGG
+            }
+            assert len(ranks) == 1
+            assert ranks == {core.group}
+
+
+class TestBandwidth:
+    def test_p2_no_oversubscription_by_default(self, small):
+        """P2: identical aggregated bandwidth at every switching tier."""
+        for kind in (DeviceKind.TOR, DeviceKind.AGG):
+            assert small.oversubscription(kind) == pytest.approx(1.0)
+
+    def test_tier3_oversubscription_applied(self):
+        topo = build_astral(
+            AstralParams.tiny().with_oversubscription(4.0))
+        assert topo.oversubscription(DeviceKind.AGG) == pytest.approx(4.0)
+
+    def test_core_has_no_uplinks(self, tiny):
+        assert tiny.oversubscription(DeviceKind.CORE) == float("inf")
+
+    def test_host_tor_tier_capacity(self, tiny):
+        params = AstralParams.tiny()
+        expected = (len(tiny.hosts()) * params.rails * params.nic_ports
+                    * params.nic_port_gbps)
+        got = tiny.tier_bandwidth_gbps(DeviceKind.HOST, DeviceKind.TOR)
+        assert got == pytest.approx(expected)
+
+
+class TestTopologyPrimitives:
+    def test_duplicate_device_rejected(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny_copy = build_astral(AstralParams.tiny())
+            device = tiny_copy.hosts()[0]
+            tiny_copy.add_device(device)
+
+    def test_unknown_device_lookup_raises(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.device("nonexistent")
+
+    def test_fail_link_bumps_version_and_hides_link(self):
+        topo = build_astral(AstralParams.tiny())
+        version = topo.version
+        host = topo.hosts()[0]
+        link = topo.links_of(host.name)[0]
+        topo.fail_link(link.link_id)
+        assert topo.version == version + 1
+        neighbor_links = [l for l, _ in topo.neighbors(host.name)]
+        assert link.link_id not in [l.link_id for l in neighbor_links]
+        topo.restore_link(link.link_id)
+        assert topo.links[link.link_id].healthy
+
+    def test_link_other_endpoint(self, tiny):
+        link = next(iter(tiny.links.values()))
+        assert link.other(link.a.device) == link.b.device
+        assert link.other(link.b.device) == link.a.device
+        with pytest.raises(TopologyError):
+            link.other("nope")
