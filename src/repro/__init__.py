@@ -13,6 +13,8 @@ Subpackages:
 * :mod:`repro.monitoring` — full-stack telemetry, fault injection, and
   the cross-host + hierarchical correlation analyzer.
 * :mod:`repro.seer` — operator-granular timeline forecasting.
+* :mod:`repro.cluster` — datacenter-scale job scheduling and
+  orchestration (workloads, policies, recovery, tidal admission).
 * :mod:`repro.core` — the public facade tying everything together.
 """
 
@@ -29,6 +31,8 @@ def __getattr__(name):
         "AstralParams": ("repro.topology", "AstralParams"),
         "Seer": ("repro.seer", "Seer"),
         "FaultSpec": ("repro.monitoring", "FaultSpec"),
+        "ClusterScheduler": ("repro.cluster", "ClusterScheduler"),
+        "SchedulingPolicy": ("repro.cluster", "SchedulingPolicy"),
     }
     if name in lazy:
         import importlib

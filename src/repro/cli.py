@@ -11,7 +11,8 @@ Commands map to the library's main entry points:
 * ``taxonomy``  — sample a Figure-7 fault campaign;
 * ``overhead``  — Appendix-C monitoring overhead for a cluster size;
 * ``goodput``   — training goodput vs scale, manual vs Astral MTTLF;
-* ``diagnose-demo`` — inject a fault and print the diagnosis chain.
+* ``diagnose-demo`` — inject a fault and print the diagnosis chain;
+* ``cluster``   — schedule a multi-tenant job trace on the fabric.
 """
 
 from __future__ import annotations
@@ -112,6 +113,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("diagnose-demo",
                    help="inject a fault and print the diagnosis")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="schedule a multi-tenant job trace on the fabric")
+    cluster.add_argument("--policy", default="topology",
+                         choices=["fifo", "topology", "priority",
+                                  "preemptive"])
+    cluster.add_argument("--jobs", type=int, default=50)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--scale", default="cluster",
+                         choices=["tiny", "small", "cluster"],
+                         help="fabric size (cluster = 256 hosts)")
+    cluster.add_argument("--failure-scale", type=float, default=1.0,
+                         help="MTBF multiplier; 0 disables failures")
+    cluster.add_argument("--no-tidal", action="store_true",
+                         help="disable the 22:00-08:00 host cap")
+    cluster.add_argument("--contention", action="store_true",
+                         help="co-run the peak tenant set on the "
+                              "fabric and report interference")
+    cluster.add_argument("--rows", type=int, default=20,
+                         help="job rows to print in the report")
 
     return parser
 
@@ -275,6 +297,30 @@ def _cmd_diagnose_demo(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    from repro.core import AstralInfrastructure
+    from repro.topology import AstralParams
+    params = {
+        "tiny": AstralParams.tiny,
+        "small": AstralParams.small,
+        "cluster": AstralParams.cluster,
+    }[args.scale]()
+    infra = AstralInfrastructure(params=params, seed=args.seed)
+    report = infra.run_cluster(
+        jobs=args.jobs, policy=args.policy, seed=args.seed,
+        failure_scale=args.failure_scale,
+        tidal_cap=not args.no_tidal)
+    print(report.render(max_rows=args.rows))
+    if args.contention:
+        outcomes = infra.cluster_contention(report)
+        print("peak-set fabric contention:")
+        for name in sorted(outcomes):
+            outcome = outcomes[name]
+            print(f"  {name:<10} efficiency {outcome.efficiency:6.1%} "
+                  f"({outcome.mean_iteration_s:.3f} s/iter)")
+    return 0
+
+
 _HANDLERS = {
     "describe": _cmd_describe,
     "forecast": _cmd_forecast,
@@ -286,6 +332,7 @@ _HANDLERS = {
     "overhead": _cmd_overhead,
     "goodput": _cmd_goodput,
     "diagnose-demo": _cmd_diagnose_demo,
+    "cluster": _cmd_cluster,
 }
 
 

@@ -1,0 +1,31 @@
+"""Datacenter-scale job scheduling & orchestration (§5 operations).
+
+The paper operates its 512K-GPU fabric as a shared production resource;
+this subsystem supplies the missing cluster layer: deterministic
+workload traces (:mod:`.workload`), an event-driven scheduler with
+pluggable policies on the :mod:`repro.simcore` kernel
+(:mod:`.scheduler`), failure-driven rescheduling priced by the
+reliability model (:mod:`.recovery`), tidal-aware admission
+(:mod:`.powercap`), and JCT/utilization/fragmentation roll-ups
+(:mod:`.metrics`).
+"""
+
+from .metrics import ClusterReport, JobRecord
+from .powercap import TidalHostCap
+from .recovery import RecoveryManager, RecoveryPolicy, RequeuePlan
+from .scheduler import ClusterScheduler, SchedulingPolicy
+from .workload import JobSpec, WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "ClusterReport",
+    "ClusterScheduler",
+    "JobRecord",
+    "JobSpec",
+    "RecoveryManager",
+    "RecoveryPolicy",
+    "RequeuePlan",
+    "SchedulingPolicy",
+    "TidalHostCap",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+]

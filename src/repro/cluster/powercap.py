@@ -1,0 +1,120 @@
+"""Tidal-aware admission control for the cluster scheduler (Figure 16).
+
+The operator signed a *constant-power* contract, so the hosts the
+scheduler may power up track the tidal headroom of
+:mod:`repro.power.tidal`: during the 22:00–08:00 trough the cap changes
+(by default it tightens, reproducing a power-constrained night window;
+:meth:`TidalHostCap.from_contract` instead derives both caps from the
+contract-minus-inference headroom, where the night trough *raises* the
+training budget exactly as the paper's night scheduler does).
+
+The cap is a pure function of simulated time, so the scheduler stays
+deterministic; :meth:`boundaries` enumerates the instants the cap
+switches so the scheduler can wake itself exactly then.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from ..power.tidal import TidalProfile, daily_inference_power
+
+__all__ = ["TidalHostCap"]
+
+_SECONDS_PER_HOUR = 3600.0
+_SECONDS_PER_DAY = 24.0 * _SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class TidalHostCap:
+    """Time-of-day cap on schedulable hosts.
+
+    ``start_hour`` maps simulation time zero onto the wall clock
+    (defaults to noon, the daytime plateau).  ``trough_host_frac`` /
+    ``day_host_frac`` are the fractions of ``total_hosts`` admissible
+    inside and outside the 22:00–08:00 trough window respectively.
+    """
+
+    total_hosts: int
+    profile: TidalProfile = field(default_factory=TidalProfile)
+    trough_host_frac: float = 0.5
+    day_host_frac: float = 1.0
+    start_hour: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.total_hosts < 0:
+            raise ValueError("total_hosts cannot be negative")
+        for frac in (self.trough_host_frac, self.day_host_frac):
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError(f"host fraction out of [0,1]: {frac}")
+
+    # -- time mapping ----------------------------------------------------
+    def hour_at(self, t_s: float) -> float:
+        """Wall-clock hour-of-day at simulation time ``t_s``."""
+        return (self.start_hour + t_s / _SECONDS_PER_HOUR) % 24.0
+
+    def is_trough(self, t_s: float) -> bool:
+        return self.profile.is_night(self.hour_at(t_s))
+
+    # -- the cap ---------------------------------------------------------
+    def hosts_allowed(self, t_s: float) -> int:
+        """Hosts the scheduler may have powered at ``t_s``."""
+        frac = (self.trough_host_frac if self.is_trough(t_s)
+                else self.day_host_frac)
+        return int(math.floor(self.total_hosts * frac))
+
+    def boundaries(self, horizon_s: float) -> List[float]:
+        """Times in ``(0, horizon_s]`` at which the cap switches."""
+        times: List[float] = []
+        switch_hours = (self.profile.night_start_hour,
+                        self.profile.night_end_hour)
+        days = int(horizon_s // _SECONDS_PER_DAY) + 2
+        for day in range(days):
+            for hour in switch_hours:
+                t = ((hour - self.start_hour) % 24.0) * _SECONDS_PER_HOUR \
+                    + day * _SECONDS_PER_DAY
+                if 0.0 < t <= horizon_s:
+                    times.append(t)
+        return sorted(set(times))
+
+    # -- contract-derived construction ----------------------------------
+    @classmethod
+    def from_contract(cls, total_hosts: int, host_kw: float,
+                      profile: TidalProfile = None,
+                      contract_mw: float = None,
+                      start_hour: float = 12.0) -> "TidalHostCap":
+        """Derive both caps from constant-power-contract headroom.
+
+        Training capacity is ``contract - inference`` (the Figure-16
+        flattening argument): sampled at the daytime plateau and at the
+        deep trough, converted to hosts at ``host_kw`` apiece.  With the
+        default contract (= daytime peak) the day cap is zero and the
+        whole training fleet fits only in the night trough.
+        """
+        if host_kw <= 0:
+            raise ValueError("host power draw must be positive")
+        profile = profile or TidalProfile()
+        if contract_mw is None:
+            contract_mw = profile.peak_mw
+        import numpy as np
+        hours = np.linspace(0.0, 24.0, 24 * 60, endpoint=False)
+        inference = daily_inference_power(profile, hours)
+        night = np.array([profile.is_night(h) for h in hours])
+        # Deep-trough headroom: the best case inside the night window;
+        # day headroom: the worst case outside it.
+        trough_headroom = float(
+            np.max(contract_mw - inference[night])) if night.any() else 0.0
+        day_headroom = float(
+            np.min(contract_mw - inference[~night])) if (~night).any() \
+            else 0.0
+
+        def to_frac(headroom_mw: float) -> float:
+            hosts = max(0.0, headroom_mw) * 1000.0 / host_kw
+            return max(0.0, min(1.0, hosts / max(1, total_hosts)))
+
+        return cls(total_hosts=total_hosts, profile=profile,
+                   trough_host_frac=to_frac(trough_headroom),
+                   day_host_frac=to_frac(day_headroom),
+                   start_hour=start_hour)

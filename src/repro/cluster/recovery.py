@@ -1,0 +1,134 @@
+"""Failure-driven rescheduling: MTBF draws, checkpoint/restart charges.
+
+"I've Got 99 Problems But FLOPS Ain't One" argues that at datacenter
+scale *recovery*, not raw FLOPS, sets delivered goodput; the paper's own
+reliability model (:mod:`repro.core.reliability`) prices what a failure
+costs.  This module turns that static model into scheduler events:
+
+* each run attempt draws a failure time from the job-level MTBF of
+  :class:`~repro.core.reliability.FailureModel` (exponential, seeded per
+  ``(seed, job, attempt)`` with a *string* seed for cross-process
+  determinism);
+* on failure, progress since the last checkpoint is lost and the next
+  attempt is charged :class:`~repro.core.reliability.CheckpointPolicy`
+  restart cost;
+* repeatedly failing jobs are *shrunk* (host count halved, service time
+  stretched) so a flaky large job degrades instead of wedging the queue,
+  and eventually killed after ``max_restarts``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.reliability import CheckpointPolicy, FailureModel
+
+__all__ = ["RecoveryPolicy", "RequeuePlan", "RecoveryManager"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Requeue/shrink/give-up knobs."""
+
+    max_restarts: int = 10
+    shrink_after: int = 3        # failed attempts before halving hosts
+    allow_shrink: bool = True
+
+
+@dataclass(frozen=True)
+class RequeuePlan:
+    """What the scheduler should do with a failed (or preempted) job."""
+
+    remaining_s: float           # service time still owed (next attempt)
+    n_hosts: int                 # hosts the next attempt should request
+    lost_s: float                # work rolled back to the last checkpoint
+    restart_charge_s: float      # restart overhead folded into remaining
+    shrunk: bool = False
+    gave_up: bool = False
+
+
+class RecoveryManager:
+    """Deterministic failure injection + requeue planning."""
+
+    def __init__(self,
+                 failure_model: Optional[FailureModel] = None,
+                 checkpoint: Optional[CheckpointPolicy] = None,
+                 policy: Optional[RecoveryPolicy] = None,
+                 gpus_per_host: int = 8,
+                 failure_scale: float = 1.0,
+                 seed: int = 0):
+        if failure_scale < 0:
+            raise ValueError("failure_scale cannot be negative")
+        self.failure_model = failure_model or FailureModel()
+        self.checkpoint = checkpoint or CheckpointPolicy()
+        self.policy = policy or RecoveryPolicy()
+        self.gpus_per_host = gpus_per_host
+        self.failure_scale = failure_scale
+        self.seed = seed
+
+    # -- failure process -------------------------------------------------
+    def job_mtbf_hours(self, n_hosts: int) -> float:
+        """MTBF of one job's allocation (scaled by ``failure_scale``)."""
+        n_gpus = n_hosts * self.gpus_per_host
+        rate = self.failure_model.cluster_failure_rate_per_hour(
+            n_gpus, gpus_per_host=self.gpus_per_host) * self.failure_scale
+        return float("inf") if rate == 0 else 1.0 / rate
+
+    def failure_delay_s(self, job: str, attempt: int,
+                        n_hosts: int) -> Optional[float]:
+        """Seconds until this attempt fails, or None for a clean run.
+
+        The draw is exponential with the job-level MTBF and reproducible
+        per ``(seed, job, attempt)`` — rerunning the same schedule gives
+        the same failure history.
+        """
+        mtbf_h = self.job_mtbf_hours(n_hosts)
+        if math.isinf(mtbf_h):
+            return None
+        rng = random.Random(f"cluster-fail:{self.seed}:{job}:{attempt}")
+        return rng.expovariate(1.0 / (mtbf_h * 3600.0))
+
+    def checkpoint_interval_s(self, n_hosts: int) -> float:
+        """Young/Daly-optimal interval for this allocation's MTBF."""
+        return self.checkpoint.effective_interval_s(
+            self.job_mtbf_hours(n_hosts))
+
+    # -- requeue planning ------------------------------------------------
+    def plan_requeue(self, job: str, attempt: int, n_hosts: int,
+                     elapsed_s: float, remaining_before_s: float,
+                     preempted: bool = False) -> RequeuePlan:
+        """Account a failed/preempted attempt and plan the next one.
+
+        A *failure* rolls progress back to the last checkpoint; a
+        *preemption* checkpoints first (nothing lost).  Either way the
+        next attempt is charged the restart cost, and a job that has
+        failed ``shrink_after`` times is halved, stretching its service
+        time proportionally (linear-scaling assumption).
+        """
+        if preempted:
+            saved = elapsed_s
+        else:
+            interval = self.checkpoint_interval_s(n_hosts)
+            saved = 0.0 if math.isinf(interval) else \
+                math.floor(elapsed_s / interval) * interval
+            saved = min(saved, elapsed_s)
+        lost = elapsed_s - saved
+        remaining = max(0.0, remaining_before_s - saved)
+        if not preempted and attempt >= self.policy.max_restarts:
+            return RequeuePlan(remaining_s=remaining, n_hosts=n_hosts,
+                               lost_s=lost, restart_charge_s=0.0,
+                               gave_up=True)
+        new_hosts = n_hosts
+        shrunk = False
+        if (not preempted and self.policy.allow_shrink
+                and attempt >= self.policy.shrink_after and n_hosts > 1):
+            new_hosts = max(1, n_hosts // 2)
+            remaining *= n_hosts / new_hosts
+            shrunk = True
+        charge = self.checkpoint.restart_s
+        return RequeuePlan(remaining_s=remaining + charge,
+                           n_hosts=new_hosts, lost_s=lost,
+                           restart_charge_s=charge, shrunk=shrunk)

@@ -1,0 +1,390 @@
+"""Event-driven cluster scheduler on the ``repro.simcore`` DES kernel.
+
+This is the layer ASTRA-sim2.0 argues hierarchical-network simulators
+need before they say anything about production: a queue of arriving jobs
+(:mod:`.workload`), placed onto the fabric through
+:class:`~repro.core.placement.GpuAllocator`, failing and restarting via
+:mod:`.recovery`, under the tidal host cap of :mod:`.powercap`.
+
+Four pluggable policies span the classic design space:
+
+* ``FIFO`` — strict arrival order with head-of-line blocking and PACKED
+  placement (the naive baseline);
+* ``TOPOLOGY`` — arrival-order *scan* (no head-of-line blocking) with
+  CONTIGUOUS best-fit placement, minimizing pods spanned (§2's
+  flexibility goal made operational);
+* ``PRIORITY`` — priority order with EASY backfill: a blocked head job
+  gets a reservation, and later jobs may jump the queue only if they
+  cannot delay it;
+* ``PREEMPTIVE`` — PRIORITY plus eviction of lower-priority runners
+  when a high-priority job cannot otherwise fit (victims checkpoint,
+  requeue, and pay the restart charge).
+
+Everything is deterministic: the DES kernel breaks timestamp ties by
+insertion order, and all randomness lives in seeded generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.placement import GpuAllocator, PlacementPolicy
+from ..simcore.engine import Event, Simulator
+from ..topology.elements import Topology
+from .metrics import ClusterReport, JobRecord
+from .powercap import TidalHostCap
+from .recovery import RecoveryManager
+from .workload import JobSpec
+
+__all__ = ["SchedulingPolicy", "ClusterScheduler"]
+
+#: Outcome values carried by a run attempt's race of events.
+_DONE, _FAILED, _PREEMPTED = "done", "failed", "preempted"
+
+
+class SchedulingPolicy(enum.Enum):
+    FIFO = "fifo"
+    TOPOLOGY = "topology"
+    PRIORITY = "priority"
+    PREEMPTIVE = "preemptive"
+
+    @property
+    def placement(self) -> PlacementPolicy:
+        """How this policy asks the allocator to choose hosts."""
+        if self is SchedulingPolicy.FIFO:
+            return PlacementPolicy.PACKED
+        return PlacementPolicy.CONTIGUOUS
+
+
+@dataclass
+class _QueuedJob:
+    """Mutable scheduler-side state of one job."""
+
+    spec: JobSpec
+    order: int                       # submit order, the FIFO tiebreak
+    remaining_s: float
+    n_hosts: int
+    attempt: int = 0
+
+
+@dataclass
+class _RunningJob:
+    job: _QueuedJob
+    started_s: float
+    planned_end_s: float
+    n_hosts: int
+    interrupt: Event = field(repr=False, default=None)
+
+
+class ClusterScheduler:
+    """Schedule a workload trace onto one fabric, end to end."""
+
+    def __init__(self, topology: Topology,
+                 workload: Sequence[JobSpec],
+                 policy: SchedulingPolicy = SchedulingPolicy.TOPOLOGY,
+                 recovery: Optional[RecoveryManager] = None,
+                 power_cap: Optional[TidalHostCap] = None,
+                 allocator: Optional[GpuAllocator] = None,
+                 seed: int = 0):
+        if isinstance(policy, str):
+            policy = SchedulingPolicy(policy)
+        self.topology = topology
+        self.policy = policy
+        self.recovery = recovery
+        self.power_cap = power_cap
+        self.allocator = allocator or GpuAllocator(topology)
+        self.total_hosts = self.allocator.free_hosts
+        self.seed = seed
+        self.workload = sorted(workload,
+                               key=lambda s: (s.submit_s, s.name))
+        if power_cap is not None \
+                and power_cap.total_hosts != self.total_hosts:
+            raise ValueError(
+                f"power cap sized for {power_cap.total_hosts} hosts, "
+                f"cluster has {self.total_hosts}")
+
+        self.sim = Simulator()
+        self._queue: List[_QueuedJob] = []
+        self._running: Dict[str, _RunningJob] = {}
+        self._records: Dict[str, JobRecord] = {}
+        self._wake: Optional[Event] = None
+        self._in_use_hosts = 0
+        self._useful_host_s = 0.0
+
+    # -- public API ------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> ClusterReport:
+        """Drive the whole trace; returns the roll-up report."""
+        for spec in self.workload:
+            self._records[spec.name] = JobRecord(
+                name=spec.name, priority=spec.priority,
+                submit_s=spec.submit_s,
+                n_hosts_requested=spec.n_hosts,
+                duration_s=spec.duration_s)
+        for order, spec in enumerate(self.workload):
+            self.sim.process(self._arrival(spec, order),
+                             name=f"arrival:{spec.name}")
+        if self.power_cap is not None:
+            horizon = until if until is not None else \
+                self._cap_horizon_s()
+            for at in self.power_cap.boundaries(horizon):
+                self.sim.process(self._cap_boundary(at),
+                                 name=f"cap@{at}")
+        self.sim.process(self._scheduler_loop(), name="scheduler")
+        self.sim.run(until=until)
+        for running in self._running.values():
+            self._records[running.job.spec.name].status = "running"
+        for queued in self._queue:
+            self._records[queued.spec.name].status = "queued"
+        if until is not None:
+            makespan = self.sim.now
+        else:
+            # The cap-boundary wakes outlive the last job; the schedule
+            # ends with the last job event, not the last wake.
+            ends = [end for record in self._records.values()
+                    for _, end in record.intervals]
+            ends.extend(spec.submit_s for spec in self.workload)
+            # Empty trace: nothing ever happened, whatever sim.now says.
+            makespan = max(ends, default=0.0)
+        return ClusterReport(
+            policy=self.policy.value,
+            seed=self.seed,
+            total_hosts=self.total_hosts,
+            makespan_s=makespan,
+            records=[self._records[s.name] for s in self.workload],
+            useful_host_s=self._useful_host_s,
+        )
+
+    # -- processes -------------------------------------------------------
+    def _arrival(self, spec: JobSpec, order: int):
+        yield self.sim.timeout(spec.submit_s)
+        record = self._records[spec.name]
+        if spec.n_hosts > self.total_hosts:
+            record.status = "rejected"
+            return
+        self._queue.append(_QueuedJob(
+            spec=spec, order=order,
+            remaining_s=spec.duration_s, n_hosts=spec.n_hosts))
+        self._kick()
+
+    def _cap_boundary(self, at: float):
+        yield self.sim.timeout(at)
+        self._kick()
+
+    def _scheduler_loop(self):
+        while True:
+            self._dispatch()
+            self._wake = self.sim.event("sched.wake")
+            yield self._wake
+
+    def _kick(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    def _run_job(self, job: _QueuedJob, running: _RunningJob,
+                 span: float, outcome_if_ran: str):
+        spec = job.spec
+        record = self._records[spec.name]
+        start = running.started_s
+
+        outcome = yield self.sim.any_of([
+            self.sim.timeout(span, value=outcome_if_ran),
+            running.interrupt])
+
+        elapsed = self.sim.now - start
+        del self._running[spec.name]
+        self._in_use_hosts -= job.n_hosts
+        freed = self.allocator.release(spec.name)
+        record.busy_host_s += elapsed * job.n_hosts
+        record.intervals.append((start, self.sim.now))
+        record.final_hosts = tuple(freed)
+        record.final_n_hosts = job.n_hosts
+
+        if outcome == _DONE:
+            record.status = "completed"
+            record.end_s = self.sim.now
+            self._useful_host_s += spec.host_seconds
+        elif outcome == _PREEMPTED:
+            record.preemptions += 1
+            plan = self._requeue_planner().plan_requeue(
+                spec.name, job.attempt, job.n_hosts,
+                elapsed_s=elapsed, remaining_before_s=job.remaining_s,
+                preempted=True)
+            job.remaining_s = plan.remaining_s
+            job.n_hosts = plan.n_hosts
+            self._queue.append(job)
+        else:  # _FAILED
+            record.failures += 1
+            plan = self.recovery.plan_requeue(
+                spec.name, job.attempt, job.n_hosts,
+                elapsed_s=elapsed, remaining_before_s=job.remaining_s)
+            record.lost_s += plan.lost_s
+            if plan.gave_up:
+                record.status = "killed"
+                record.end_s = self.sim.now
+            else:
+                job.remaining_s = plan.remaining_s
+                job.n_hosts = plan.n_hosts
+                self._queue.append(job)
+        self._kick()
+
+    def _requeue_planner(self) -> RecoveryManager:
+        """Preemptions need checkpoint economics even with failures off."""
+        if self.recovery is not None:
+            return self.recovery
+        return RecoveryManager(failure_scale=0.0, seed=self.seed)
+
+    # -- dispatch --------------------------------------------------------
+    def _hosts_cap(self) -> int:
+        if self.power_cap is None:
+            return self.total_hosts
+        return self.power_cap.hosts_allowed(self.sim.now)
+
+    def _fits(self, job: _QueuedJob, cap: int) -> bool:
+        return (job.n_hosts <= self.allocator.free_hosts
+                and self._in_use_hosts + job.n_hosts <= cap)
+
+    def _place(self, job: _QueuedJob) -> None:
+        """Allocate hosts and launch a run attempt, at the current time.
+
+        All bookkeeping (allocation, in-use count, running registry)
+        happens *here*, synchronously, so that later fit/reservation
+        checks within the same dispatch pass see consistent state.
+        """
+        spec = job.spec
+        record = self._records[spec.name]
+        self._queue.remove(job)
+        self.allocator.allocate(spec.name, job.n_hosts,
+                                self.policy.placement)
+        record.pods_spanned.append(
+            self.allocator.pods_spanned(spec.name))
+        if record.first_start_s is None:
+            record.first_start_s = self.sim.now
+        record.attempts += 1
+        job.attempt += 1
+
+        fail_after = None
+        if self.recovery is not None:
+            fail_after = self.recovery.failure_delay_s(
+                spec.name, job.attempt, job.n_hosts)
+        will_fail = fail_after is not None \
+            and fail_after < job.remaining_s
+        span = fail_after if will_fail else job.remaining_s
+        outcome_if_ran = _FAILED if will_fail else _DONE
+
+        running = _RunningJob(
+            job=job, started_s=self.sim.now,
+            planned_end_s=self.sim.now + span, n_hosts=job.n_hosts,
+            interrupt=self.sim.event(f"{spec.name}.interrupt"))
+        self._running[spec.name] = running
+        self._in_use_hosts += job.n_hosts
+        self.sim.process(
+            self._run_job(job, running, span, outcome_if_ran),
+            name=f"run:{spec.name}")
+
+    def _dispatch(self) -> None:
+        cap = self._hosts_cap()
+        if self.policy is SchedulingPolicy.FIFO:
+            self._dispatch_fifo(cap)
+        elif self.policy is SchedulingPolicy.TOPOLOGY:
+            self._dispatch_scan(cap)
+        else:
+            self._dispatch_priority(
+                cap,
+                preemptive=self.policy is SchedulingPolicy.PREEMPTIVE)
+
+    def _dispatch_fifo(self, cap: int) -> None:
+        """Strict arrival order: a blocked head blocks everyone."""
+        for job in sorted(self._queue, key=lambda j: j.order):
+            if not self._fits(job, cap):
+                return
+            self._place(job)
+
+    def _dispatch_scan(self, cap: int) -> None:
+        """Arrival order, but a blocked job does not block later ones."""
+        for job in sorted(self._queue, key=lambda j: j.order):
+            if self._fits(job, cap):
+                self._place(job)
+
+    def _dispatch_priority(self, cap: int, preemptive: bool) -> None:
+        """Priority order with an EASY-backfill reservation for the head.
+
+        The first job that does not fit becomes the *blocked head*: we
+        compute the shadow time at which enough hosts drain for it, and
+        from then on later jobs start only if they either finish before
+        the shadow time or fit inside the hosts the head leaves spare.
+        """
+        blocked_head: Optional[_QueuedJob] = None
+        shadow_time = float("inf")
+        extra_hosts = 0
+        order = sorted(self._queue,
+                       key=lambda j: (-j.spec.priority, j.order))
+        for job in order:
+            if blocked_head is None:
+                if self._fits(job, cap):
+                    self._place(job)
+                    continue
+                if preemptive and self._try_preempt(job, cap):
+                    # Victims drain at this timestamp; the scheduler is
+                    # re-kicked once their hosts come back.
+                    return
+                blocked_head = job
+                shadow_time, extra_hosts = self._reservation(job)
+            elif self._fits(job, cap) and (
+                    self.sim.now + job.remaining_s <= shadow_time
+                    or job.n_hosts <= extra_hosts):
+                if job.n_hosts > extra_hosts:
+                    pass  # qualified by finishing before the shadow
+                else:
+                    extra_hosts -= job.n_hosts
+                self._place(job)
+
+    def _reservation(self, job: _QueuedJob):
+        """(shadow time, spare hosts) for a blocked head job."""
+        free = self.allocator.free_hosts
+        shadow = self.sim.now
+        for running in sorted(self._running.values(),
+                              key=lambda r: r.planned_end_s):
+            if free >= job.n_hosts:
+                break
+            free += running.n_hosts
+            shadow = running.planned_end_s
+        if free < job.n_hosts:
+            return float("inf"), self.allocator.free_hosts
+        return shadow, free - job.n_hosts
+
+    def _try_preempt(self, job: _QueuedJob, cap: int) -> bool:
+        """Evict lowest-priority runners until ``job`` would fit."""
+        victims: List[_RunningJob] = []
+        candidates = sorted(
+            (r for r in self._running.values()
+             if r.job.spec.priority < job.spec.priority),
+            key=lambda r: (r.job.spec.priority, -r.started_s))
+        free = self.allocator.free_hosts
+        in_use = self._in_use_hosts
+        for candidate in candidates:
+            if free >= job.n_hosts and in_use + job.n_hosts <= cap:
+                break
+            victims.append(candidate)
+            free += candidate.n_hosts
+            in_use -= candidate.n_hosts
+        if free < job.n_hosts or in_use + job.n_hosts > cap:
+            return False
+        if not victims:
+            return False
+        for victim in victims:
+            victim.interrupt.succeed(_PREEMPTED)
+        return True
+
+    # -- sizing helpers --------------------------------------------------
+    def _cap_horizon_s(self) -> float:
+        """Rough schedule length, for pre-planting cap-boundary wakes."""
+        demand = sum(spec.host_seconds for spec in self.workload)
+        last_submit = self.workload[-1].submit_s if self.workload else 0.0
+        longest = max((s.duration_s for s in self.workload), default=0.0)
+        capacity = max(1, self.total_hosts)
+        # Generous: serial drain of all demand after the last arrival,
+        # padded for failures/restarts; boundary wakes are cheap.
+        return (last_submit + longest
+                + 4.0 * demand / capacity + 4 * 86400.0)

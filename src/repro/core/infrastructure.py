@@ -174,6 +174,63 @@ class AstralInfrastructure:
                     + suspect.describe())
         return diagnosis
 
+    # -- cluster scheduling -------------------------------------------------------
+    def run_cluster(self, jobs: int = 50, policy: str = "topology",
+                    seed: Optional[int] = None,
+                    failure_scale: float = 1.0,
+                    tidal_cap: bool = True,
+                    workload=None,
+                    until: Optional[float] = None):
+        """Schedule a multi-tenant workload trace onto this fabric.
+
+        Runs the :mod:`repro.cluster` scheduler end to end: a seeded
+        arrival trace (``jobs`` jobs, or an explicit ``workload`` list
+        of :class:`~repro.cluster.JobSpec`), MTBF-driven failures and
+        checkpoint/restart recovery scaled by ``failure_scale`` (0
+        disables), and tidal host-cap admission during the 22:00–08:00
+        trough.  Same seed => an identical
+        :class:`~repro.cluster.ClusterReport`.
+        """
+        from ..cluster import (
+            ClusterScheduler,
+            RecoveryManager,
+            SchedulingPolicy,
+            TidalHostCap,
+            WorkloadGenerator,
+        )
+        seed = self.seed if seed is None else seed
+        total_hosts = len(list(self.topology.hosts()))
+        if workload is None:
+            workload = WorkloadGenerator(seed=seed).generate(
+                jobs, max_hosts=total_hosts)
+        recovery = None
+        if failure_scale > 0:
+            recovery = RecoveryManager(
+                gpus_per_host=self.params.gpus_per_host,
+                failure_scale=failure_scale, seed=seed)
+        cap = TidalHostCap(total_hosts=total_hosts) if tidal_cap \
+            else None
+        scheduler = ClusterScheduler(
+            self.topology, workload,
+            policy=SchedulingPolicy(policy),
+            recovery=recovery, power_cap=cap, seed=seed)
+        return scheduler.run(until=until)
+
+    def cluster_contention(self, report, iterations: int = 4):
+        """Fabric contention among the scheduler's busiest tenant set.
+
+        Feeds the peak-concurrency placements of a
+        :meth:`run_cluster` report into
+        :class:`~repro.monitoring.multijob.MultiJobRun`, so the jobs the
+        scheduler packed together actually share links; returns the
+        per-job outcomes (efficiency < 1 means fabric interference).
+        """
+        from ..monitoring.multijob import MultiJobRun
+        run = MultiJobRun.from_cluster(
+            self.fabric, report.peak_concurrent(),
+            iterations=iterations, seed=self.seed)
+        return run.run()
+
     # -- offline commissioning ------------------------------------------------------
     def commission(self, hosts: List[str],
                    configs: Optional[Dict[str, HostConfig]] = None,

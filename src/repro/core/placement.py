@@ -7,7 +7,11 @@ production" as tenants grow and shrink.  Both behaviours are modelled:
 
 * :attr:`PlacementPolicy.PACKED` fills block by block within one pod;
 * :attr:`PlacementPolicy.FRAGMENTED` round-robins across pods — the
-  configuration Figure 2 evaluates against packed placement.
+  configuration Figure 2 evaluates against packed placement;
+* :attr:`PlacementPolicy.CONTIGUOUS` is the best-fit variant the
+  cluster scheduler scores placements with: it picks the *tightest*
+  single pod (and, within it, the tightest block) that still fits the
+  request, falling back to spanning as few pods as possible.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ class AllocationError(RuntimeError):
 class PlacementPolicy(enum.Enum):
     PACKED = "packed"            # same block/pod first
     FRAGMENTED = "fragmented"    # spread across pods
+    CONTIGUOUS = "contiguous"    # best-fit: fewest pods, tightest fit
 
 
 @dataclass
@@ -80,6 +85,8 @@ class GpuAllocator:
                 "free")
         if policy is PlacementPolicy.PACKED:
             chosen = self._free[:n_hosts]
+        elif policy is PlacementPolicy.CONTIGUOUS:
+            chosen = self._contiguous_best_fit(n_hosts)
         else:
             chosen = self._round_robin_pods(n_hosts)
         for host in chosen:
@@ -107,7 +114,66 @@ class GpuAllocator:
             index += 1
         return chosen
 
-    def release(self, job: str) -> None:
+    def _contiguous_best_fit(self, n_hosts: int) -> List[Host]:
+        """Best-fit placement that minimizes pods (then blocks) spanned."""
+        chosen = self._best_fit_groups(
+            self._group_free(lambda h: h.pod), n_hosts)
+        return chosen
+
+    def _group_free(self, key) -> Dict[int, List[Host]]:
+        groups: Dict[int, List[Host]] = {}
+        for host in self._free:
+            groups.setdefault(key(host), []).append(host)
+        return groups
+
+    def _best_fit_groups(self, by_pod: Dict[int, List[Host]],
+                         n_hosts: int) -> List[Host]:
+        fitting = [(len(hosts), pod) for pod, hosts in by_pod.items()
+                   if len(hosts) >= n_hosts]
+        if fitting:
+            _, pod = min(fitting)
+            return self._best_fit_blocks(by_pod[pod], n_hosts)
+        # No single pod fits: span as few pods as possible, taking the
+        # fullest pods first so later requests find intact pods.
+        chosen: List[Host] = []
+        order = sorted(by_pod.items(),
+                       key=lambda item: (-len(item[1]), item[0]))
+        for _, hosts in order:
+            chosen.extend(hosts[:n_hosts - len(chosen)])
+            if len(chosen) == n_hosts:
+                break
+        return chosen
+
+    @staticmethod
+    def _best_fit_blocks(hosts: List[Host], n_hosts: int) -> List[Host]:
+        by_block: Dict[int, List[Host]] = {}
+        for host in hosts:
+            by_block.setdefault(host.block, []).append(host)
+        fitting = [(len(group), block)
+                   for block, group in by_block.items()
+                   if len(group) >= n_hosts]
+        if fitting:
+            _, block = min(fitting)
+            return by_block[block][:n_hosts]
+        chosen: List[Host] = []
+        order = sorted(by_block.items(),
+                       key=lambda item: (-len(item[1]), item[0]))
+        for _, group in order:
+            chosen.extend(group[:n_hosts - len(chosen)])
+            if len(chosen) == n_hosts:
+                break
+        return chosen
+
+    def free_hosts_by_pod(self) -> Dict[int, List[str]]:
+        """Free host names grouped by pod — the fragmentation view the
+        cluster scheduler scores placements against."""
+        view: Dict[int, List[str]] = {}
+        for host in self._free:
+            view.setdefault(host.pod, []).append(host.name)
+        return view
+
+    def release(self, job: str) -> List[str]:
+        """Free a job's hosts; returns the freed host names."""
         allocation = self._allocations.pop(job, None)
         if allocation is None:
             raise AllocationError(f"no allocation for job {job!r}")
@@ -115,6 +181,7 @@ class GpuAllocator:
         restored = [h for h in self.topology.hosts() if h.name in names]
         self._free.extend(restored)
         self._free.sort(key=lambda h: (h.pod, h.block, h.rank))
+        return list(allocation.hosts)
 
     def allocation(self, job: str) -> Optional[Allocation]:
         return self._allocations.get(job)

@@ -51,6 +51,37 @@ class JobOutcome:
 class MultiJobRun:
     """Co-schedule several monitored jobs on one shared fabric."""
 
+    @classmethod
+    def from_cluster(cls, fabric: Fabric, records,
+                     iterations: int = 4,
+                     compute_time_s: float = 0.5,
+                     comm_size_bits: float = 8e9,
+                     faults: Optional[Dict[str, FaultSpec]] = None,
+                     seed: int = 0) -> "MultiJobRun":
+        """Build a contention run from cluster-scheduler placements.
+
+        ``records`` are :class:`repro.cluster.JobRecord`-shaped objects
+        (anything with ``name`` and ``final_hosts``), typically
+        ``ClusterReport.peak_concurrent()``: the tenants the scheduler
+        actually packed onto the fabric together.  Single-host records
+        are skipped — they generate no fabric flows.
+        """
+        configs = [
+            JobConfig(name=record.name,
+                      hosts=tuple(record.final_hosts),
+                      iterations=iterations,
+                      compute_time_s=compute_time_s,
+                      comm_size_bits=comm_size_bits,
+                      seed=seed)
+            for record in records
+            if len(record.final_hosts) >= 2
+        ]
+        if not configs:
+            raise ValueError(
+                "no multi-host placements to co-schedule; run the "
+                "cluster scheduler first (or with larger jobs)")
+        return cls(fabric, configs, faults=faults)
+
     def __init__(self, fabric: Fabric, configs: List[JobConfig],
                  faults: Optional[Dict[str, FaultSpec]] = None,
                  store: Optional[TelemetryStore] = None):

@@ -66,6 +66,26 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel(self, grant: Event) -> bool:
+        """Withdraw a queued :meth:`request` grant (preemption support).
+
+        Only requests still waiting in the FIFO can be cancelled; a
+        grant that has already fired holds a slot and must be given back
+        with :meth:`release`.  Cancellation preserves the FIFO order of
+        the remaining waiters.  Returns True when the grant was removed
+        from the queue, False when it was unknown or already granted.
+        """
+        if grant.triggered:
+            return False
+        try:
+            self._waiters.remove(grant)
+        except ValueError:
+            return False
+        return True
+
+    #: Scheduler-facing alias: a queued request that loses its claim.
+    preempt = cancel
+
 
 class Store:
     """Unbounded FIFO channel between processes."""

@@ -69,6 +69,18 @@ class AstralParams:
         )
 
     @classmethod
+    def cluster(cls) -> "AstralParams":
+        """256 hosts across 4 pods — the scheduler-scenario scale."""
+        return cls(
+            pods=4,
+            blocks_per_pod=4,
+            hosts_per_block=16,
+            gpus_per_host=4,
+            aggs_per_group=4,
+            cores_per_group=4,
+        )
+
+    @classmethod
     def tiny(cls) -> "AstralParams":
         """Minimal structurally-complete instance for unit tests."""
         return cls(

@@ -22,7 +22,7 @@ class TestParser:
         assert set(sub.choices) == {
             "describe", "forecast", "inference", "memory", "pue",
             "sweep", "taxonomy", "overhead", "goodput",
-            "diagnose-demo",
+            "diagnose-demo", "cluster",
         }
 
 
@@ -105,6 +105,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "localized to" in out
         assert "gpu-hardware" in out
+
+    def test_cluster(self, capsys):
+        assert main(["cluster", "--scale", "tiny", "--jobs", "5",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out
+        assert "job-000" in out
+
+    def test_cluster_is_deterministic(self, capsys):
+        args = ["cluster", "--scale", "tiny", "--jobs", "8",
+                "--seed", "2", "--policy", "priority"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_cluster_contention(self, capsys):
+        assert main(["cluster", "--scale", "tiny", "--jobs", "6",
+                     "--seed", "0", "--contention"]) == 0
+        out = capsys.readouterr().out
+        assert "contention" in out
+        assert "efficiency" in out
 
 
 class TestTopLevelPackage:

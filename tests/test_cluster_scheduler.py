@@ -1,0 +1,333 @@
+"""Tests for the repro.cluster scheduling subsystem."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterScheduler,
+    JobSpec,
+    RecoveryManager,
+    RecoveryPolicy,
+    SchedulingPolicy,
+    TidalHostCap,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+from repro.monitoring.multijob import MultiJobRun
+from repro.topology.astral import AstralParams, build_astral
+
+
+@pytest.fixture(scope="module")
+def topo():
+    # 2 pods x 2 blocks x 8 hosts = 32 hosts.
+    return build_astral(AstralParams.small())
+
+
+def run(topo, specs, policy="topology", **kwargs):
+    return ClusterScheduler(topo, specs, policy=policy, **kwargs).run()
+
+
+def record(report, name):
+    return next(r for r in report.records if r.name == name)
+
+
+class TestWorkloadGeneration:
+    def test_same_seed_identical_trace(self):
+        first = WorkloadGenerator(seed=7).generate(30)
+        second = WorkloadGenerator(seed=7).generate(30)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert WorkloadGenerator(seed=1).generate(30) \
+            != WorkloadGenerator(seed=2).generate(30)
+
+    def test_arrivals_are_ordered_and_named(self):
+        specs = WorkloadGenerator(seed=3).generate(25)
+        submits = [spec.submit_s for spec in specs]
+        assert submits == sorted(submits)
+        assert [spec.name for spec in specs] \
+            == [f"job-{i:03d}" for i in range(25)]
+
+    def test_max_hosts_clips_requests(self):
+        specs = WorkloadGenerator(seed=0).generate(50, max_hosts=4)
+        assert all(1 <= spec.n_hosts <= 4 for spec in specs)
+
+    def test_generator_validates_config(self):
+        config = WorkloadConfig(mean_interarrival_s=0.0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(seed=0, config=config).generate(1)
+
+
+class TestSchedulerDeterminism:
+    def test_same_seed_identical_report(self, topo):
+        specs = WorkloadGenerator(seed=5).generate(25, max_hosts=32)
+
+        def once():
+            return run(
+                topo, specs, policy="priority",
+                recovery=RecoveryManager(gpus_per_host=4, seed=5,
+                                         failure_scale=200.0),
+                power_cap=TidalHostCap(total_hosts=32), seed=5)
+
+        assert once().to_dict() == once().to_dict()
+
+    def test_all_policies_complete_a_plain_trace(self, topo):
+        specs = WorkloadGenerator(seed=2).generate(15, max_hosts=32)
+        for policy in SchedulingPolicy:
+            report = run(topo, specs, policy=policy)
+            assert report.status_counts() == {"completed": 15}, \
+                policy.value
+            assert 0.0 < report.utilization <= 1.0
+            if policy is not SchedulingPolicy.PREEMPTIVE:
+                # No failures configured: occupancy is useful work.
+                assert report.goodput_fraction == pytest.approx(1.0), \
+                    policy.value
+
+    def test_oversized_job_rejected(self, topo):
+        specs = [JobSpec("huge", 0.0, 33, 100.0)]
+        report = run(topo, specs)
+        assert record(report, "huge").status == "rejected"
+
+
+class TestFifoVsTopologyScan:
+    def test_fifo_head_of_line_blocks_small_job(self, topo):
+        specs = [
+            JobSpec("big", 0.0, 28, 100.0),
+            JobSpec("blocked-head", 1.0, 32, 100.0),
+            JobSpec("small", 2.0, 4, 10.0),
+        ]
+        fifo = run(topo, specs, policy="fifo")
+        scan = run(topo, specs, policy="topology")
+        # FIFO: "small" waits behind the blocked 32-host head.
+        assert record(fifo, "small").first_start_s \
+            > record(fifo, "blocked-head").first_start_s
+        # Scan: "small" slots into the 4 free hosts immediately.
+        assert record(scan, "small").first_start_s == 2.0
+        assert record(scan, "blocked-head").first_start_s == 100.0
+
+    def test_contiguous_placement_spans_fewer_pods(self, topo):
+        # A 10-host resident fragments pod 0; a 8-host job then either
+        # straddles the pod boundary (PACKED) or moves to pod 1.
+        specs = [
+            JobSpec("resident", 0.0, 10, 500.0),
+            JobSpec("tenant", 1.0, 8, 100.0),
+        ]
+        fifo = run(topo, specs, policy="fifo")
+        scan = run(topo, specs, policy="topology")
+        assert record(fifo, "tenant").pods_spanned == [2]
+        assert record(scan, "tenant").pods_spanned == [1]
+
+
+class TestPriorityBackfill:
+    SPECS = [
+        JobSpec("running", 0.0, 16, 100.0, priority=1),
+        JobSpec("head", 1.0, 32, 10.0, priority=5),
+        JobSpec("long-low", 2.0, 16, 1000.0, priority=0),
+        JobSpec("short-low", 3.0, 8, 50.0, priority=0),
+    ]
+
+    def test_backfill_never_starves_the_high_priority_head(self, topo):
+        report = run(topo, self.SPECS, policy="priority")
+        # The 32-host head runs the moment "running" drains — the
+        # 1000-s low-priority job may NOT jump in front of it.
+        assert record(report, "head").first_start_s == 100.0
+        assert record(report, "long-low").first_start_s \
+            >= record(report, "head").end_s
+
+    def test_backfill_does_fill_safe_holes(self, topo):
+        report = run(topo, self.SPECS, policy="priority")
+        # "short-low" ends at 53 < shadow time 100: backfilled at once.
+        assert record(report, "short-low").first_start_s == 3.0
+        assert record(report, "head").first_start_s == 100.0
+
+    def test_plain_priority_orders_by_priority_then_arrival(self, topo):
+        specs = [
+            JobSpec("filler", 0.0, 32, 60.0, priority=0),
+            JobSpec("low", 1.0, 32, 10.0, priority=0),
+            JobSpec("high", 2.0, 32, 10.0, priority=3),
+        ]
+        report = run(topo, specs, policy="priority")
+        assert record(report, "high").first_start_s == 60.0
+        assert record(report, "low").first_start_s == 70.0
+
+
+class TestPreemption:
+    def test_high_priority_evicts_low(self, topo):
+        specs = [
+            JobSpec("low", 0.0, 32, 1000.0, priority=0),
+            JobSpec("high", 10.0, 16, 100.0, priority=5),
+        ]
+        report = run(topo, specs, policy="preemptive")
+        high, low = record(report, "high"), record(report, "low")
+        assert high.first_start_s == 10.0
+        assert low.preemptions == 1
+        assert low.status == "completed" and high.status == "completed"
+        # The victim checkpoints, requeues, and pays the restart charge:
+        # it occupies hosts longer than its ideal service time.
+        assert low.busy_host_s > 1000.0 * 32
+
+    def test_non_preemptive_priority_waits(self, topo):
+        specs = [
+            JobSpec("low", 0.0, 32, 1000.0, priority=0),
+            JobSpec("high", 10.0, 16, 100.0, priority=5),
+        ]
+        report = run(topo, specs, policy="priority")
+        assert record(report, "high").first_start_s == 1000.0
+        assert record(report, "low").preemptions == 0
+
+    def test_equal_priority_never_preempts(self, topo):
+        specs = [
+            JobSpec("first", 0.0, 32, 500.0, priority=2),
+            JobSpec("second", 10.0, 16, 100.0, priority=2),
+        ]
+        report = run(topo, specs, policy="preemptive")
+        assert record(report, "first").preemptions == 0
+        assert record(report, "second").first_start_s == 500.0
+
+
+class TestFailureRecovery:
+    def recovery(self, **kwargs):
+        defaults = dict(gpus_per_host=4, seed=0, failure_scale=3e3)
+        defaults.update(kwargs)
+        return RecoveryManager(**defaults)
+
+    def test_failure_requeues_and_completes(self, topo):
+        specs = [JobSpec("flaky", 0.0, 16, 20_000.0)]
+        report = run(topo, specs, recovery=self.recovery())
+        rec = record(report, "flaky")
+        assert rec.status == "completed"
+        assert rec.failures >= 1
+        assert rec.attempts == rec.failures + 1
+        # Lost work + restart charges: occupancy exceeds ideal work.
+        assert rec.busy_host_s > rec.duration_s * 16
+        assert report.goodput_fraction < 1.0
+
+    def test_repeated_failures_shrink_the_job(self, topo):
+        policy = RecoveryPolicy(shrink_after=1, max_restarts=100)
+        specs = [JobSpec("shrinky", 0.0, 16, 50_000.0)]
+        report = run(topo, specs,
+                     recovery=self.recovery(policy=policy,
+                                            failure_scale=1e5))
+        rec = record(report, "shrinky")
+        assert rec.failures >= 1
+        assert rec.final_n_hosts < 16
+
+    def test_hopeless_job_is_killed(self, topo):
+        policy = RecoveryPolicy(max_restarts=2, allow_shrink=False)
+        specs = [JobSpec("doomed", 0.0, 16, 1e7)]
+        report = run(topo, specs,
+                     recovery=self.recovery(policy=policy,
+                                            failure_scale=1e6))
+        assert record(report, "doomed").status == "killed"
+
+    def test_failure_draws_are_reproducible(self):
+        manager = self.recovery()
+        assert manager.failure_delay_s("j", 1, 8) \
+            == manager.failure_delay_s("j", 1, 8)
+        assert manager.failure_delay_s("j", 1, 8) \
+            != manager.failure_delay_s("j", 2, 8)
+
+    def test_zero_scale_never_fails(self):
+        manager = self.recovery(failure_scale=0.0)
+        assert manager.failure_delay_s("j", 1, 8) is None
+
+
+class TestTidalCap:
+    def test_trough_defers_large_jobs(self, topo):
+        # start_hour=23: t=0 is inside the 22:00-08:00 trough; the cap
+        # allows 8 of 32 hosts until the trough ends 9 h in.
+        cap = TidalHostCap(total_hosts=32, trough_host_frac=0.25,
+                           start_hour=23.0)
+        specs = [
+            JobSpec("small", 0.0, 4, 100.0),
+            JobSpec("large", 0.0, 16, 100.0),
+        ]
+        report = run(topo, specs, power_cap=cap)
+        assert record(report, "small").first_start_s == 0.0
+        assert record(report, "large").first_start_s \
+            == pytest.approx(9 * 3600.0)
+
+    def test_cap_never_exceeded_while_trough_lasts(self, topo):
+        cap = TidalHostCap(total_hosts=32, trough_host_frac=0.25,
+                           start_hour=23.0)
+        specs = [JobSpec(f"j{i}", float(i), 4, 40_000.0)
+                 for i in range(8)]
+        report = run(topo, specs, power_cap=cap)
+        started_in_trough = [
+            r for r in report.records
+            if r.first_start_s is not None
+            and r.first_start_s < 9 * 3600.0
+        ]
+        assert sum(r.n_hosts_requested for r in started_in_trough) <= 8
+
+    def test_daytime_start_sees_full_cluster(self, topo):
+        cap = TidalHostCap(total_hosts=32, trough_host_frac=0.25,
+                           start_hour=12.0)
+        assert cap.hosts_allowed(0.0) == 32
+        assert cap.hosts_allowed(10.5 * 3600.0) == 8  # 22:30
+
+    def test_boundaries_enumerate_switch_times(self):
+        cap = TidalHostCap(total_hosts=32, start_hour=12.0)
+        bounds = cap.boundaries(24 * 3600.0)
+        # 22:00 is 10 h in, 08:00 is 20 h in.
+        assert 10 * 3600.0 in bounds and 20 * 3600.0 in bounds
+
+    def test_contract_derived_cap_opens_the_night(self):
+        cap = TidalHostCap.from_contract(total_hosts=100, host_kw=50.0)
+        # Constant-power contract at the daytime peak: zero headroom by
+        # day, most headroom in the deep trough (Figure 16).
+        assert cap.day_host_frac == 0.0
+        assert cap.trough_host_frac > 0.5
+
+    def test_mismatched_cap_size_rejected(self, topo):
+        cap = TidalHostCap(total_hosts=8)
+        with pytest.raises(ValueError):
+            ClusterScheduler(topo, [], power_cap=cap)
+
+
+class TestMultiJobWiring:
+    def test_peak_set_feeds_fabric_contention(self, topo):
+        from repro.network.fabric import Fabric
+        specs = WorkloadGenerator(seed=4).generate(12, max_hosts=16)
+        report = run(topo, specs)
+        peak = report.peak_concurrent()
+        assert len(peak) >= 2
+        fabric = Fabric(topo)
+        outcomes = MultiJobRun.from_cluster(
+            fabric, peak, iterations=2).run()
+        assert outcomes
+        for outcome in outcomes.values():
+            assert 0.0 < outcome.efficiency <= 1.001
+
+    def test_from_cluster_requires_multi_host_records(self, topo):
+        from repro.network.fabric import Fabric
+        specs = [JobSpec("solo", 0.0, 1, 10.0)]
+        report = run(topo, specs)
+        with pytest.raises(ValueError):
+            MultiJobRun.from_cluster(Fabric(topo),
+                                     report.peak_concurrent())
+
+
+class TestInfrastructureFacade:
+    def test_run_cluster_deterministic_end_to_end(self):
+        from repro.core import AstralInfrastructure
+
+        def once():
+            infra = AstralInfrastructure(
+                params=AstralParams.small(), seed=3)
+            return infra.run_cluster(jobs=12, policy="topology",
+                                     seed=3, failure_scale=100.0)
+
+        first, second = once(), once()
+        assert first.to_dict() == second.to_dict()
+        assert first.status_counts().get("completed", 0) > 0
+
+    def test_cluster_contention_reports_every_peak_tenant(self):
+        from repro.core import AstralInfrastructure
+        infra = AstralInfrastructure(params=AstralParams.small(),
+                                     seed=1)
+        report = infra.run_cluster(jobs=10, policy="topology", seed=1,
+                                   failure_scale=0.0)
+        outcomes = infra.cluster_contention(report, iterations=2)
+        multi_host = [r for r in report.peak_concurrent()
+                      if len(r.final_hosts) >= 2]
+        assert set(outcomes) == {r.name for r in multi_host}

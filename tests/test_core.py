@@ -67,6 +67,54 @@ class TestGpuAllocator:
         allocation = allocator.allocate("j", 2)
         assert len(allocation.all_endpoints()) == allocation.n_gpus
 
+    def test_contiguous_prefers_tightest_fitting_pod(self, allocator):
+        # Leave 6 free in pod 0 and 16 free in pod 1: a 5-host ask
+        # should best-fit into pod 0's remnant, not crack open pod 1.
+        allocator.allocate("resident", 10, PlacementPolicy.CONTIGUOUS)
+        allocation = allocator.allocate(
+            "tenant", 5, PlacementPolicy.CONTIGUOUS)
+        pods = {allocator.topology.devices[h].pod
+                for h in allocation.hosts}
+        assert pods == {0}
+
+    def test_contiguous_spans_fewest_pods_when_forced(self, allocator):
+        # 10 busy in pod 0; a 20-host ask cannot fit one pod (16) so it
+        # must span — fullest-first spanning uses pods {0, 1} only.
+        allocator.allocate("resident", 10, PlacementPolicy.CONTIGUOUS)
+        allocation = allocator.allocate(
+            "tenant", 20, PlacementPolicy.CONTIGUOUS)
+        assert len(allocation.hosts) == 20
+        assert allocator.pods_spanned("tenant") == 2
+
+    def test_contiguous_beats_packed_after_fragmentation(self,
+                                                         allocator):
+        # PACKED walks hosts in topology order, so a 10-host resident
+        # leaves it straddling the pod boundary; CONTIGUOUS relocates.
+        allocator.allocate("resident", 10, PlacementPolicy.PACKED)
+        allocator.allocate("packed", 8, PlacementPolicy.PACKED)
+        packed_pods = allocator.pods_spanned("packed")
+        allocator.release("packed")
+        allocator.allocate("contig", 8, PlacementPolicy.CONTIGUOUS)
+        assert allocator.pods_spanned("contig") < packed_pods
+
+    def test_free_hosts_by_pod_view(self, allocator):
+        view = allocator.free_hosts_by_pod()
+        assert sorted(view) == [0, 1]
+        assert all(len(hosts) == 16 for hosts in view.values())
+        allocator.allocate("j", 3, PlacementPolicy.CONTIGUOUS)
+        view = allocator.free_hosts_by_pod()
+        assert sum(len(hosts) for hosts in view.values()) == 29
+        # The view is a snapshot of free capacity, not a live handle.
+        for hosts in view.values():
+            for host in hosts:
+                assert host not in allocator.allocation("j").hosts
+
+    def test_release_reports_freed_hosts(self, allocator):
+        allocation = allocator.allocate("j", 4)
+        freed = allocator.release("j")
+        assert freed == list(allocation.hosts)
+        assert allocator.free_hosts == 32
+
 
 class TestInfrastructure:
     @pytest.fixture(scope="class")

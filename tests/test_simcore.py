@@ -200,6 +200,85 @@ class TestResource:
         with pytest.raises(ValueError):
             Resource(Simulator(), capacity=0)
 
+    def test_cancel_preserves_fifo_order_of_survivors(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        starts = []
+        cancelled = {}
+
+        def holder():
+            yield resource.request()
+            yield sim.timeout(1.0)
+            resource.release()
+
+        def worker(tag):
+            grant = resource.request()
+            cancelled[tag] = grant
+            yield grant
+            starts.append((tag, sim.now))
+            yield sim.timeout(1.0)
+            resource.release()
+
+        def canceller():
+            yield sim.timeout(0.5)
+            assert resource.cancel(cancelled["c"]) is True
+
+        sim.process(holder())
+        for tag in "bcd":
+            sim.process(worker(tag))
+        sim.process(canceller())
+        sim.run()
+        # c leaves the queue; b and d keep their relative FIFO order.
+        assert starts == [("b", 1.0), ("d", 2.0)]
+
+    def test_cancel_granted_request_returns_false(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        outcome = []
+
+        def worker():
+            grant = resource.request()
+            yield grant
+            outcome.append(resource.cancel(grant))
+            resource.release()
+
+        sim.process(worker())
+        sim.run()
+        assert outcome == [False]
+
+    def test_cancel_foreign_event_returns_false(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        assert resource.cancel(sim.event("stranger")) is False
+
+    def test_preempt_is_an_alias_for_cancel(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        released = []
+
+        def holder():
+            yield resource.request()
+            yield sim.timeout(1.0)
+            resource.release()
+
+        def victim():
+            grant = resource.request()
+            assert resource.preempt(grant) is True
+            yield sim.timeout(0.0)
+
+        def survivor():
+            yield resource.request()
+            released.append(sim.now)
+            resource.release()
+
+        sim.process(holder())
+        sim.process(victim())
+        sim.process(survivor())
+        sim.run()
+        # The preempted waiter never consumes the grant: the survivor
+        # gets the resource at the holder's release, not after.
+        assert released == [1.0]
+
 
 class TestStore:
     def test_put_then_get(self):
