@@ -204,6 +204,10 @@ class FaultSpec:
     at_iteration: int = 1
     detail: str = ""
     effect_override: Optional[Effect] = None
+    #: when set, the fault strikes at this simulated timestamp instead
+    #: of an iteration index — the event-driven job loop arms it on the
+    #: shared clock, so it can land mid-iteration (mid-collective).
+    at_time_s: Optional[float] = None
 
     @property
     def profile(self) -> CauseProfile:

@@ -1,11 +1,17 @@
 """Simulated monitored training job: the telemetry generator.
 
-Runs a training job on the flow-level fabric, iteration by iteration,
-with optional fault injection, and drives the full-stack collectors.
-This plays the role the *actual production cluster* plays for the real
-Astral monitoring system: it is where root-cause perturbations (a dead
-optical link, a misconfigured switch, a broken PCIe) turn into the
-layered symptoms the analyzer has to untangle.
+Runs a training job on the flow-level fabric with optional fault
+injection, and drives the full-stack collectors.  This plays the role
+the *actual production cluster* plays for the real Astral monitoring
+system: it is where root-cause perturbations (a dead optical link, a
+misconfigured switch, a broken PCIe) turn into the layered symptoms the
+analyzer has to untangle.
+
+The job runs as a *process* on the shared simcore clock: each iteration
+is a compute timeout followed by a collective submitted to the
+event-driven :class:`~repro.network.engine.FabricEngine`, so several
+tenants genuinely overlap in time and faults can strike at timestamps
+(mid-collective), not just at iteration boundaries.
 
 The simulator keeps ground truth (the injected fault) strictly apart
 from what it writes into the :class:`TelemetryStore`; the analyzer sees
@@ -25,9 +31,11 @@ from ..network.collectives import (
     ring_allreduce_flows,
 )
 from ..network.congestion import CongestionModel
+from ..network.engine import FabricEngine
 from ..network.fabric import Fabric
 from ..network.flows import Flow
 from ..network.routing import RoutingError
+from ..simcore import Simulator
 from .collectors.base import HostState, IterationSnapshot
 from .collectors.layers import FullStackCollector
 from .faults import Effect, FaultSpec, Manifestation
@@ -52,6 +60,10 @@ class JobConfig:
     collective: str = "allreduce"
     compute_noise_frac: float = 0.01
     seed: int = 0
+    #: offset of the job's first iteration on the shared clock —
+    #: tenants launched by the cluster scheduler start when it placed
+    #: them, not in lockstep.
+    start_time_s: float = 0.0
 
 
 @dataclass
@@ -97,6 +109,9 @@ class MonitoredTrainingJob:
         self._pcie_hosts: set = set()
         #: five-tuples whose QPs die when a link goes down.
         self._link_down_victims: List[Flow] = []
+        #: syslogs emitted by a timestamp fault between snapshots; they
+        #: attach to the next collected snapshot.
+        self._pending_syslogs: List[Tuple[str, str, str, bool]] = []
         # QPs are set up once per job (as NCCL does), so five-tuples are
         # stable across iterations — this is what makes the monitoring
         # join keys (QP <-> five-tuple <-> path) usable.
@@ -104,37 +119,137 @@ class MonitoredTrainingJob:
 
     # -- public API -----------------------------------------------------------
     def run(self) -> JobResult:
+        """Run the job to completion on a private simulator clock."""
         expected_compute, expected_comm = self._expected_times()
         metadata = self._register_metadata()
         collector = FullStackCollector(self.fabric.topology)
 
+        sim = Simulator()
+        engine = FabricEngine(self.fabric, sim=sim)
         snapshots: List[IterationSnapshot] = []
-        now = 0.0
-        aborted = hung = False
-        completed = 0
-        for iteration in range(self.config.iterations):
-            snap = self._run_iteration(iteration, now, metadata)
-            collector.collect(snap, self.store)
-            snapshots.append(snap)
-            now = snap.time_s + snap.iteration_time_s
-            if snap.aborted:
-                aborted = True
-                break
-            if not snap.completed:
-                hung = True
-                break
-            completed += 1
+        self._arm_timed_fault(sim, engine, metadata)
+        sim.process(
+            self.process(sim, engine, collector, metadata, snapshots),
+            name=f"job-{self.config.name}")
+        sim.run()
         return JobResult(
             config=self.config,
             store=self.store,
             snapshots=snapshots,
-            aborted=aborted,
-            hung=hung,
-            completed_iterations=completed,
+            aborted=any(snap.aborted for snap in snapshots),
+            hung=any(not snap.completed and not snap.aborted
+                     for snap in snapshots),
+            completed_iterations=sum(
+                1 for snap in snapshots
+                if snap.completed and not snap.aborted),
             expected_compute_s=expected_compute,
             expected_comm_s=expected_comm,
             fault=self.fault,
         )
+
+    def process(self, sim: Simulator, engine: FabricEngine,
+                collector: FullStackCollector, metadata: JobMetadata,
+                snapshots: List[IterationSnapshot],
+                start_time_s: Optional[float] = None):
+        """The job as a simcore process generator.
+
+        Per iteration: compute phase (a timeout for the slowest host's
+        compute), then the collective submitted to the shared
+        :class:`FabricEngine` — so co-scheduled tenants' flows contend
+        for bandwidth exactly while both are communicating.  Collected
+        snapshots are appended to *snapshots* as they happen.
+        """
+        start = self.config.start_time_s if start_time_s is None \
+            else start_time_s
+        if start > sim.now:
+            yield sim.timeout(start - sim.now)
+        for iteration in range(self.config.iterations):
+            snap = self._begin_iteration(iteration, sim.now, metadata)
+
+            compute = max(
+                (state.compute_time_s
+                 for state in snap.hosts.values() if not state.crashed),
+                default=0.0)
+            if compute > 0:
+                yield sim.timeout(compute)
+
+            flows = self._flows
+            for flow in flows:
+                flow.rate_gbps = 0.0
+            routable, failed = self._route_flows(flows, snap)
+            if routable:
+                comm_start = sim.now
+                done = engine.submit_many(routable)
+                guard = sim.timeout(_HANG_TIMEOUT_S)
+                yield sim.any_of([done, guard])
+                self._record_comm(engine, snap, routable, comm_start)
+                if not done.triggered:
+                    # Starved mid-collective (e.g. a dead link zeroed
+                    # every path): NCCL's watchdog fires.
+                    snap.completed = False
+            self._apply_flow_faults(flows, failed, snap, now=sim.now)
+
+            self._finish_iteration(snap)
+            collector.collect(snap, self.store)
+            snapshots.append(snap)
+            if snap.aborted or not snap.completed:
+                break
+
+    def _record_comm(self, engine: FabricEngine,
+                     snap: IterationSnapshot, routable: List[Flow],
+                     comm_start: float) -> None:
+        """Fold the engine's finish times back into the snapshot."""
+        paths = {}
+        for flow in routable:
+            path = engine.path_of(flow.flow_id)
+            if path is not None:
+                paths[flow.flow_id] = path
+        # Congestion is what the switches observe *now*: this job's
+        # collective plus whatever other tenants still have in flight.
+        others = [flow for flow in engine.active_flows()
+                  if flow.flow_id not in paths]
+        all_paths = dict(paths)
+        for flow in others:
+            path = engine.path_of(flow.flow_id)
+            if path is not None:
+                all_paths[flow.flow_id] = path
+        loads = self.fabric._loads_for(
+            routable + [flow for flow in others
+                        if flow.flow_id in all_paths], all_paths)
+        snap.congestion = self.congestion.evaluate_all(loads)
+        snap.flows.extend(routable)
+        snap.paths.update(paths)
+        for flow in routable:
+            finish = engine.finish_time(flow.flow_id)
+            if finish is None:
+                continue  # still in flight: the hang guard fired
+            comm = finish - comm_start
+            for host in (flow.src_host, flow.dst_host):
+                if host in snap.hosts:
+                    snap.hosts[host].comm_time_s = max(
+                        snap.hosts[host].comm_time_s, comm)
+
+    def _arm_timed_fault(self, sim: Simulator, engine: FabricEngine,
+                         metadata: JobMetadata) -> None:
+        """Schedule a timestamp fault (``at_time_s``) on the clock.
+
+        The structural effects land the instant the fault strikes —
+        possibly mid-collective; the engine re-reads link capacities
+        and re-solves the in-flight allocation immediately.
+        """
+        fault = self.fault
+        if fault is None or fault.at_time_s is None:
+            return
+
+        def _proc():
+            yield sim.timeout(max(0.0, fault.at_time_s - sim.now))
+            shim = IterationSnapshot(
+                time_s=sim.now, iteration=-1, job=metadata, hosts={})
+            self._apply_structural_effects(shim)
+            self._pending_syslogs.extend(shim.syslogs)
+            engine.notify_topology_changed()
+
+        sim.process(_proc(), name=f"fault-{fault.target}")
 
     # -- setup ------------------------------------------------------------------
     def _endpoints(self) -> List[Endpoint]:
@@ -184,9 +299,15 @@ class MonitoredTrainingJob:
         return metadata
 
     # -- fault machinery ---------------------------------------------------------
-    def _fault_active(self, iteration: int) -> bool:
-        return (self.fault is not None
-                and iteration >= self.fault.at_iteration)
+    def _fault_active(self, iteration: int,
+                      now: Optional[float] = None) -> bool:
+        if self.fault is None:
+            return False
+        if self.fault.at_time_s is not None:
+            # Timestamp faults strike on the clock (possibly armed as a
+            # separate process); iteration indices are irrelevant.
+            return now is not None and now >= self.fault.at_time_s
+        return iteration >= self.fault.at_iteration
 
     def _apply_structural_effects(self, snap: IterationSnapshot) -> None:
         """One-time topology/state mutations when the fault activates."""
@@ -340,8 +461,11 @@ class MonitoredTrainingJob:
         snap.syslogs.append((host, "warn", fault.syslog_message(), False))
 
     # -- per-iteration dynamics -------------------------------------------------
-    def _run_iteration(self, iteration: int, now: float,
-                       metadata: JobMetadata) -> IterationSnapshot:
+    def _begin_iteration(self, iteration: int, now: float,
+                         metadata: JobMetadata) -> IterationSnapshot:
+        """Snapshot scaffolding at iteration start: host states, fault
+        activation, structural/sensor evidence — everything that
+        precedes the compute phase."""
         hosts = {
             host: HostState(
                 host=host,
@@ -352,8 +476,11 @@ class MonitoredTrainingJob:
         }
         snap = IterationSnapshot(
             time_s=now, iteration=iteration, job=metadata, hosts=hosts)
+        if self._pending_syslogs:
+            snap.syslogs.extend(self._pending_syslogs)
+            self._pending_syslogs.clear()
 
-        if self._fault_active(iteration):
+        if self._fault_active(iteration, now):
             self._apply_structural_effects(snap)
 
         # Crashed hosts end the job (fail-stop / fail-on-start).  A dead
@@ -379,36 +506,20 @@ class MonitoredTrainingJob:
             if host in hosts:
                 hosts[host].pcie_errors = 12
                 hosts[host].nic_pfc_rx = 5000.0
+        return snap
 
-        flows = self._flows
-        for flow in flows:
-            flow.rate_gbps = 0.0
-        routable, failed = self._route_flows(flows, snap)
-        if routable:
-            run = self.fabric.complete(routable)
-            loads = self.fabric.offered_loads(routable, run.paths)
-            snap.congestion = self.congestion.evaluate_all(loads)
-            snap.flows.extend(routable)
-            snap.paths.update(run.paths)
-            for flow in routable:
-                finish = run.finish_times_s[flow.flow_id]
-                for host in (flow.src_host, flow.dst_host):
-                    if host in hosts:
-                        hosts[host].comm_time_s = max(
-                            hosts[host].comm_time_s, finish)
-        self._apply_flow_faults(flows, failed, snap)
-
-        # Hung hosts never finish their collective.
+    def _finish_iteration(self, snap: IterationSnapshot) -> None:
+        """Post-communication bookkeeping: hung hosts never finish."""
         for host in self._hung_hosts:
-            if host in hosts:
-                hosts[host].hung = True
-                hosts[host].started = 1
-                hosts[host].finished = 0
-                hosts[host].comm_time_s = _HANG_TIMEOUT_S
-                hosts[host].gpu_util = 0.99  # busy-spinning in NCCL
+            if host in snap.hosts:
+                state = snap.hosts[host]
+                state.hung = True
+                state.started = 1
+                state.finished = 0
+                state.comm_time_s = _HANG_TIMEOUT_S
+                state.gpu_util = 0.99  # busy-spinning in NCCL
         if self._hung_hosts:
             snap.completed = False
-        return snap
 
     def _compute_time(self, host: str) -> float:
         noise = self._rng.gauss(0.0, self.config.compute_noise_frac)
@@ -434,7 +545,8 @@ class MonitoredTrainingJob:
         return routable, failed
 
     def _apply_flow_faults(self, flows: List[Flow], failed: List[Flow],
-                           snap: IterationSnapshot) -> None:
+                           snap: IterationSnapshot,
+                           now: Optional[float] = None) -> None:
         fault = self.fault
         # Connectivity-failed flows raise errCQE retry-exceeded events.
         for flow in failed:
@@ -442,7 +554,7 @@ class MonitoredTrainingJob:
             snap.err_cqes.append((flow.src_host, flow.qp,
                                   flow.five_tuple,
                                   "IBV_WC_RETRY_EXC_ERR"))
-        if fault is None or not self._fault_active(snap.iteration):
+        if fault is None or not self._fault_active(snap.iteration, now):
             return
         if fault.effect is Effect.NIC_ERRCQE \
                 and fault.manifestation is Manifestation.FAIL_STOP \
@@ -461,14 +573,13 @@ class MonitoredTrainingJob:
                     and snap.err_cqes:
                 snap.aborted = True
                 snap.completed = False
-        if fault.effect is Effect.LINK_DOWN \
-                and snap.iteration == fault.at_iteration \
-                and self._link_down_victims:
-            # The break is noticed as the crossing QPs time out once.
+        if fault.effect is Effect.LINK_DOWN and self._link_down_victims:
+            # The break is noticed as the crossing QPs time out, once.
             for flow in self._link_down_victims:
                 snap.err_cqes.append((flow.src_host, flow.qp,
                                       flow.five_tuple,
                                       "IBV_WC_RETRY_EXC_ERR"))
+            self._link_down_victims = []
             if fault.manifestation is Manifestation.FAIL_STOP:
                 snap.aborted = True
                 snap.completed = False

@@ -4,9 +4,13 @@
 cluster running multiple jobs."  The failure mechanism is the shared
 fabric: one host's PFC storm backs congestion up into links that other
 customers' jobs also traverse.  :class:`MultiJobRun` co-schedules
-several monitored jobs on one fabric — per iteration, all jobs' flows
-contend for bandwidth together — so a fault injected into one tenant's
-job measurably degrades the innocent tenants.
+several monitored jobs on one fabric: each job runs as its own process
+on one shared :class:`~repro.simcore.Simulator`, all of their
+collectives land on one :class:`~repro.network.engine.FabricEngine`,
+and whenever two tenants are communicating *at the same simulated
+time* their flows contend for bandwidth — so a fault injected into one
+tenant's job measurably degrades the innocent tenants, for exactly as
+long as the storm lasts.
 """
 
 from __future__ import annotations
@@ -15,8 +19,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..network.congestion import CongestionModel
+from ..network.engine import FabricEngine
 from ..network.fabric import Fabric
-from .collectors.base import HostState, IterationSnapshot
+from ..simcore import Simulator
+from .collectors.base import IterationSnapshot
 from .collectors.layers import FullStackCollector
 from .faults import FaultSpec
 from .jobsim import JobConfig, MonitoredTrainingJob
@@ -61,20 +67,35 @@ class MultiJobRun:
         """Build a contention run from cluster-scheduler placements.
 
         ``records`` are :class:`repro.cluster.JobRecord`-shaped objects
-        (anything with ``name`` and ``final_hosts``), typically
-        ``ClusterReport.peak_concurrent()``: the tenants the scheduler
-        actually packed onto the fabric together.  Single-host records
-        are skipped — they generate no fabric flows.
+        (anything with ``name``, ``final_hosts`` and optionally
+        ``first_start_s``), typically ``ClusterReport.peak_concurrent()``:
+        the tenants the scheduler actually packed onto the fabric
+        together.  Single-host records are skipped — they generate no
+        fabric flows.
+
+        The scheduler's start times carry over onto the fabric clock as
+        *iteration phase*: tenants that started at different wall-clock
+        moments have de-phased iteration boundaries (offset modulo the
+        nominal iteration period), so their collectives overlap
+        partially rather than in artificial lockstep.  The multi-hour
+        absolute offsets themselves are folded away — the contention run
+        reproduces the peak-concurrency window, not the calendar.
         """
+        kept = [record for record in records
+                if len(record.final_hosts) >= 2]
+        starts = [getattr(record, "first_start_s", None) or 0.0
+                  for record in kept]
+        base = min(starts) if starts else 0.0
+        period = max(compute_time_s, 1e-9)
         configs = [
             JobConfig(name=record.name,
                       hosts=tuple(record.final_hosts),
                       iterations=iterations,
                       compute_time_s=compute_time_s,
                       comm_size_bits=comm_size_bits,
-                      seed=seed)
-            for record in records
-            if len(record.final_hosts) >= 2
+                      seed=seed,
+                      start_time_s=(start - base) % period)
+            for record, start in zip(kept, starts)
         ]
         if not configs:
             raise ValueError(
@@ -102,111 +123,38 @@ class MultiJobRun:
         ]
 
     def run(self) -> Dict[str, JobOutcome]:
-        """Run all jobs in iteration lockstep with shared bandwidth."""
+        """Run all jobs as processes on one shared clock and engine.
+
+        PFC spreading is on and *dynamic*: the engine re-derives the
+        backpressure multipliers from the flows actually in flight at
+        each solve, so one tenant's storm backs up into the links the
+        other tenants traverse exactly while the storm's traffic is on
+        them (§5 incident).
+        """
         collector = FullStackCollector(self.fabric.topology)
-        outcomes = {
-            job.config.name: JobOutcome(
-                job=job.config.name,
+        sim = Simulator()
+        engine = FabricEngine(self.fabric, sim=sim, pfc_spreading=True,
+                              congestion=self.congestion)
+        outcomes: Dict[str, JobOutcome] = {}
+        snapshots: Dict[str, List[IterationSnapshot]] = {}
+        metadata = {}
+        for job in self._jobs:
+            name = job.config.name
+            outcomes[name] = JobOutcome(
+                job=name,
                 expected_iteration_s=(job.config.compute_time_s
                                       + job._expected_times()[1]))
-            for job in self._jobs
-        }
-        metadata = {job.config.name: job._register_metadata()
-                    for job in self._jobs}
-        iterations = max(job.config.iterations for job in self._jobs)
-        now = 0.0
-        active = list(self._jobs)
-        for iteration in range(iterations):
-            if not active:
-                break
-            # Build each job's snapshot scaffolding + apply faults.
-            snaps: Dict[str, IterationSnapshot] = {}
-            for job in active:
-                hosts = {
-                    host: HostState(
-                        host=host,
-                        compute_time_s=job._compute_time(host),
-                        comm_time_s=0.0)
-                    for host in job.config.hosts
-                }
-                snap = IterationSnapshot(
-                    time_s=now, iteration=iteration,
-                    job=metadata[job.config.name], hosts=hosts)
-                if job._fault_active(iteration):
-                    job._apply_structural_effects(snap)
-                for host in job._crashed_hosts:
-                    if host in hosts:
-                        hosts[host].crashed = True
-                        hosts[host].started = 0
-                        hosts[host].finished = 0
-                if job._crashed_hosts:
-                    snap.aborted = True
-                    snap.completed = False
-                for host, factor in job._slow_compute.items():
-                    if host in hosts:
-                        hosts[host].compute_time_s *= factor
-                for host in job._pcie_hosts:
-                    if host in hosts:
-                        hosts[host].pcie_errors = 12
-                        hosts[host].nic_pfc_rx = 5000.0
-                snaps[job.config.name] = snap
-
-            # Route every job's flows together: shared contention.
-            all_flows = []
-            flows_of: Dict[str, list] = {}
-            for job in active:
-                for flow in job._flows:
-                    flow.rate_gbps = 0.0
-                routable, failed = job._route_flows(job._flows,
-                                                    snaps[
-                                                        job.config.name])
-                flows_of[job.config.name] = routable
-                job._apply_flow_faults(job._flows, failed,
-                                       snaps[job.config.name])
-                all_flows.extend(routable)
-            if all_flows:
-                # PFC spreading on: one tenant's storm backs up into
-                # links the other tenants traverse (§5 incident).
-                run = self.fabric.complete(all_flows,
-                                           pfc_spreading=True)
-                loads = self.fabric.offered_loads(all_flows, run.paths)
-                congestion = self.congestion.evaluate_all(loads)
-                for job in active:
-                    name = job.config.name
-                    snap = snaps[name]
-                    snap.congestion = congestion
-                    snap.flows.extend(flows_of[name])
-                    for flow in flows_of[name]:
-                        snap.paths[flow.flow_id] = \
-                            run.paths[flow.flow_id]
-                        finish = run.finish_times_s[flow.flow_id]
-                        for host in (flow.src_host, flow.dst_host):
-                            if host in snap.hosts:
-                                state = snap.hosts[host]
-                                state.comm_time_s = max(
-                                    state.comm_time_s, finish)
-
-            # Hung hosts + collection + bookkeeping.
-            still_active = []
-            step = 0.0
-            for job in active:
-                name = job.config.name
-                snap = snaps[name]
-                for host in job._hung_hosts:
-                    if host in snap.hosts:
-                        state = snap.hosts[host]
-                        state.hung = True
-                        state.finished = 0
-                        state.comm_time_s = 30.0
-                if job._hung_hosts:
-                    snap.completed = False
-                collector.collect(snap, self.store)
-                outcomes[name].iteration_times_s.append(
-                    snap.iteration_time_s)
-                step = max(step, snap.iteration_time_s)
-                if snap.completed and not snap.aborted \
-                        and iteration + 1 < job.config.iterations:
-                    still_active.append(job)
-            active = still_active
-            now += step
+            metadata[name] = job._register_metadata()
+            snapshots[name] = []
+        for job in self._jobs:
+            name = job.config.name
+            job._arm_timed_fault(sim, engine, metadata[name])
+            sim.process(
+                job.process(sim, engine, collector, metadata[name],
+                            snapshots[name]),
+                name=f"job-{name}")
+        sim.run()
+        for name, snaps in snapshots.items():
+            outcomes[name].iteration_times_s = [
+                snap.iteration_time_s for snap in snaps]
         return outcomes

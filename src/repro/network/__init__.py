@@ -4,11 +4,15 @@ from .collectives import (
     CollectiveConfig,
     CollectiveResult,
     Endpoint,
+    TimedCollectiveResult,
     all_gather_flows,
     all_to_all_flows,
+    collective_schedule,
     reduce_scatter_flows,
     ring_allreduce_flows,
     run_collective,
+    run_collective_timed,
+    send_recv_chain,
     send_recv_flows,
     topology_ordered,
 )
@@ -21,6 +25,7 @@ from .dcqcn import (
     DcqcnParams,
 )
 from .ecmp import EcmpHasher, FiveTuple, crc16
+from .engine import FabricEngine, SolverStats
 from .fabric import Fabric, FabricRun, LinkLoad
 from .flows import Flow, FlowPath, make_flow, reset_flow_ids
 from .routing import EcmpRouter, RoutingError
@@ -39,6 +44,7 @@ __all__ = [
     "EcmpRouter",
     "Endpoint",
     "Fabric",
+    "FabricEngine",
     "FabricRun",
     "FiveTuple",
     "Flow",
@@ -47,14 +53,19 @@ __all__ = [
     "LinkLoad",
     "ReassignmentReport",
     "RoutingError",
+    "SolverStats",
+    "TimedCollectiveResult",
     "all_gather_flows",
     "all_to_all_flows",
+    "collective_schedule",
     "crc16",
     "make_flow",
     "reduce_scatter_flows",
     "reset_flow_ids",
     "ring_allreduce_flows",
     "run_collective",
+    "run_collective_timed",
+    "send_recv_chain",
     "send_recv_flows",
     "topology_ordered",
 ]

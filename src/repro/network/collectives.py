@@ -27,12 +27,16 @@ __all__ = [
     "Endpoint",
     "CollectiveConfig",
     "CollectiveResult",
+    "TimedCollectiveResult",
     "ring_allreduce_flows",
     "reduce_scatter_flows",
     "all_gather_flows",
     "all_to_all_flows",
     "send_recv_flows",
+    "send_recv_chain",
+    "collective_schedule",
     "run_collective",
+    "run_collective_timed",
 ]
 
 
@@ -205,6 +209,55 @@ def send_recv_flows(pairs: Sequence[Tuple[Endpoint, Endpoint]],
     return flows
 
 
+def send_recv_chain(stages: Sequence[Tuple[Endpoint, Endpoint]],
+                    size_bits: float,
+                    config: CollectiveConfig | None = None
+                    ) -> List[List[Flow]]:
+    """Pipeline-parallel chain: each stage's Send must finish before the
+    next stage can forward — one single-flow wave per hop."""
+    config = config or CollectiveConfig()
+    waves: List[List[Flow]] = []
+    for pair in stages:
+        waves.append(send_recv_flows([pair], size_bits, config))
+    return [wave for wave in waves if wave]
+
+
+def collective_schedule(endpoints: Sequence[Endpoint], size_bits: float,
+                        collective: str = "all_to_all",
+                        config: CollectiveConfig | None = None
+                        ) -> List[List[Flow]]:
+    """Dependency-aware schedule: the collective as sequenced flow waves.
+
+    Each wave is a list of flows that may run concurrently; wave *k+1*
+    must not start before wave *k* has completed (the ring step
+    dependency NCCL enforces).  Ring collectives decompose into their
+    per-step shard exchanges — ``n-1`` waves of ``size/n`` per neighbor
+    for ReduceScatter/AllGather, ``2(n-1)`` for AllReduce — while
+    All-to-All stays a single flat wave (no inter-step dependency).
+    The per-neighbor bits summed over waves equal the flat generators',
+    so batch totals are preserved; only the temporal structure differs.
+    """
+    config = config or CollectiveConfig()
+    n = len(endpoints)
+    if n < 2:
+        return []
+    if collective == "all_to_all":
+        return [all_to_all_flows(endpoints, size_bits, config)]
+    if collective not in ("allreduce", "reduce_scatter", "all_gather"):
+        raise ValueError(f"unknown collective: {collective}")
+    steps = 2 * (n - 1) if collective == "allreduce" else n - 1
+    # One ring step ships size/n per neighbor; reuse the ring generator
+    # with the size that makes its per-neighbor payload exactly that.
+    step_size = size_bits / (n - 1)
+    waves = []
+    for _step in range(steps):
+        wave = reduce_scatter_flows(endpoints, step_size, config)
+        for flow in wave:
+            flow.collective = collective
+        waves.append(wave)
+    return [wave for wave in waves if wave]
+
+
 def _intra_host_bits(endpoints: Sequence[Endpoint], size_bits: float,
                      collective: str, config: CollectiveConfig) -> float:
     """Bits staged over NVLink per GPU (PXN forwarding + local legs)."""
@@ -222,9 +275,17 @@ def _intra_host_bits(endpoints: Sequence[Endpoint], size_bits: float,
 
 def run_collective(fabric: Fabric, endpoints: Sequence[Endpoint],
                    size_bits: float, collective: str = "all_to_all",
-                   config: CollectiveConfig | None = None
-                   ) -> CollectiveResult:
-    """Generate, route, and complete one collective on the fabric."""
+                   config: CollectiveConfig | None = None,
+                   scheduled: bool = False) -> CollectiveResult:
+    """Generate, route, and complete one collective on the fabric.
+
+    With ``scheduled`` the collective runs as its dependency-aware
+    wave schedule (ring steps sequenced, each wave gated on the
+    previous one) on a private :class:`~repro.network.engine.
+    FabricEngine` instead of one flat flow set completed all at once —
+    the same schedule :func:`run_collective_timed` uses on a shared
+    clock.
+    """
     config = config or CollectiveConfig()
     generators = {
         "allreduce": ring_allreduce_flows,
@@ -234,6 +295,20 @@ def run_collective(fabric: Fabric, endpoints: Sequence[Endpoint],
     }
     if collective not in generators:
         raise ValueError(f"unknown collective: {collective}")
+    if scheduled:
+        from ..simcore import Simulator
+        from .engine import FabricEngine
+
+        engine = FabricEngine(fabric, sim=Simulator())
+        proc = run_collective_timed(engine, endpoints, size_bits,
+                                    collective, config)
+        run = engine.run()
+        timed = proc.value
+        return CollectiveResult(
+            name=collective, size_bits=size_bits,
+            network_time_s=timed.network_time_s,
+            intra_host_time_s=timed.intra_host_time_s,
+            run=run, n_endpoints=len(endpoints))
     flows = generators[collective](endpoints, size_bits, config)
     if not flows:
         return CollectiveResult(
@@ -252,3 +327,67 @@ def run_collective(fabric: Fabric, endpoints: Sequence[Endpoint],
         run=run,
         n_endpoints=len(endpoints),
     )
+
+
+@dataclass
+class TimedCollectiveResult:
+    """Timing of one wave-scheduled collective on the shared clock."""
+
+    name: str
+    size_bits: float
+    start_time_s: float
+    network_time_s: float
+    intra_host_time_s: float
+    n_endpoints: int
+    n_waves: int
+    flow_ids: List[int]
+
+    @property
+    def end_time_s(self) -> float:
+        return self.start_time_s + self.network_time_s
+
+    @property
+    def total_time_s(self) -> float:
+        return self.network_time_s + self.intra_host_time_s
+
+
+def run_collective_timed(engine, endpoints: Sequence[Endpoint],
+                         size_bits: float,
+                         collective: str = "all_to_all",
+                         config: CollectiveConfig | None = None,
+                         start_time_s: float = 0.0):
+    """Run one collective as sequenced waves on a :class:`FabricEngine`.
+
+    Returns a :class:`repro.simcore.Process` whose value is a
+    :class:`TimedCollectiveResult`; wave *k+1* is submitted only once
+    every flow of wave *k* has completed, so ring steps serialize the
+    way NCCL's do while other tenants' flows contend in between.
+    """
+    config = config or CollectiveConfig()
+    waves = collective_schedule(endpoints, size_bits, collective, config)
+    sim = engine.sim
+
+    def _proc():
+        if start_time_s > sim.now:
+            yield sim.timeout(start_time_s - sim.now)
+        began = sim.now
+        flow_ids: List[int] = []
+        for wave in waves:
+            flow_ids.extend(flow.flow_id for flow in wave)
+            yield engine.submit_many(wave)
+        staged_bits = _intra_host_bits(endpoints, size_bits, collective,
+                                       config)
+        intra_time = staged_bits / (config.nvlink_gbps * 1e9) \
+            if staged_bits else 0.0
+        return TimedCollectiveResult(
+            name=collective,
+            size_bits=size_bits,
+            start_time_s=began,
+            network_time_s=sim.now - began,
+            intra_host_time_s=intra_time,
+            n_endpoints=len(endpoints),
+            n_waves=len(waves),
+            flow_ids=flow_ids,
+        )
+
+    return sim.process(_proc(), name=f"collective-{collective}")

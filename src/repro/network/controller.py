@@ -38,6 +38,8 @@ class ReassignmentReport:
     congested_links_before: int
     congested_links_after: int
     flows_moved: int
+    #: simulated time of the round (0.0 for untimed batch rounds).
+    at_time_s: float = 0.0
 
     @property
     def improved(self) -> bool:
@@ -115,11 +117,7 @@ class EcmpController:
                 for key, state in states.items()}
 
     def _directed_hops(self, path: FlowPath) -> List[LinkDir]:
-        hops = []
-        for device, link_id in zip(path.devices, path.link_ids):
-            link = self.fabric.topology.links[link_id]
-            hops.append((link_id, link.a.device == device))
-        return hops
+        return self.fabric.directed_hops(path)
 
     def _is_fabric_hop(self, hop: LinkDir) -> bool:
         """True when both link endpoints are switches."""
@@ -227,4 +225,37 @@ class EcmpController:
             reports.append(report)
             if report.flows_moved == 0:
                 break
+        return reports
+
+    def run_timed(self, engine, flows: List[Flow],
+                  interval_s: float = 5.0, rounds: int = 8
+                  ) -> List[ReassignmentReport]:
+        """Polling rounds as timed events on a :class:`FabricEngine`.
+
+        Every ``interval_s`` of simulated time (the switches' ECN poll
+        period, §2.1) the controller re-hashes the still-in-flight flows
+        and retargets them *mid-transfer* on the engine: the touched
+        components re-solve, so a move changes the moved flow's finish
+        time and relieves the flows it was colliding with.  Returns the
+        (live, in-place growing) report list; final contents are ready
+        once ``engine.run()`` / ``sim.run()`` has drained.
+        """
+        reports: List[ReassignmentReport] = []
+        sim = engine.sim
+
+        def _rounds():
+            for index in range(rounds):
+                yield sim.timeout(interval_s)
+                live = [flow for flow in flows
+                        if engine.is_active(flow.flow_id)]
+                if not live:
+                    break
+                report = self.reassignment_round(live, round_index=index)
+                report.at_time_s = sim.now
+                engine.retarget(live)
+                reports.append(report)
+                if report.flows_moved == 0:
+                    break
+
+        sim.process(_rounds(), name="ecmp-controller")
         return reports

@@ -1,0 +1,542 @@
+"""Event-driven fluid fabric simulator on the simcore kernel.
+
+:class:`FabricEngine` moves the flow-level fabric onto the single
+deterministic clock the rest of the reproduction runs on
+(:class:`repro.simcore.Simulator`).  Where :meth:`Fabric.complete`
+is a batch loop — every flow starts at t=0 and nothing can change
+mid-transfer — the engine maintains an *active-flow set* that evolves
+over simulated time:
+
+* flows carry a ``start_time_s`` and arrive on the clock;
+* rate allocation re-runs only on events (flow arrival, flow
+  completion, capacity change, path reassignment), never per tick;
+* external processes on the same simulator — the ECMP controller's
+  five-second polling rounds, fault injectors, tenant job loops — can
+  retarget or throttle flows *while they are in flight*.
+
+Rate allocation is **incremental max-min**: directed-hop lists are
+cached per flow, link member sets are maintained across events, and
+each event re-solves only the connected component of links touched by
+the changed flow (tracked with a union-find over flows) instead of the
+whole fabric.  Max-min allocations are separable by component, so the
+restricted solve returns exactly the rates a global solve would.  The
+union-find only ever merges; it is rebuilt from the live flow set when
+the active population has halved, so long multi-tenant runs do not
+degrade to one permanent super-component.  :class:`SolverStats` counts
+the work (solver calls, link visits) so the saving vs the epoch-global
+baseline is measurable — see ``benchmarks/test_bench_fabric_engine.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..simcore import Event, SimulationError, Simulator
+from .fabric import Fabric, FabricRun, LinkDir
+from .flows import Flow, FlowPath
+
+__all__ = ["FabricEngine", "SolverStats"]
+
+#: A flow is complete once its remaining demand is below this (bits) —
+#: the same threshold the batch fluid loop uses.
+_DONE_BITS = 1e-6
+
+
+@dataclass
+class SolverStats:
+    """Work counters for the (incremental) max-min rate solver.
+
+    ``link_visits`` counts every per-link unit of solver work: a
+    (flow, hop) membership registration, a capacity read, or one
+    fair-share evaluation inside the progressive-filling loop.  The
+    epoch-global batch loop and the incremental engine count with the
+    same ruler, so their totals are directly comparable.
+    """
+
+    events: int = 0
+    solves: int = 0
+    link_visits: int = 0
+    flows_resolved: int = 0
+    components_solved: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "events": self.events,
+            "solves": self.solves,
+            "link_visits": self.link_visits,
+            "flows_resolved": self.flows_resolved,
+            "components_solved": self.components_solved,
+        }
+
+
+@dataclass
+class _FlowState:
+    """Book-keeping for one in-flight flow."""
+
+    flow: Flow
+    remaining_bits: float
+    rate_gbps: float = 0.0
+    generation: int = 0
+    done: Optional[Event] = None
+    hops: List[LinkDir] = field(default_factory=list)
+
+
+class FabricEngine:
+    """Event-driven max-min fluid simulator over a :class:`Fabric`.
+
+    The engine can share its :class:`~repro.simcore.Simulator` with any
+    number of other processes (tenant job loops, controllers, fault
+    injectors); all of them then observe one fabric on one clock.
+
+    ``capacity_factors`` statically scales directed links (as in
+    :meth:`Fabric.max_min_rates`); with ``pfc_spreading`` the PFC
+    backpressure multipliers are instead re-derived from the *current*
+    active-flow loads at every solve, so a tenant's storm throttles
+    exactly the links it is storming while it is storming them.
+    """
+
+    def __init__(self, fabric: Fabric, sim: Optional[Simulator] = None,
+                 capacity_factors: Optional[Dict[LinkDir, float]] = None,
+                 pfc_spreading: bool = False,
+                 congestion=None,
+                 stats: Optional[SolverStats] = None):
+        self.fabric = fabric
+        self.sim = sim or Simulator()
+        self.stats = stats or SolverStats()
+        self.pfc_spreading = pfc_spreading
+        if pfc_spreading:
+            from .congestion import CongestionModel
+            self._congestion = congestion or CongestionModel()
+        else:
+            self._congestion = congestion
+
+        self._clock = self.sim.now
+        self._states: Dict[int, _FlowState] = {}
+        self._paths: Dict[int, FlowPath] = {}
+        self._flows_seen: Dict[int, Flow] = {}
+        self._finish: Dict[int, float] = {}
+        self._last_finish = 0.0
+        self._members: Dict[LinkDir, Set[int]] = {}
+        self._static_factors: Dict[LinkDir, float] = dict(
+            capacity_factors or {})
+        self._pfc_factors: Dict[LinkDir, float] = {}
+        self._dirty: Set[LinkDir] = set()
+        self._solve_pending = False
+        self._topo_version = fabric.topology.version
+        # Union-find over flow ids; links point at one member flow so a
+        # dirty link resolves to its component root in O(alpha).
+        self._dsu: Dict[int, int] = {}
+        self._link_owner: Dict[LinkDir, int] = {}
+        self._dsu_peak = 0
+
+    # -- public interface -------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def is_active(self, flow_id: int) -> bool:
+        return flow_id in self._states
+
+    def active_flows(self) -> List[Flow]:
+        return [state.flow for state in self._states.values()]
+
+    def rate_of(self, flow_id: int) -> float:
+        state = self._states.get(flow_id)
+        return state.rate_gbps if state is not None else 0.0
+
+    def finish_time(self, flow_id: int) -> Optional[float]:
+        return self._finish.get(flow_id)
+
+    def path_of(self, flow_id: int) -> Optional[FlowPath]:
+        return self._paths.get(flow_id)
+
+    def submit(self, flow: Flow, path: Optional[FlowPath] = None,
+               start_time_s: Optional[float] = None) -> Event:
+        """Schedule *flow* on the fabric; returns its completion event.
+
+        The flow arrives at ``max(sim.now, start_time_s)`` (defaulting
+        to ``flow.start_time_s``); its path is resolved at arrival time
+        unless one is given.  Flow ids may be resubmitted after their
+        previous transfer completed (stable QPs re-used per iteration).
+        """
+        if flow.flow_id in self._states:
+            raise SimulationError(
+                f"flow {flow.flow_id} is already in flight")
+        start = flow.start_time_s if start_time_s is None else start_time_s
+        start = max(start, self.sim.now)
+        done = self.sim.event(name=f"flow-{flow.flow_id}-done")
+        state = _FlowState(flow=flow, remaining_bits=float(flow.size_bits),
+                           done=done)
+        timeout = self.sim.timeout(start - self.sim.now)
+        timeout.add_callback(
+            lambda _event, state=state, path=path:
+            self._on_arrival(state, path))
+        return done
+
+    def submit_many(self, flows: Iterable[Flow],
+                    paths: Optional[Dict[int, FlowPath]] = None,
+                    start_time_s: Optional[float] = None) -> Event:
+        """Submit several flows; returns an all-of completion event."""
+        events = [
+            self.submit(flow,
+                        path=paths.get(flow.flow_id) if paths else None,
+                        start_time_s=start_time_s)
+            for flow in flows
+        ]
+        return self.sim.all_of(events)
+
+    def reassign_path(self, flow: Flow,
+                      path: Optional[FlowPath] = None) -> bool:
+        """Retarget an in-flight flow onto its (re-hashed) current path.
+
+        Returns True when the directed-hop list actually changed; the
+        touched component is re-solved, so co-bottlenecked flows speed
+        up or slow down mid-transfer.
+        """
+        state = self._states.get(flow.flow_id)
+        if state is None:
+            return False
+        self._advance_to(self.sim.now)
+        state = self._states.get(flow.flow_id)
+        if state is None:
+            return False
+        new_path = path if path is not None \
+            else self.fabric.router.path(flow)
+        new_hops = self.fabric.directed_hops(new_path)
+        self._paths[flow.flow_id] = new_path
+        if new_hops == state.hops:
+            return False
+        for hop in state.hops:
+            members = self._members.get(hop)
+            if members is not None:
+                members.discard(flow.flow_id)
+            self._dirty.add(hop)
+        for hop in new_hops:
+            self._register_hop(flow.flow_id, hop)
+            self._dirty.add(hop)
+        self.stats.link_visits += len(new_hops)
+        state.hops = new_hops
+        self._request_solve()
+        return True
+
+    def retarget(self, flows: Iterable[Flow]) -> int:
+        """Re-hash every flow's path; returns how many actually moved."""
+        return sum(1 for flow in flows if self.reassign_path(flow))
+
+    def set_capacity_factor(self, link_id: int, factor: float,
+                            at: Optional[float] = None) -> None:
+        """Scale a link's effective capacity (both directions) by
+        *factor* — e.g. a degraded optic, or a dead link at 0.0 —
+        either immediately or at simulated time *at*."""
+        if factor < 0:
+            raise ValueError(f"negative capacity factor: {factor}")
+
+        def apply(_event=None):
+            self._advance_to(self.sim.now)
+            for forward in (True, False):
+                hop = (link_id, forward)
+                if factor == 1.0:
+                    self._static_factors.pop(hop, None)
+                else:
+                    self._static_factors[hop] = factor
+                if self._members.get(hop):
+                    self._dirty.add(hop)
+            self._request_solve()
+
+        if at is None or at <= self.sim.now:
+            apply()
+        else:
+            self.sim.timeout(at - self.sim.now).add_callback(apply)
+
+    def notify_topology_changed(self) -> None:
+        """Tell the engine the topology was mutated externally (failed
+        link, degraded capacity, rewire).  The next solve — requested
+        here — sees the version bump and re-reads every occupied link's
+        capacity, so in-flight flows re-allocate immediately instead of
+        at their next natural event."""
+        self._advance_to(self.sim.now)
+        self._request_solve()
+
+    def run(self, until: Optional[float] = None) -> FabricRun:
+        """Drive the simulator and return the completed transfers.
+
+        Raises :class:`SimulationError` when the event queue drains
+        while flows are still active — every such flow is starved
+        (rate 0, e.g. a zeroed capacity factor on its path) and is
+        named in the message.
+        """
+        self.sim.run(until)
+        if until is None and self._states:
+            starved = sorted(
+                fid for fid, state in self._states.items()
+                if state.rate_gbps <= 0)
+            raise SimulationError(
+                "fabric engine idle with unfinished flows; starved "
+                f"flows (rate 0): {starved or sorted(self._states)}")
+        flows = [self._flows_seen[fid] for fid in self._flows_seen
+                 if self._flows_seen[fid].size_bits > 0]
+        loads = self.fabric._loads_for(flows, self._paths) if flows else {}
+        return FabricRun(
+            total_time_s=self._last_finish,
+            finish_times_s=dict(self._finish),
+            paths=dict(self._paths),
+            link_loads=loads,
+        )
+
+    # -- event handlers ----------------------------------------------------
+    def _on_arrival(self, state: _FlowState,
+                    path: Optional[FlowPath]) -> None:
+        self.stats.events += 1
+        self._advance_to(self.sim.now)
+        flow = state.flow
+        fid = flow.flow_id
+        if fid in self._states:
+            raise SimulationError(f"flow {fid} arrived twice")
+        self._flows_seen[fid] = flow
+        if state.remaining_bits <= _DONE_BITS:
+            # Zero-size transfers finish the instant they start.
+            self._paths.setdefault(
+                fid, path or FlowPath(flow_id=fid,
+                                      devices=[flow.src_host]))
+            self._finish[fid] = self._clock
+            self._last_finish = max(self._last_finish, self._clock)
+            state.done.succeed(self._clock)
+            return
+        if path is None:
+            path = self.fabric.router.path(flow)
+        self._paths[fid] = path
+        state.hops = self.fabric.directed_hops(path)
+        self.stats.link_visits += len(state.hops)
+        self._states[fid] = state
+        self._dsu_peak = max(self._dsu_peak, len(self._states))
+        for hop in state.hops:
+            self._register_hop(fid, hop)
+            self._dirty.add(hop)
+        self._request_solve()
+
+    def _on_deadline(self, fid: int, generation: int) -> None:
+        state = self._states.get(fid)
+        if state is None or state.generation != generation:
+            return  # stale deadline from a superseded allocation
+        self.stats.events += 1
+        self._advance_to(self.sim.now)
+        state = self._states.get(fid)
+        if state is not None and state.rate_gbps > 0:
+            delay = state.remaining_bits / (state.rate_gbps * 1e9)
+            if self.sim.now + delay == self.sim.now:
+                # The residue is below the clock's float resolution —
+                # a timeout cannot advance time, so finish the flow now
+                # (the untransferred remainder is sub-resolution bits).
+                self._complete(fid)
+            else:
+                # Float residue kept the flow fractionally alive;
+                # finish it on a fresh sub-resolution deadline.
+                self._schedule_deadline(state)
+
+    def _request_solve(self) -> None:
+        if self._solve_pending:
+            return
+        self._solve_pending = True
+        # A zero-delay timeout runs after every already-queued event at
+        # this timestamp: simultaneous arrivals/completions coalesce
+        # into a single rate solve, exactly like one batch epoch.
+        self.sim.timeout(0.0).add_callback(self._on_solve)
+
+    def _on_solve(self, _event: Event) -> None:
+        self._solve_pending = False
+        self._advance_to(self.sim.now)
+        self._solve()
+
+    # -- fluid bookkeeping -------------------------------------------------
+    def _advance_to(self, now: float) -> None:
+        elapsed = now - self._clock
+        if elapsed < 0:
+            raise SimulationError(
+                f"fabric engine clock moved backwards: {now} < "
+                f"{self._clock}")
+        if elapsed > 0:
+            for state in self._states.values():
+                if state.rate_gbps > 0:
+                    state.remaining_bits -= \
+                        state.rate_gbps * 1e9 * elapsed
+            self._clock = now
+        done = [fid for fid, state in self._states.items()
+                if state.remaining_bits <= _DONE_BITS]
+        for fid in done:
+            self._complete(fid)
+
+    def _complete(self, fid: int) -> None:
+        state = self._states.pop(fid)
+        state.generation += 1
+        for hop in state.hops:
+            members = self._members.get(hop)
+            if members is not None:
+                members.discard(fid)
+            self._dirty.add(hop)
+        self._finish[fid] = self._clock
+        self._last_finish = max(self._last_finish, self._clock)
+        state.done.succeed(self._clock)
+        self._maybe_rebuild_dsu()
+        self._request_solve()
+
+    def _schedule_deadline(self, state: _FlowState) -> None:
+        state.generation += 1
+        delay = state.remaining_bits / (state.rate_gbps * 1e9)
+        self.sim.timeout(delay).add_callback(
+            lambda _event, fid=state.flow.flow_id,
+            generation=state.generation:
+            self._on_deadline(fid, generation))
+
+    # -- component tracking ------------------------------------------------
+    def _register_hop(self, fid: int, hop: LinkDir) -> None:
+        self._members.setdefault(hop, set()).add(fid)
+        owner = self._link_owner.get(hop)
+        if owner is None:
+            self._link_owner[hop] = fid
+        else:
+            self._union(fid, owner)
+
+    def _find(self, fid: int) -> int:
+        dsu = self._dsu
+        root = fid
+        while dsu.get(root, root) != root:
+            root = dsu[root]
+        while fid != root:
+            parent = dsu.get(fid, root)
+            dsu[fid] = root
+            fid = parent
+        return root
+
+    def _union(self, a: int, b: int) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra != rb:
+            self._dsu[rb] = ra
+
+    def _maybe_rebuild_dsu(self) -> None:
+        """Re-derive components from the live flow set once it has
+        halved — union-find only merges, so without this a long run
+        would converge on one permanent super-component."""
+        if len(self._states) * 2 > self._dsu_peak:
+            return
+        self._dsu = {}
+        self._link_owner = {}
+        for hop, members in self._members.items():
+            for fid in members:
+                owner = self._link_owner.get(hop)
+                if owner is None:
+                    self._link_owner[hop] = fid
+                else:
+                    self._union(fid, owner)
+        self._dsu_peak = len(self._states)
+
+    # -- rate allocation ---------------------------------------------------
+    def _refresh_pfc_factors(self) -> None:
+        flows = [state.flow for state in self._states.values()]
+        if flows:
+            loads = self.fabric._loads_for(flows, self._paths)
+            factors = self._congestion.pfc_capacity_factors(
+                loads, self.fabric.topology)
+        else:
+            factors = {}
+        for hop in set(factors) | set(self._pfc_factors):
+            if factors.get(hop, 1.0) != self._pfc_factors.get(hop, 1.0) \
+                    and self._members.get(hop):
+                self._dirty.add(hop)
+        self._pfc_factors = factors
+
+    def _solve(self) -> None:
+        stats = self.stats
+        topo = self.fabric.topology
+        if topo.version != self._topo_version:
+            # Links were failed/rewired/rescaled under us: treat every
+            # occupied link as touched (capacities must be re-read).
+            self._topo_version = topo.version
+            for hop, members in self._members.items():
+                if members:
+                    self._dirty.add(hop)
+        if self.pfc_spreading:
+            self._refresh_pfc_factors()
+        roots: Set[int] = set()
+        for hop in self._dirty:
+            if self._members.get(hop):
+                roots.add(self._find(self._link_owner[hop]))
+        self._dirty.clear()
+        if not roots:
+            return
+        stats.solves += 1
+        stats.components_solved += len(roots)
+
+        comp_flows = [fid for fid in self._states
+                      if self._find(fid) in roots]
+        comp_links: List[LinkDir] = []
+        remaining: Dict[LinkDir, float] = {}
+        for hop, members in self._members.items():
+            if not members or self._find(self._link_owner[hop]) not in roots:
+                continue
+            link = topo.links[hop[0]]
+            remaining[hop] = (link.capacity_gbps
+                              * self._static_factors.get(hop, 1.0)
+                              * self._pfc_factors.get(hop, 1.0))
+            comp_links.append(hop)
+            stats.link_visits += 1
+        stats.flows_resolved += len(comp_flows)
+
+        # Progressive filling restricted to the touched component(s);
+        # max-min allocations are separable by connected component, so
+        # this equals the global solve on these flows.
+        line_rate = self.fabric.host_line_rate_gbps
+        members = self._members
+        states = self._states
+        rates: Dict[int, float] = {}
+        unfrozen = set(comp_flows)
+        # Same incremental-count filling as the batch solver: member
+        # sets in the component are all-active at solve start, counts
+        # decrement as flows freeze, drained links drop off the scan.
+        active_count = {hop: len(members[hop]) for hop in comp_links}
+        scan = comp_links
+        while unfrozen:
+            bottleneck_share = line_rate
+            tied: List[LinkDir] = []
+            live = []
+            for hop in scan:
+                count = active_count[hop]
+                if not count:
+                    continue
+                live.append(hop)
+                share = remaining[hop] / count
+                if share < bottleneck_share:
+                    bottleneck_share = share
+                    tied = [hop]
+                elif tied and share == bottleneck_share:
+                    tied.append(hop)
+            scan = live
+            stats.link_visits += len(live)
+            if not tied:
+                for fid in unfrozen:
+                    rates[fid] = line_rate
+                    for hop in states[fid].hops:
+                        remaining[hop] -= line_rate
+                break
+            # Water-filling tie groups, exactly as in the batch solver.
+            frozen_now = set()
+            for hop in tied:
+                frozen_now |= members[hop]
+            frozen_now &= unfrozen
+            for fid in frozen_now:
+                rates[fid] = bottleneck_share
+                for hop in states[fid].hops:
+                    remaining[hop] -= bottleneck_share
+                    active_count[hop] -= 1
+            unfrozen -= frozen_now
+
+        for fid, rate in rates.items():
+            state = states[fid]
+            state.flow.rate_gbps = rate
+            if rate == state.rate_gbps:
+                continue  # untouched: the scheduled deadline stands
+            state.rate_gbps = rate
+            if rate > 0:
+                self._schedule_deadline(state)
+            else:
+                state.generation += 1  # starved: cancel any deadline

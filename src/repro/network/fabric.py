@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..simcore import SimulationError
 from ..topology.elements import Topology
 from .flows import Flow, FlowPath
 from .routing import EcmpRouter
@@ -74,36 +75,64 @@ class Fabric:
         self.router = router or EcmpRouter(topology)
         #: per-port NIC line rate; flows never exceed this at the source.
         self.host_line_rate_gbps = host_line_rate_gbps
+        #: directed-hop memo per flow id: (topology version, link ids,
+        #: hops).  Invalidated when the topology is rewired or the flow
+        #: is re-hashed onto a different path.
+        self._hops_cache: Dict[
+            int, Tuple[int, Tuple[int, ...], List[LinkDir]]] = {}
+        self.hops_cache_hits = 0
+        self.hops_cache_misses = 0
 
     # -- path resolution -----------------------------------------------------
     def resolve_paths(self, flows: Iterable[Flow]) -> Dict[int, FlowPath]:
         return {flow.flow_id: self.router.path(flow) for flow in flows}
 
-    def _directed_hops(self, path: FlowPath) -> List[LinkDir]:
+    def directed_hops(self, path: FlowPath) -> List[LinkDir]:
+        """Directed traversal of *path*, memoized per flow id.
+
+        The hop list used to be recomputed from the topology for every
+        flow on every fluid epoch; it only changes when the topology is
+        rewired (version bump) or the flow is reassigned (different
+        link ids), so it is cached against both.
+        """
+        version = self.topology.version
+        link_ids = tuple(path.link_ids)
+        cached = self._hops_cache.get(path.flow_id)
+        if cached is not None and cached[0] == version \
+                and cached[1] == link_ids:
+            self.hops_cache_hits += 1
+            return cached[2]
+        self.hops_cache_misses += 1
         hops: List[LinkDir] = []
         for device, link_id in zip(path.devices, path.link_ids):
             link = self.topology.links[link_id]
             hops.append((link_id, link.a.device == device))
+        self._hops_cache[path.flow_id] = (version, link_ids, hops)
         return hops
+
+    # Backwards-compatible alias (pre-engine name).
+    _directed_hops = directed_hops
 
     # -- bandwidth allocation --------------------------------------------------
     def max_min_rates(self, flows: List[Flow],
                       paths: Optional[Dict[int, FlowPath]] = None,
                       capacity_factors: Optional[Dict[LinkDir, float]]
-                      = None) -> Dict[int, float]:
+                      = None, stats=None) -> Dict[int, float]:
         """Max-min fair rate (Gbps) per flow; also sets ``flow.rate_gbps``.
 
         Progressive filling: repeatedly find the tightest link (smallest
         fair share for its unfrozen flows), freeze its flows at that
         share, remove the consumed capacity, and continue.
         ``capacity_factors`` scales individual directed links (e.g. PFC
-        backpressure shrinking a hop's effective capacity).
+        backpressure shrinking a hop's effective capacity).  *stats*, a
+        :class:`~repro.network.engine.SolverStats`, counts the per-link
+        work for comparison against the incremental engine.
         """
         if paths is None:
             paths = self.resolve_paths(flows)
         flow_by_id = {flow.flow_id: flow for flow in flows}
         hops_of: Dict[int, List[LinkDir]] = {
-            fid: self._directed_hops(path) for fid, path in paths.items()
+            fid: self.directed_hops(path) for fid, path in paths.items()
         }
 
         remaining: Dict[LinkDir, float] = {}
@@ -118,35 +147,62 @@ class Fabric:
                     remaining[hop] = link.capacity_gbps * factor
                     members[hop] = set()
                 members[hop].add(fid)
+        if stats is not None:
+            stats.solves += 1
+            stats.flows_resolved += len(flow_by_id)
+            stats.link_visits += sum(
+                len(hops) for hops in hops_of.values())
 
         rates: Dict[int, float] = {}
         unfrozen = set(flow_by_id)
         # Source line-rate cap is modelled as a virtual per-flow link.
         line_rate = self.host_line_rate_gbps
 
+        # Active (unfrozen) member counts are maintained incrementally
+        # and fully-frozen links pruned from the scan list, so each
+        # filling iteration costs O(live links) instead of
+        # O(total memberships).  Scan order preserves ``members``
+        # insertion order, so bottleneck tie-breaks are unchanged.
+        active_count = {hop: len(ids) for hop, ids in members.items()}
+        scan = list(members)
         while unfrozen:
             bottleneck_share = line_rate
-            bottleneck: Optional[LinkDir] = None
-            for hop, flow_ids in members.items():
-                active = flow_ids & unfrozen
-                if not active:
+            tied: List[LinkDir] = []
+            live = []
+            for hop in scan:
+                count = active_count[hop]
+                if not count:
                     continue
-                share = remaining[hop] / len(active)
+                live.append(hop)
+                share = remaining[hop] / count
                 if share < bottleneck_share:
                     bottleneck_share = share
-                    bottleneck = hop
-            if bottleneck is None:
+                    tied = [hop]
+                elif tied and share == bottleneck_share:
+                    tied.append(hop)
+            scan = live
+            if stats is not None:
+                stats.link_visits += len(live)
+            if not tied:
                 # Every remaining flow is line-rate limited.
                 for fid in unfrozen:
                     rates[fid] = line_rate
                     for hop in hops_of[fid]:
                         remaining[hop] -= line_rate
                 break
-            frozen_now = members[bottleneck] & unfrozen
+            # Water-filling: every link tied at the bottleneck share
+            # saturates together (freezing one tied link leaves the
+            # others' shares unchanged), so symmetric workloads freeze
+            # whole tie groups per iteration instead of one link each.
+            frozen_now = set()
+            for hop in tied:
+                frozen_now |= members[hop]
+            frozen_now &= unfrozen
             for fid in frozen_now:
                 rates[fid] = bottleneck_share
                 for hop in hops_of[fid]:
                     remaining[hop] -= bottleneck_share
+                    active_count[hop] -= 1
             unfrozen -= frozen_now
 
         for fid, rate in rates.items():
@@ -157,11 +213,59 @@ class Fabric:
     def complete(self, flows: List[Flow],
                  paths: Optional[Dict[int, FlowPath]] = None,
                  pfc_spreading: bool = False) -> FabricRun:
-        """Fluid completion: re-run max-min whenever a flow finishes.
+        """Fluid completion of *flows*, all starting at t=0.
+
+        Thin batch wrapper over the event-driven
+        :class:`~repro.network.engine.FabricEngine`: every flow is
+        submitted at time zero onto a private simulator and run to
+        completion.  For simultaneous starts this reproduces the
+        classic epoch-global fluid loop (kept as
+        :meth:`complete_batch`) exactly — same epochs, same finish
+        times — while sharing one code path with the timed simulator.
 
         With ``pfc_spreading``, PFC backpressure multipliers (computed
         from the initial offered loads) shrink effective link
         capacities — the lossless-fabric congestion-spreading effect.
+        """
+        from .engine import FabricEngine
+
+        # The legacy loop keyed everything by flow id, so duplicate ids
+        # collapsed (last wins); preserve that for the batch API.
+        flows = list({flow.flow_id: flow for flow in flows}.values())
+        if paths is None:
+            paths = self.resolve_paths(flows)
+        sized = [flow for flow in flows if flow.size_bits > 0]
+        # Record peak loads for the congestion monitor (first epoch is
+        # the most loaded: every flow still active).
+        link_loads = self._loads_for(sized, paths)
+        capacity_factors = None
+        if pfc_spreading:
+            from .congestion import CongestionModel
+            capacity_factors = CongestionModel().pfc_capacity_factors(
+                link_loads, self.topology)
+
+        engine = FabricEngine(self, capacity_factors=capacity_factors)
+        for flow in flows:
+            engine.submit(flow, path=paths.get(flow.flow_id),
+                          start_time_s=0.0)
+        run = engine.run()
+        return FabricRun(
+            total_time_s=run.total_time_s,
+            finish_times_s=run.finish_times_s,
+            paths=paths,
+            link_loads=link_loads,
+        )
+
+    def complete_batch(self, flows: List[Flow],
+                       paths: Optional[Dict[int, FlowPath]] = None,
+                       pfc_spreading: bool = False,
+                       stats=None) -> FabricRun:
+        """Epoch-global fluid loop: re-run max-min whenever a flow
+        finishes.
+
+        Reference implementation the event-driven engine is verified
+        against (``tests/test_fabric_engine.py``); *stats* counts its
+        solver work for the incremental-vs-global benchmark.
         """
         if paths is None:
             paths = self.resolve_paths(flows)
@@ -175,8 +279,6 @@ class Fabric:
                 finish[flow.flow_id] = 0.0
         now = 0.0
 
-        # Record peak loads for the congestion monitor (first epoch is the
-        # most loaded: every flow still active).
         link_loads = self._loads_for(list(active.values()), paths)
         capacity_factors = None
         if pfc_spreading:
@@ -184,11 +286,19 @@ class Fabric:
             capacity_factors = CongestionModel().pfc_capacity_factors(
                 link_loads, self.topology)
 
+        stalls = 0
         while active:
             rates = self.max_min_rates(
                 list(active.values()),
                 {fid: paths[fid] for fid in active},
-                capacity_factors=capacity_factors)
+                capacity_factors=capacity_factors,
+                stats=stats)
+            if not any(rates[fid] > 0 for fid in active):
+                starved = sorted(active)
+                raise SimulationError(
+                    "fluid completion starved: every active flow has "
+                    f"rate 0 (flows {starved}); a capacity factor or "
+                    "link failure zeroed every path")
             step = min(
                 remaining_bits[fid] / (rates[fid] * 1e9)
                 for fid in active if rates[fid] > 0
@@ -202,8 +312,17 @@ class Fabric:
                     done.append(fid)
             for fid in done:
                 del active[fid]
-            if not done:  # numerical safety; cannot normally happen
-                raise RuntimeError("fluid completion made no progress")
+            if done:
+                stalls = 0
+            else:
+                # An epoch can leave the tightest flow's residue one
+                # ulp above the done threshold (subtracting rate*step
+                # rounds); the next, sub-resolution epoch clears it.
+                # Only repeated stalls indicate a genuine wedge.
+                stalls += 1
+                if stalls >= 8:
+                    raise RuntimeError(
+                        "fluid completion made no progress")
 
         return FabricRun(
             total_time_s=now,

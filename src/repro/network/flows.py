@@ -44,6 +44,11 @@ class Flow:
     job: str = ""
     collective: str = ""
     rate_gbps: float = 0.0
+    #: when the transfer starts on the shared simulation clock; the
+    #: batch :meth:`Fabric.complete` path leaves this at 0.0 so every
+    #: flow starts together, while the event-driven
+    #: :class:`~repro.network.engine.FabricEngine` honours it.
+    start_time_s: float = 0.0
 
     @property
     def src_ip(self) -> str:

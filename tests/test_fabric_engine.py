@@ -1,0 +1,381 @@
+"""Tests for the event-driven :class:`FabricEngine` on the simcore kernel.
+
+Covers the engine/batch equivalence contract (simultaneous starts must
+reproduce the epoch-global fluid loop), timed behaviour that the batch
+loop cannot express (staggered starts, mid-flight capacity changes and
+path reassignment), the incremental max-min component restriction, the
+wave-scheduled collectives, starvation diagnostics, and timestamp fault
+injection in the monitored job simulator.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.monitoring import (
+    FaultSpec,
+    JobConfig,
+    MonitoredTrainingJob,
+)
+from repro.network import (
+    EcmpController,
+    Endpoint,
+    Fabric,
+    FabricEngine,
+    SolverStats,
+    make_flow,
+    reset_flow_ids,
+    run_collective,
+    run_collective_timed,
+)
+from repro.simcore import SimulationError, Simulator
+from repro.topology import AstralParams, build_astral
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+def _hosts(topology):
+    return sorted(name for name, device in topology.devices.items()
+                  if device.tier == 0)
+
+
+def _random_flows(rng, hosts, count):
+    flows = []
+    for _ in range(count):
+        src, dst = rng.sample(hosts, 2)
+        flows.append(make_flow(
+            src, dst, rail=0,
+            size_bits=rng.uniform(5e8, 6.4e10),
+            src_port=rng.randrange(49152, 65535)))
+    return flows
+
+
+class TestBatchEquivalence:
+    """All flows at start_time_s=0 must reproduce the batch loop."""
+
+    @pytest.mark.parametrize("params", ["tiny", "small"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_engine_matches_complete_batch(self, params, seed):
+        topology = build_astral(getattr(AstralParams, params)())
+        fabric = Fabric(topology)
+        rng = random.Random(seed)
+        flows = _random_flows(rng, _hosts(topology), 24)
+
+        batch = fabric.complete_batch(list(flows))
+        for flow in flows:
+            flow.rate_gbps = 0.0
+
+        engine = FabricEngine(fabric)
+        engine.submit_many(flows)
+        run = engine.run()
+
+        assert run.total_time_s == pytest.approx(
+            batch.total_time_s, abs=1e-9)
+        for flow in flows:
+            assert run.finish_times_s[flow.flow_id] == pytest.approx(
+                batch.finish_times_s[flow.flow_id], abs=1e-9)
+
+    def test_complete_wrapper_delegates_to_engine(self):
+        """Fabric.complete is the engine in batch clothing: identical
+        results, identical FabricRun shape."""
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        rng = random.Random(7)
+        flows = _random_flows(rng, _hosts(topology), 16)
+        batch = fabric.complete_batch(list(flows))
+        for flow in flows:
+            flow.rate_gbps = 0.0
+        run = fabric.complete(list(flows))
+        assert run.total_time_s == pytest.approx(
+            batch.total_time_s, abs=1e-9)
+        assert set(run.link_loads) == set(batch.link_loads)
+
+    def test_hop_cache_reused_across_epochs(self):
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        rng = random.Random(3)
+        flows = _random_flows(rng, _hosts(topology), 24)
+        fabric.complete(flows)
+        assert fabric.hops_cache_hits > fabric.hops_cache_misses
+
+
+class TestTimedBehaviour:
+    def test_staggered_start_slows_in_flight_flow(self):
+        """A late arrival on a shared bottleneck measurably delays a
+        flow that is already in flight — inexpressible in the batch
+        loop, where everything starts together."""
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        early = make_flow("p0.b0.h0", "p0.b1.h3", rail=0, size_bits=8e9)
+
+        solo_engine = FabricEngine(Fabric(topology))
+        solo_engine.submit(early)
+        solo = solo_engine.run()
+        solo_finish = solo.finish_times_s[early.flow_id]
+
+        early2 = make_flow("p0.b0.h0", "p0.b1.h3", rail=0,
+                           size_bits=8e9,
+                           src_port=early.five_tuple.src_port)
+        late = make_flow("p0.b0.h0", "p0.b1.h3", rail=0, size_bits=8e9,
+                        src_port=early.five_tuple.src_port)
+        engine = FabricEngine(fabric)
+        engine.submit(early2, start_time_s=0.0)
+        engine.submit(late, start_time_s=solo_finish / 2)
+        run = engine.run()
+
+        # Identical five-tuples share the whole path: the in-flight
+        # flow halves its rate when the late one lands.
+        assert run.finish_times_s[early2.flow_id] \
+            > solo_finish * 1.2
+        assert run.finish_times_s[late.flow_id] \
+            > run.finish_times_s[early2.flow_id]
+
+    def test_capacity_change_mid_flight_reschedules_finish(self):
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        flow = make_flow("p0.b0.h0", "p0.b0.h1", rail=0, size_bits=2e12)
+        engine = FabricEngine(fabric)
+        engine.submit(flow)
+        path = fabric.router.path(flow)
+        engine.set_capacity_factor(path.link_ids[0], 0.5, at=5.0)
+        run = engine.run()
+        # 5 s at 200 Gbps moves 1e12 bits; the remaining 1e12 crawls at
+        # 100 Gbps for 10 s: finish at t=15 instead of t=10.
+        assert run.finish_times_s[flow.flow_id] == pytest.approx(
+            15.0, rel=1e-9)
+
+    def test_starved_flows_raise_diagnosable_error(self):
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        flow = make_flow("p0.b0.h0", "p0.b0.h1", rail=0, size_bits=8e9)
+        path = fabric.router.path(flow)
+        engine = FabricEngine(fabric)
+        engine.set_capacity_factor(path.link_ids[0], 0.0)
+        engine.submit(flow, path=path)
+        with pytest.raises(SimulationError) as excinfo:
+            engine.run()
+        assert str(flow.flow_id) in str(excinfo.value)
+
+    def test_batch_starvation_raises_simulation_error(self):
+        """Satellite fix: a dead link used to surface as a bare
+        ValueError from min() over an empty generator."""
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        flow = make_flow("p0.b0.h0", "p0.b0.h1", rail=0, size_bits=8e9)
+        path = fabric.router.path(flow)
+        topology.links[path.link_ids[0]].capacity_gbps = 0.0
+        topology.version += 1
+        with pytest.raises(SimulationError) as excinfo:
+            fabric.complete_batch([flow])
+        assert str(flow.flow_id) in str(excinfo.value)
+
+
+class TestIncrementalSolve:
+    def test_arrival_resolves_only_touched_component(self):
+        """A new flow re-solves its own connected component, not the
+        whole fabric: the disjoint tenant's flows are untouched."""
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        flow_a = make_flow("p0.b0.h0", "p0.b0.h1", rail=0,
+                           size_bits=8e9)
+        flow_b = make_flow("p0.b1.h0", "p0.b1.h1", rail=0,
+                           size_bits=8e9)
+        late = make_flow("p0.b0.h0", "p0.b0.h2", rail=0, size_bits=8e9)
+
+        engine = FabricEngine(fabric)
+        engine.submit(flow_a)
+        engine.submit(flow_b)
+        engine.submit(late, start_time_s=0.01)
+
+        probe = {}
+
+        def _probe():
+            yield engine.sim.timeout(0.0105)
+            probe["flows_resolved"] = engine.stats.flows_resolved
+            probe["solves"] = engine.stats.solves
+
+        engine.sim.process(_probe())
+        engine.run()
+
+        # Initial solve touches both components (2 flows); the late
+        # arrival shares p0.b0.h0's uplink with flow_a only, so its
+        # solve resolves 2 flows (a + late), never flow_b's component.
+        assert probe["solves"] == 2
+        assert probe["flows_resolved"] == 4
+
+    def test_incremental_does_less_link_work_than_batch(self):
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        rng = random.Random(11)
+        flows = _random_flows(rng, _hosts(topology), 48)
+
+        batch_stats = SolverStats()
+        fabric.complete_batch(list(flows), stats=batch_stats)
+        for flow in flows:
+            flow.rate_gbps = 0.0
+
+        engine = FabricEngine(fabric)
+        engine.submit_many(flows)
+        engine.run()
+        assert engine.stats.link_visits < batch_stats.link_visits
+
+
+class TestMidFlightController:
+    """Acceptance: an EcmpController round at t=5s retargets in-flight
+    flows, changing paths and finish times, with ECN marks
+    non-increasing across rounds (Figure 17 shape)."""
+
+    @staticmethod
+    def _workload():
+        return [
+            make_flow(f"p0.b0.h{src}", f"p0.b1.h{(src * 3 + k) % 8}",
+                      rail=0, size_bits=2e12, src_port=50000)
+            for src in range(8) for k in range(2)
+        ]
+
+    def test_reassignment_at_5s_changes_path_and_finish(self):
+        reset_flow_ids()
+        baseline_fabric = Fabric(build_astral(AstralParams.small()))
+        baseline_flows = self._workload()
+        baseline = baseline_fabric.complete(baseline_flows)
+
+        reset_flow_ids()
+        fabric = Fabric(build_astral(AstralParams.small()))
+        flows = self._workload()
+        paths_before = {
+            flow.flow_id: tuple(fabric.router.path(flow).link_ids)
+            for flow in flows
+        }
+        engine = FabricEngine(fabric)
+        controller = EcmpController(fabric)
+        reports = controller.run_timed(engine, flows, interval_s=5.0,
+                                       rounds=8)
+        engine.submit_many(flows)
+        run = engine.run()
+
+        assert reports
+        assert reports[0].at_time_s == pytest.approx(5.0)
+        assert any(report.flows_moved > 0 for report in reports)
+
+        moved = [fid for fid, links in paths_before.items()
+                 if tuple(run.paths[fid].link_ids) != links]
+        assert moved
+        # Retargeting mid-flight changes completion times relative to
+        # the uncontrolled baseline.
+        assert any(
+            abs(run.finish_times_s[fid] - baseline.finish_times_s[fid])
+            > 1e-6
+            for fid in moved
+        )
+        # ECN marks non-increasing within and across rounds.
+        for report in reports:
+            assert report.total_ecn_marks_after \
+                <= report.total_ecn_marks_before + 1e-6
+        afters = [report.total_ecn_marks_after for report in reports]
+        befores = [report.total_ecn_marks_before for report in reports]
+        for prev_after, next_before in zip(afters, befores[1:]):
+            assert next_before <= prev_after + 1e-6
+
+
+class TestTimedCollectives:
+    def test_ring_waves_match_flat_total(self):
+        """n-1 sequenced ReduceScatter waves of size/n per neighbor sum
+        to the flat generator's (n-1)/n*size — same network time on an
+        uncongested ring, now with real step dependencies."""
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        endpoints = [Endpoint(f"p0.b0.h{i}", 0) for i in range(4)]
+        flat = run_collective(fabric, endpoints, 8e9, "reduce_scatter")
+
+        engine = FabricEngine(fabric)
+        proc = run_collective_timed(engine, endpoints, 8e9,
+                                    "reduce_scatter")
+        engine.run()
+        result = proc.value
+        assert result.n_waves == 3
+        assert result.network_time_s == pytest.approx(
+            flat.network_time_s, rel=1e-6)
+
+    def test_allreduce_has_2n_minus_2_waves(self):
+        topology = build_astral(AstralParams.small())
+        engine = FabricEngine(Fabric(topology))
+        endpoints = [Endpoint(f"p0.b0.h{i}", 0) for i in range(4)]
+        proc = run_collective_timed(engine, endpoints, 8e9, "allreduce")
+        engine.run()
+        assert proc.value.n_waves == 6
+
+    def test_run_collective_scheduled_mode(self):
+        """``run_collective(scheduled=True)`` runs the dependency-aware
+        wave schedule on a private engine — same total network time as
+        the flat batch on an uncongested ring, with a real run."""
+        topology = build_astral(AstralParams.small())
+        endpoints = [Endpoint(f"p0.b0.h{i}", 0) for i in range(4)]
+        flat = run_collective(Fabric(topology), endpoints, 8e9,
+                              "reduce_scatter")
+        sched = run_collective(Fabric(topology), endpoints, 8e9,
+                               "reduce_scatter", scheduled=True)
+        assert sched.network_time_s == pytest.approx(
+            flat.network_time_s, rel=1e-6)
+        assert sched.run is not None
+        assert sched.run.total_time_s == pytest.approx(
+            sched.network_time_s, rel=1e-6)
+
+    def test_pipeline_chain_serializes(self):
+        """PP send/recv legs run strictly one after another."""
+        from repro.network import send_recv_chain
+
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        engine = FabricEngine(fabric)
+        endpoints = [Endpoint(f"p0.b0.h{i}", 0) for i in range(3)]
+        waves = send_recv_chain(
+            list(zip(endpoints, endpoints[1:])), 8e9)
+        assert len(waves) == 2
+
+        sim = engine.sim
+
+        def _chain():
+            for wave in waves:
+                yield engine.submit_many(wave)
+            return sim.now
+
+        proc = sim.process(_chain())
+        sim.run()
+        first, second = waves[0][0], waves[1][0]
+        run = engine.run()
+        assert run.finish_times_s[second.flow_id] == pytest.approx(
+            2 * run.finish_times_s[first.flow_id], rel=1e-9)
+
+
+class TestTimestampFaults:
+    HOSTS = tuple(f"p0.b0.h{i}" for i in range(4))
+
+    def test_fault_strikes_at_timestamp_not_iteration(self):
+        fabric = Fabric(build_astral(AstralParams.small()))
+        fault = dataclasses.replace(
+            FaultSpec.pcie_storm("p0.b0.h1"), at_time_s=1.2)
+        job = MonitoredTrainingJob(
+            fabric, JobConfig(hosts=self.HOSTS, iterations=4),
+            fault=fault)
+        result = job.run()
+
+        assert result.completed_iterations == 4  # fail-slow, no abort
+        # Snapshots that started before t=1.2 show no PCIe evidence;
+        # later ones do.
+        early = [snap for snap in result.snapshots if snap.time_s < 1.2]
+        late = [snap for snap in result.snapshots if snap.time_s >= 1.2]
+        assert early and late
+        assert all(
+            snap.hosts["p0.b0.h1"].pcie_errors == 0 for snap in early)
+        assert any(
+            snap.hosts["p0.b0.h1"].pcie_errors > 0 for snap in late)
+        # The storm crushed the host's access links on the clock.
+        assert all(link.capacity_gbps < 100
+                   for link in fabric.topology.links_of("p0.b0.h1"))
+        # Iterations after the storm crawl relative to the clean ones.
+        assert late[-1].iteration_time_s \
+            > early[0].iteration_time_s * 1.5
