@@ -15,6 +15,8 @@ Subpackages:
 * :mod:`repro.seer` — operator-granular timeline forecasting.
 * :mod:`repro.cluster` — datacenter-scale job scheduling and
   orchestration (workloads, policies, recovery, tidal admission).
+* :mod:`repro.resilience` — live failure injection against the running
+  fabric and the closed detect→localize→cordon→requeue recovery loop.
 * :mod:`repro.core` — the public facade tying everything together.
 """
 
@@ -33,6 +35,9 @@ def __getattr__(name):
         "FaultSpec": ("repro.monitoring", "FaultSpec"),
         "ClusterScheduler": ("repro.cluster", "ClusterScheduler"),
         "SchedulingPolicy": ("repro.cluster", "SchedulingPolicy"),
+        "FailureInjector": ("repro.resilience", "FailureInjector"),
+        "ResilienceCampaign": ("repro.resilience",
+                               "ResilienceCampaign"),
     }
     if name in lazy:
         import importlib

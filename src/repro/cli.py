@@ -12,7 +12,9 @@ Commands map to the library's main entry points:
 * ``overhead``  — Appendix-C monitoring overhead for a cluster size;
 * ``goodput``   — training goodput vs scale, manual vs Astral MTTLF;
 * ``diagnose-demo`` — inject a fault and print the diagnosis chain;
-* ``cluster``   — schedule a multi-tenant job trace on the fabric.
+* ``cluster``   — schedule a multi-tenant job trace on the fabric;
+* ``resilience`` — seeded failure-injection campaign through the
+  detect → localize → cordon → requeue → repair loop.
 """
 
 from __future__ import annotations
@@ -134,6 +136,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "fabric and report interference")
     cluster.add_argument("--rows", type=int, default=20,
                          help="job rows to print in the report")
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="seeded failure-injection campaign with the recovery loop")
+    resilience.add_argument("--seed", type=int, default=0)
+    resilience.add_argument("--scale", default="small",
+                            choices=["tiny", "small", "cluster"])
+    resilience.add_argument("--jobs", type=int, default=1)
+    resilience.add_argument("--hosts-per-job", type=int, default=4)
+    resilience.add_argument("--iterations", type=int, default=180)
+    resilience.add_argument("--faults", type=int, default=1,
+                            help="structural faults to draw and inject")
+    resilience.add_argument("--fault-at", type=float, default=1800.0,
+                            help="injection time of the first fault (s)")
+    resilience.add_argument("--checkpoint-interval", type=float,
+                            default=3600.0)
+    resilience.add_argument("--json", action="store_true",
+                            help="emit the full report as JSON")
 
     return parser
 
@@ -321,6 +341,75 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    import json
+    import random
+
+    from repro.monitoring import FaultSpec, Manifestation, RootCause
+    from repro.resilience import ResilienceCampaign
+    from repro.topology import AstralParams, build_astral
+    from repro.topology.elements import DeviceKind
+
+    params = {
+        "tiny": AstralParams.tiny,
+        "small": AstralParams.small,
+        "cluster": AstralParams.cluster,
+    }[args.scale]()
+    tors = sorted(s.name for s in build_astral(params).switches(
+        DeviceKind.TOR))
+    # Contiguous placement fills the lowest block first, so faults on
+    # p0.b0 ToRs are the ones that hit the first job's blast radius.
+    in_first_block = [name for name in tors
+                      if name.startswith("p0.b0.")]
+    tors = in_first_block or tors
+    rng = random.Random(f"resilience-cli:{args.seed}")
+    faults = [
+        FaultSpec(cause=RootCause.SWITCH_BUG,
+                  manifestation=Manifestation.FAIL_STOP,
+                  target=rng.choice(tors),
+                  at_time_s=args.fault_at + index * 1800.0)
+        for index in range(args.faults)
+    ]
+    campaign = ResilienceCampaign(
+        params=params, faults=faults, n_jobs=args.jobs,
+        hosts_per_job=args.hosts_per_job,
+        n_iterations=args.iterations,
+        checkpoint_interval_s=args.checkpoint_interval,
+        seed=args.seed)
+    report = campaign.run()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(f"seed            : {report.seed}")
+    print(f"faults injected : {report.n_faults}")
+    for at_s, action, target in report.fault_log:
+        print(f"  t={at_s:>9.1f}s  {action:<14} {target}")
+    print("recovery loop:")
+    for record in report.recoveries:
+        print(f"  {record['target']}: detected {record['detected_s']:.0f}s"
+              f", localized {record['localized_s']:.0f}s, cordoned "
+              f"{len(record['cordoned_hosts'])} hosts, interrupted "
+              f"{record['interrupted_jobs']}, repaired "
+              f"{record['repaired_s']:.0f}s")
+    print("jobs (faulted vs clean completion):")
+    for job in report.jobs:
+        clean = report.baseline_completion_s.get(job.name)
+        faulted = report.faulted_completion_s.get(job.name)
+        status = "gave up" if job.gave_up else (
+            f"{faulted:.0f}s vs {clean:.0f}s" if faulted else "wedged")
+        print(f"  {job.name:<8} {status}  restarts={job.restarts} "
+              f"lost={job.lost_s:.0f}s")
+    print(f"reroutes        : {report.reroutes}")
+    print(f"stranded flows  : {report.stranded}")
+    print(f"measured penalty: {report.measured_penalty_s:,.0f} s")
+    print(f"predicted       : {report.predicted_penalty_s:,.0f} s")
+    print(f"goodput         : {report.goodput_fraction:.1%}")
+    if report.wedged_jobs:
+        print(f"WEDGED JOBS     : {report.wedged_jobs}")
+        return 1
+    return 0
+
+
 _HANDLERS = {
     "describe": _cmd_describe,
     "forecast": _cmd_forecast,
@@ -333,6 +422,7 @@ _HANDLERS = {
     "goodput": _cmd_goodput,
     "diagnose-demo": _cmd_diagnose_demo,
     "cluster": _cmd_cluster,
+    "resilience": _cmd_resilience,
 }
 
 

@@ -59,15 +59,19 @@ class RecoveryManager:
                  policy: Optional[RecoveryPolicy] = None,
                  gpus_per_host: int = 8,
                  failure_scale: float = 1.0,
-                 seed: int = 0):
+                 seed: int = 0,
+                 ttr_hours: float = 4.0):
         if failure_scale < 0:
             raise ValueError("failure_scale cannot be negative")
+        if ttr_hours <= 0:
+            raise ValueError("ttr_hours must be positive")
         self.failure_model = failure_model or FailureModel()
         self.checkpoint = checkpoint or CheckpointPolicy()
         self.policy = policy or RecoveryPolicy()
         self.gpus_per_host = gpus_per_host
         self.failure_scale = failure_scale
         self.seed = seed
+        self.ttr_hours = ttr_hours
 
     # -- failure process -------------------------------------------------
     def job_mtbf_hours(self, n_hosts: int) -> float:
@@ -90,6 +94,18 @@ class RecoveryManager:
             return None
         rng = random.Random(f"cluster-fail:{self.seed}:{job}:{attempt}")
         return rng.expovariate(1.0 / (mtbf_h * 3600.0))
+
+    def repair_delay_s(self, device: str, occurrence: int = 0) -> float:
+        """Time-to-repair draw for a broken device (exponential around
+        ``ttr_hours`` — field replacement of an optic/switch/host).
+
+        String-seeded per ``(seed, device, occurrence)`` like
+        :meth:`failure_delay_s`, so the repair timeline of a campaign
+        is reproducible across processes.
+        """
+        rng = random.Random(
+            f"cluster-repair:{self.seed}:{device}:{occurrence}")
+        return rng.expovariate(1.0 / (self.ttr_hours * 3600.0))
 
     def checkpoint_interval_s(self, n_hosts: int) -> float:
         """Young/Daly-optimal interval for this allocation's MTBF."""

@@ -114,6 +114,19 @@ class ClusterScheduler:
         self._useful_host_s = 0.0
 
     # -- public API ------------------------------------------------------
+    def interrupt_job(self, name: str, preempt: bool = False) -> bool:
+        """Externally fail (or preempt) a running job — the hook a
+        recovery pipeline uses when a fabric fault's blast radius hits
+        the job's hosts.  A failed job rolls back to its checkpoint and
+        requeues through the :class:`RecoveryManager`; a preempted one
+        checkpoints first.  Returns False when the job is not running.
+        """
+        running = self._running.get(name)
+        if running is None or running.interrupt.triggered:
+            return False
+        running.interrupt.succeed(_PREEMPTED if preempt else _FAILED)
+        return True
+
     def run(self, until: Optional[float] = None) -> ClusterReport:
         """Drive the whole trace; returns the roll-up report."""
         for spec in self.workload:

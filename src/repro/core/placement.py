@@ -67,10 +67,55 @@ class GpuAllocator:
         self._free: List[Host] = sorted(
             topology.hosts(), key=lambda h: (h.pod, h.block, h.rank))
         self._allocations: Dict[str, Allocation] = {}
+        self._cordoned: Set[str] = set()
 
     @property
     def free_hosts(self) -> int:
         return len(self._free)
+
+    @property
+    def cordoned_hosts(self) -> List[str]:
+        return sorted(self._cordoned)
+
+    def cordon(self, hosts) -> List[str]:
+        """Take hosts out of service (a fault's blast radius).
+
+        Free hosts leave the pool immediately; allocated hosts are
+        marked and withheld when their job releases them.  Returns the
+        newly cordoned names.  Cordoning does not evict jobs — the
+        recovery pipeline interrupts/requeues those separately.
+        """
+        newly = []
+        for name in hosts:
+            if name in self._cordoned:
+                continue
+            if not isinstance(self.topology.device(name), Host):
+                raise AllocationError(
+                    f"cannot cordon non-host device: {name!r}")
+            self._cordoned.add(name)
+            newly.append(name)
+        self._free = [h for h in self._free
+                      if h.name not in self._cordoned]
+        return sorted(newly)
+
+    def uncordon(self, hosts) -> List[str]:
+        """Return repaired hosts to service; idle ones rejoin the free
+        pool (allocated ones simply lose the mark).  Returns the names
+        actually uncordoned."""
+        returned = []
+        allocated = {
+            name for allocation in self._allocations.values()
+            for name in allocation.hosts
+        }
+        for name in hosts:
+            if name not in self._cordoned:
+                continue
+            self._cordoned.discard(name)
+            returned.append(name)
+            if name not in allocated:
+                self._free.append(self.topology.device(name))
+        self._free.sort(key=lambda h: (h.pod, h.block, h.rank))
+        return sorted(returned)
 
     def allocate(self, job: str, n_hosts: int,
                  policy: PlacementPolicy = PlacementPolicy.PACKED
@@ -173,11 +218,14 @@ class GpuAllocator:
         return view
 
     def release(self, job: str) -> List[str]:
-        """Free a job's hosts; returns the freed host names."""
+        """Free a job's hosts; returns the freed host names.
+
+        Cordoned hosts stay out of the free pool until uncordoned.
+        """
         allocation = self._allocations.pop(job, None)
         if allocation is None:
             raise AllocationError(f"no allocation for job {job!r}")
-        names: Set[str] = set(allocation.hosts)
+        names: Set[str] = set(allocation.hosts) - self._cordoned
         restored = [h for h in self.topology.hosts() if h.name in names]
         self._free.extend(restored)
         self._free.sort(key=lambda h: (h.pod, h.block, h.rank))

@@ -33,8 +33,23 @@ __all__ = [
     "FailureModel",
     "CheckpointPolicy",
     "GoodputReport",
+    "failure_penalty_s",
     "training_goodput",
 ]
+
+
+def failure_penalty_s(interval_s: float, locate_hours: float,
+                      restart_s: float) -> float:
+    """Expected wall-clock cost of one failure, in seconds.
+
+    Lost work since the last checkpoint (half an interval in
+    expectation) + fault localization + restart.  Single source of
+    truth shared by the analytic :func:`training_goodput` model and the
+    event-driven resilience campaigns, so measured and predicted
+    penalties are directly comparable.
+    """
+    lost = 0.0 if math.isinf(interval_s) else interval_s / 2.0
+    return lost + locate_hours * 3600.0 + restart_s
 
 
 @dataclass(frozen=True)
@@ -156,8 +171,8 @@ def training_goodput(n_gpus: int,
             for manifestation, weight in mix.items())
 
     # Per failure: half an interval of lost work + locate + restart.
-    per_failure_s = (interval_s / 2.0 + locate_hours * 3600.0
-                     + checkpoint.restart_s)
+    per_failure_s = failure_penalty_s(interval_s, locate_hours,
+                                      checkpoint.restart_s)
     failures_per_s = 0.0 if math.isinf(mtbf_hours) \
         else 1.0 / (mtbf_hours * 3600.0)
     failure_overhead = per_failure_s * failures_per_s

@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from .telemetry import Layer
 
@@ -209,6 +209,65 @@ class FaultSpec:
     #: shared clock, so it can land mid-iteration (mid-collective).
     at_time_s: Optional[float] = None
 
+    #: effects that only make sense against a ``link:<id>`` target.
+    _LINK_EFFECTS = frozenset({Effect.LINK_DOWN, Effect.LINK_DEGRADE,
+                               Effect.MISWIRE})
+
+    def __post_init__(self) -> None:
+        """Shape validation at construction — a malformed spec fails
+        here with the offending field named, not deep inside jobsim."""
+        if self.at_time_s is not None and self.at_time_s < 0:
+            raise ValueError(
+                f"at_time_s cannot be negative: {self.at_time_s}")
+        if self.at_iteration < 0:
+            raise ValueError(
+                f"at_iteration cannot be negative: {self.at_iteration}")
+        if not self.target:
+            raise ValueError("target cannot be empty")
+        is_link_target = self.target.startswith("link:")
+        if is_link_target:
+            try:
+                int(self.target.split(":", 1)[1])
+            except ValueError:
+                raise ValueError(
+                    f"target is not a valid link reference: "
+                    f"{self.target!r} (expected 'link:<id>')") from None
+        effect = self.effect
+        if effect in self._LINK_EFFECTS and not is_link_target:
+            raise ValueError(
+                f"effect {effect.value} requires a 'link:<id>' target, "
+                f"got target={self.target!r}")
+        if is_link_target and effect not in self._LINK_EFFECTS:
+            raise ValueError(
+                f"effect {effect.value} cannot strike a link target "
+                f"({self.target!r}); use a host/switch/job target")
+
+    def validate(self, topology=None, job: Optional[str] = None
+                 ) -> "FaultSpec":
+        """Resolve the target against a topology (and job name).
+
+        Raises ``ValueError`` naming the field when the target is an
+        unknown device or link id.  Returns self for chaining.
+        """
+        kind = self.profile.target_kind
+        if self.target.startswith("link:"):
+            if topology is not None:
+                link_id = int(self.target.split(":", 1)[1])
+                if link_id not in topology.links:
+                    raise ValueError(
+                        f"target names unknown link id {link_id} "
+                        f"(topology has {len(topology.links)} links)")
+        elif kind == "job":
+            if job is not None and self.target != job:
+                raise ValueError(
+                    f"target {self.target!r} does not match job "
+                    f"{job!r} for a job-targeted cause")
+        elif topology is not None:
+            if self.target not in topology.devices:
+                raise ValueError(
+                    f"target names unknown device: {self.target!r}")
+        return self
+
     @property
     def profile(self) -> CauseProfile:
         return CAUSE_PROFILES[self.cause]
@@ -235,7 +294,7 @@ class FaultSpec:
         )
 
 
-def sample_faults(n: int, seed: int = 0,
+def sample_faults(n: int, seed: Union[int, str] = 0,
                   hosts: Optional[List[str]] = None,
                   switches: Optional[List[str]] = None,
                   link_ids: Optional[List[int]] = None,
@@ -244,7 +303,11 @@ def sample_faults(n: int, seed: int = 0,
     """Draw *n* faults matching the Figure-7 joint distribution.
 
     Targets are drawn from the supplied device pools (or placeholders
-    when a pool is absent).
+    when a pool is absent).  *seed* may be a string: ``random.Random``
+    hashes strings with its own stable algorithm (not ``hash()``), so
+    the same seed yields the identical campaign across processes and
+    ``PYTHONHASHSEED`` values — the contract the resilience campaigns
+    and their determinism tests rely on.
     """
     rng = random.Random(seed)
     causes = list(ROOT_CAUSE_PREVALENCE)

@@ -94,6 +94,10 @@ class MonitoredTrainingJob:
                  congestion: Optional[CongestionModel] = None):
         if not config.hosts:
             raise ValueError("job needs at least one host")
+        if fault is not None:
+            # Fail fast with the offending field named, rather than
+            # deep inside an iteration when the fault activates.
+            fault.validate(topology=fabric.topology, job=config.name)
         self.fabric = fabric
         self.config = config
         self.fault = fault

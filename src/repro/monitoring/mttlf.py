@@ -125,6 +125,16 @@ class MttlfModel:
             hours += 0.5 * self.manual_hours(manifestation)
         return self._jitter(hours)
 
+    def localization_delay_s(self, manifestation: Manifestation,
+                             diagnosis: Optional[Diagnosis] = None,
+                             automated: bool = True) -> float:
+        """Localization time in *seconds* — the delay a recovery
+        pipeline waits on the simulated clock between detecting a
+        fault and acting on its root cause."""
+        hours = (self.automated_hours(manifestation, diagnosis)
+                 if automated else self.manual_hours(manifestation))
+        return hours * 3600.0
+
     def sample(self, manifestation: Manifestation,
                diagnosis: Optional[Diagnosis] = None
                ) -> LocalizationSample:

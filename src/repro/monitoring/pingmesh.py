@@ -106,6 +106,24 @@ class Pingmesh:
             rtt_us=2.0 * sum(latencies), hops=path.hops,
             worst_hop_us=worst, worst_hop_device=worst_device)
 
+    def census(self, hosts: Optional[List[str]] = None
+               ) -> Dict[str, int]:
+        """Healthy fabric uplinks per host (NIC carrier sensing).
+
+        A NIC whose link dies reports loss-of-carrier immediately —
+        the host-side telemetry that, compared against a baseline
+        census, is the recovery pipeline's first detection signal for
+        structural faults (a dead ToR drops one uplink on every
+        attached host at once; a dead NIC drops only its own).
+        """
+        topo = self.fabric.topology
+        if hosts is None:
+            hosts = [h.name for h in topo.hosts()]
+        return {
+            host: sum(1 for link in topo.links_of(host) if link.healthy)
+            for host in hosts
+        }
+
     def sweep(self, hosts: Optional[List[str]] = None, rail: int = 0,
               max_pairs: int = 200, seed: int = 0,
               background: Optional[List[Flow]] = None

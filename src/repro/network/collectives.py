@@ -28,6 +28,7 @@ __all__ = [
     "CollectiveConfig",
     "CollectiveResult",
     "TimedCollectiveResult",
+    "repair_ring",
     "ring_allreduce_flows",
     "reduce_scatter_flows",
     "all_gather_flows",
@@ -111,6 +112,20 @@ def topology_ordered(endpoints: Sequence[Endpoint],
                 device.rank or 0, endpoint.host, endpoint.rail)
 
     return sorted(endpoints, key=key)
+
+
+def repair_ring(endpoints: Sequence[Endpoint],
+                dead_hosts: Sequence[str]) -> List[Endpoint]:
+    """Splice dead members out of a ring, preserving survivor order.
+
+    NCCL-style ring repair: when a member dies mid-collective its two
+    neighbours connect directly, so the collective degrades (fewer
+    shards, smaller aggregate bandwidth) instead of wedging.  Order is
+    preserved, so the surviving ring keeps the topology-aware adjacency
+    the original ordering provided.
+    """
+    dead = set(dead_hosts)
+    return [ep for ep in endpoints if ep.host not in dead]
 
 
 def ring_allreduce_flows(endpoints: Sequence[Endpoint], size_bits: float,
@@ -341,6 +356,9 @@ class TimedCollectiveResult:
     n_endpoints: int
     n_waves: int
     flow_ids: List[int]
+    #: ring repairs performed mid-collective (members dropped because
+    #: the ``alive`` predicate declared their host dead).
+    repairs: int = 0
 
     @property
     def end_time_s(self) -> float:
@@ -355,16 +373,24 @@ def run_collective_timed(engine, endpoints: Sequence[Endpoint],
                          size_bits: float,
                          collective: str = "all_to_all",
                          config: CollectiveConfig | None = None,
-                         start_time_s: float = 0.0):
+                         start_time_s: float = 0.0,
+                         alive=None):
     """Run one collective as sequenced waves on a :class:`FabricEngine`.
 
     Returns a :class:`repro.simcore.Process` whose value is a
     :class:`TimedCollectiveResult`; wave *k+1* is submitted only once
     every flow of wave *k* has completed, so ring steps serialize the
     way NCCL's do while other tenants' flows contend in between.
+
+    ``alive`` (optional ``host -> bool`` predicate) enables graceful
+    degradation: at every wave boundary members whose host died are
+    spliced out (:func:`repair_ring`) and the *remaining* payload is
+    re-scheduled over the survivor ring — a bandwidth-reduced wave
+    schedule instead of a wedged collective.  The collective aborts
+    (result records the waves that did run) if fewer than two members
+    survive.
     """
     config = config or CollectiveConfig()
-    waves = collective_schedule(endpoints, size_bits, collective, config)
     sim = engine.sim
 
     def _proc():
@@ -372,7 +398,33 @@ def run_collective_timed(engine, endpoints: Sequence[Endpoint],
             yield sim.timeout(start_time_s - sim.now)
         began = sim.now
         flow_ids: List[int] = []
-        for wave in waves:
+        members = list(endpoints)
+        waves = collective_schedule(members, size_bits, collective,
+                                    config)
+        total_waves = len(waves)
+        index = 0
+        repairs = 0
+        while index < len(waves):
+            if alive is not None:
+                survivors = repair_ring(
+                    members, [ep.host for ep in members
+                              if not alive(ep.host)])
+                if len(survivors) != len(members):
+                    repairs += 1
+                    remaining_frac = (len(waves) - index) \
+                        / max(1, len(waves))
+                    members = survivors
+                    if len(members) < 2:
+                        break
+                    waves = collective_schedule(
+                        members, size_bits * remaining_frac,
+                        collective, config)
+                    total_waves = index + len(waves)
+                    index = 0
+                    if not waves:
+                        break
+            wave = waves[index]
+            index += 1
             flow_ids.extend(flow.flow_id for flow in wave)
             yield engine.submit_many(wave)
         staged_bits = _intra_host_bits(endpoints, size_bits, collective,
@@ -385,9 +437,10 @@ def run_collective_timed(engine, endpoints: Sequence[Endpoint],
             start_time_s=began,
             network_time_s=sim.now - began,
             intra_host_time_s=intra_time,
-            n_endpoints=len(endpoints),
-            n_waves=len(waves),
+            n_endpoints=len(members),
+            n_waves=total_waves,
             flow_ids=flow_ids,
+            repairs=repairs,
         )
 
     return sim.process(_proc(), name=f"collective-{collective}")

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 from .congestion import CongestionModel
 from .fabric import Fabric, LinkDir
 from .flows import Flow, FlowPath
+from .routing import RoutingError
 
 __all__ = ["EcmpController", "ReassignmentReport"]
 
@@ -136,6 +137,18 @@ class EcmpController:
         matching a controller that reasons over its global view rather
         than re-measuring the fabric per decision.
         """
+        # Flows that lost every path (mid-campaign fault) are not the
+        # controller's to fix: drop them from this round.
+        routable = []
+        paths = {}
+        for flow in flows:
+            try:
+                paths[flow.flow_id] = self.router.path(flow)
+            except RoutingError:
+                continue
+            routable.append(flow)
+        flows = routable
+
         marks = self._congestion_snapshot(flows)
         ecn_before = sum(marks.values())
         congested_before = sum(1 for value in marks.values() if value > 0)
@@ -146,8 +159,6 @@ class EcmpController:
         # improving move.
         congested_links = {key for key, value in marks.items()
                            if value > 0}
-
-        paths = self.fabric.resolve_paths(flows)
         demand = self.fabric.host_line_rate_gbps
         # offered gbps per directed link, maintained incrementally.
         offered: Dict[LinkDir, float] = {}

@@ -30,11 +30,12 @@ baseline is measurable — see ``benchmarks/test_bench_fabric_engine.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..simcore import Event, SimulationError, Simulator
 from .fabric import Fabric, FabricRun, LinkDir
 from .flows import Flow, FlowPath
+from .routing import RoutingError
 
 __all__ = ["FabricEngine", "SolverStats"]
 
@@ -124,6 +125,14 @@ class FabricEngine:
         self._dirty: Set[LinkDir] = set()
         self._solve_pending = False
         self._topo_version = fabric.topology.version
+        #: per-flow mid-flight reroute counts (failover bookkeeping) —
+        #: the flap-dampening contract is "at most one reroute per flow
+        #: per flap", which tests assert against this map.
+        self.reroutes: Dict[int, int] = {}
+        #: flows whose path died with no survivor, keyed by flow id.
+        self.stranded: Dict[int, RoutingError] = {}
+        self._stranded_handlers: List[
+            Callable[[Flow, RoutingError], None]] = []
         # Union-find over flow ids; links point at one member flow so a
         # dirty link resolves to its component root in O(alpha).
         self._dsu: Dict[int, int] = {}
@@ -203,26 +212,79 @@ class FabricEngine:
             return False
         new_path = path if path is not None \
             else self.fabric.router.path(flow)
+        if not self._move_flow(state, new_path):
+            return False
+        self._request_solve()
+        return True
+
+    def _move_flow(self, state: _FlowState, new_path: FlowPath) -> bool:
+        """Swap an in-flight flow onto *new_path*; True if hops changed."""
+        fid = state.flow.flow_id
         new_hops = self.fabric.directed_hops(new_path)
-        self._paths[flow.flow_id] = new_path
+        self._paths[fid] = new_path
         if new_hops == state.hops:
             return False
         for hop in state.hops:
             members = self._members.get(hop)
             if members is not None:
-                members.discard(flow.flow_id)
+                members.discard(fid)
             self._dirty.add(hop)
         for hop in new_hops:
-            self._register_hop(flow.flow_id, hop)
+            self._register_hop(fid, hop)
             self._dirty.add(hop)
         self.stats.link_visits += len(new_hops)
         state.hops = new_hops
+        return True
+
+    def on_stranded(self, handler: Callable[[Flow, RoutingError], None]
+                    ) -> None:
+        """Register a handler for flows that lose every path.
+
+        Without handlers a stranded flow raises its (Partition)
+        RoutingError out of the simulation — the fail-fast default.
+        With handlers the error is recorded in :attr:`stranded` and
+        each handler is invoked; handlers typically :meth:`cancel` the
+        flow and degrade the collective (ring repair) or fail the job.
+        """
+        self._stranded_handlers.append(handler)
+
+    def cancel(self, flow_id: int, value=None) -> bool:
+        """Abort an in-flight flow (QP torn down mid-transfer).
+
+        The flow's completion event fires with *value* (default None,
+        distinguishing cancellation from a finish-time float) so
+        collective waves waiting on it unblock; no finish time is
+        recorded.  Returns False if the flow was not in flight.
+        """
+        self._advance_to(self.sim.now)
+        state = self._states.pop(flow_id, None)
+        if state is None:
+            return False
+        state.generation += 1
+        for hop in state.hops:
+            members = self._members.get(hop)
+            if members is not None:
+                members.discard(flow_id)
+            self._dirty.add(hop)
+        self.stranded.pop(flow_id, None)
+        state.done.succeed(value)
+        self._maybe_rebuild_dsu()
         self._request_solve()
         return True
 
     def retarget(self, flows: Iterable[Flow]) -> int:
-        """Re-hash every flow's path; returns how many actually moved."""
-        return sum(1 for flow in flows if self.reassign_path(flow))
+        """Re-hash every flow's path; returns how many actually moved.
+
+        Flows with no surviving path are skipped — stranding is the
+        failover path's job, not the polling controller's.
+        """
+        moved = 0
+        for flow in flows:
+            try:
+                moved += 1 if self.reassign_path(flow) else 0
+            except RoutingError:
+                continue
+        return moved
 
     def set_capacity_factor(self, link_id: int, factor: float,
                             at: Optional[float] = None) -> None:
@@ -271,9 +333,14 @@ class FabricEngine:
             starved = sorted(
                 fid for fid, state in self._states.items()
                 if state.rate_gbps <= 0)
+            detail = ""
+            if self.stranded:
+                detail = ("; stranded (no surviving path): "
+                          f"{sorted(self.stranded)}")
             raise SimulationError(
                 "fabric engine idle with unfinished flows; starved "
-                f"flows (rate 0): {starved or sorted(self._states)}")
+                f"flows (rate 0): {starved or sorted(self._states)}"
+                + detail)
         flows = [self._flows_seen[fid] for fid in self._flows_seen
                  if self._flows_seen[fid].size_bits > 0]
         loads = self.fabric._loads_for(flows, self._paths) if flows else {}
@@ -347,6 +414,42 @@ class FabricEngine:
         self._solve_pending = False
         self._advance_to(self.sim.now)
         self._solve()
+
+    # -- failover ----------------------------------------------------------
+    def _failover(self) -> None:
+        """Reroute every active flow whose path crosses a dead link.
+
+        Runs inside the version-bump branch of :meth:`_solve`, so one
+        topology mutation triggers at most one reroute per affected
+        flow — a link that flaps back up leaves the rerouted flows
+        where they are (their new paths are healthy), which is what
+        keeps a flap from becoming a reroute storm.  Flows with no
+        surviving path are stranded: their (Partition)RoutingError is
+        raised unless an :meth:`on_stranded` handler is registered.
+        """
+        links = self.fabric.topology.links
+        for fid in sorted(self._states):
+            state = self._states.get(fid)
+            if state is None:
+                continue  # cancelled by a stranded handler mid-scan
+            if all(links[hop[0]].healthy for hop in state.hops):
+                continue
+            try:
+                new_path = self.fabric.router.path(state.flow)
+            except RoutingError as exc:
+                self._strand(state, exc)
+                continue
+            self.stranded.pop(fid, None)
+            if self._move_flow(state, new_path):
+                self.reroutes[fid] = self.reroutes.get(fid, 0) + 1
+
+    def _strand(self, state: _FlowState, exc: RoutingError) -> None:
+        fid = state.flow.flow_id
+        self.stranded[fid] = exc
+        if not self._stranded_handlers:
+            raise exc
+        for handler in list(self._stranded_handlers):
+            handler(state.flow, exc)
 
     # -- fluid bookkeeping -------------------------------------------------
     def _advance_to(self, now: float) -> None:
@@ -450,11 +553,13 @@ class FabricEngine:
         topo = self.fabric.topology
         if topo.version != self._topo_version:
             # Links were failed/rewired/rescaled under us: treat every
-            # occupied link as touched (capacities must be re-read).
+            # occupied link as touched (capacities must be re-read),
+            # and reroute any flow whose path crosses a dead link.
             self._topo_version = topo.version
             for hop, members in self._members.items():
                 if members:
                     self._dirty.add(hop)
+            self._failover()
         if self.pfc_spreading:
             self._refresh_pfc_factors()
         roots: Set[int] = set()
@@ -475,9 +580,13 @@ class FabricEngine:
             if not members or self._find(self._link_owner[hop]) not in roots:
                 continue
             link = topo.links[hop[0]]
-            remaining[hop] = (link.capacity_gbps
-                              * self._static_factors.get(hop, 1.0)
-                              * self._pfc_factors.get(hop, 1.0))
+            # A dead link carries nothing: flows still pinned to it
+            # (stranded, or mid-failover) starve rather than silently
+            # riding a failed optic.
+            remaining[hop] = 0.0 if not link.healthy else (
+                link.capacity_gbps
+                * self._static_factors.get(hop, 1.0)
+                * self._pfc_factors.get(hop, 1.0))
             comp_links.append(hop)
             stats.link_visits += 1
         stats.flows_resolved += len(comp_flows)

@@ -23,17 +23,42 @@ Implementation notes:
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..topology.elements import Device, DeviceKind, Link, Topology
 from .ecmp import EcmpHasher
 from .flows import Flow, FlowPath
 
-__all__ = ["EcmpRouter", "RoutingError"]
+__all__ = ["EcmpRouter", "RoutingError", "PartitionError"]
 
 
 class RoutingError(RuntimeError):
     """Raised when no route exists for a flow."""
+
+
+class PartitionError(RoutingError):
+    """No surviving path: the source is cut off from the destination.
+
+    Unlike a plain :class:`RoutingError` (which can also mean a
+    rail-binding dead end on an otherwise connected fabric), a
+    partition is structural — every path is severed by failed links.
+    ``cut`` names the failed link ids on the frontier of the source's
+    connected component, i.e. the cut set whose repair would reconnect
+    the flow.
+    """
+
+    def __init__(self, src: str, dst: str, rail: Optional[int],
+                 cut: Tuple[int, ...], flow_id: Optional[int] = None):
+        self.src = src
+        self.dst = dst
+        self.rail = rail
+        self.cut = tuple(sorted(cut))
+        self.flow_id = flow_id
+        super().__init__(
+            f"{dst} partitioned from {src}"
+            + (f" on rail {rail}" if rail is not None else "")
+            + (f" (flow {flow_id})" if flow_id is not None else "")
+            + f"; cut links: {list(self.cut)}")
 
 
 def _rail_of(device: Device) -> Optional[int]:
@@ -131,8 +156,65 @@ class EcmpRouter:
         candidates.sort(key=lambda link: link.link_id)
         return candidates
 
+    def partition_cut(self, src: str, dst: str,
+                      src_rail: Optional[int] = None
+                      ) -> Optional[Tuple[int, ...]]:
+        """The failed-link cut isolating *src* from *dst*, if any.
+
+        Floods from *src* over healthy links (hosts do not transit; the
+        first hop honours *src_rail* when given, mirroring the router's
+        rail binding).  Returns None when *dst* is still reachable, else
+        the sorted ids of unhealthy links on the reachable component's
+        frontier — the cut whose repair would reconnect the pair.
+        """
+        topo = self.topology
+        reached: Set[str] = {src}
+        frontier: deque[str] = deque()
+        for link, neighbor in topo.neighbors(src):
+            neighbor_rail = _rail_of(neighbor)
+            if (src_rail is not None and neighbor_rail is not None
+                    and neighbor_rail != src_rail):
+                continue
+            if neighbor.name not in reached:
+                reached.add(neighbor.name)
+                frontier.append(neighbor.name)
+        while frontier:
+            current = frontier.popleft()
+            if current == dst:
+                return None
+            if topo.devices[current].kind is DeviceKind.HOST:
+                continue
+            for link, neighbor in topo.neighbors(current):
+                if neighbor.name not in reached:
+                    reached.add(neighbor.name)
+                    frontier.append(neighbor.name)
+        if dst in reached:
+            return None
+        cut = {
+            link.link_id
+            for device in reached
+            for link in topo.links_of(device)
+            if not link.healthy
+        }
+        return tuple(sorted(cut))
+
+    def _no_route(self, device: str, flow: Flow) -> RoutingError:
+        """Classify a routing dead end: partition vs rail dead end."""
+        cut = self.partition_cut(flow.src_host, flow.dst_host,
+                                 src_rail=flow.rail)
+        if cut is not None:
+            return PartitionError(flow.src_host, flow.dst_host,
+                                  flow.rail, cut, flow_id=flow.flow_id)
+        return RoutingError(
+            f"no route from {device} to {flow.dst_host} "
+            f"(flow {flow.flow_id}, rail {flow.rail})")
+
     def path(self, flow: Flow, max_hops: int = 16) -> FlowPath:
-        """Walk the flow hop by hop, hashing at each device."""
+        """Walk the flow hop by hop, hashing at each device.
+
+        Raises :class:`PartitionError` when the destination is cut off
+        entirely, :class:`RoutingError` for any other dead end.
+        """
         device = flow.src_host
         route = FlowPath(flow_id=flow.flow_id, devices=[device])
         for _ in range(max_hops):
@@ -140,9 +222,7 @@ class EcmpRouter:
                 return route
             candidates = self.next_hop_links(device, flow)
             if not candidates:
-                raise RoutingError(
-                    f"no route from {device} to {flow.dst_host} "
-                    f"(flow {flow.flow_id}, rail {flow.rail})")
+                raise self._no_route(device, flow)
             index = self.hasher.select(flow.five_tuple, len(candidates),
                                        salt=device)
             link = candidates[index]

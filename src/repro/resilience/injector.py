@@ -1,0 +1,188 @@
+"""Fault injection against a live fabric engine.
+
+Where :mod:`repro.monitoring.faults` *describes* faults (the Figure-7
+taxonomy) and :mod:`repro.topology.blast_radius` analyses them
+statically, the :class:`FailureInjector` *performs* them: at scheduled
+timestamps on the simcore clock it mutates the shared
+:class:`~repro.topology.elements.Topology` — links die, degrade, flap;
+whole switches, NICs and hosts go dark — and nudges the
+:class:`~repro.network.engine.FabricEngine` so in-flight flows lose
+their paths for real and the failover machinery has something to do.
+
+Link restores honour a *hold-down* window (``dampening_s``), the
+carrier-dampening timer real NOSes run: a link that flaps back up
+within the window is only readmitted once the window expires, so the
+routing layer sees one down event per flap instead of a storm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..monitoring.faults import Effect, FaultSpec
+from ..network.engine import FabricEngine
+
+__all__ = ["FaultEvent", "FailureInjector"]
+
+#: capacity factor a degraded (dirty-optic / flapping) link runs at.
+_DEGRADE_FACTOR = 0.25
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of the injector's deterministic action log."""
+
+    at_s: float
+    action: str       # kill-link | restore-link | degrade-link | ...
+    target: str       # device name or "link:<id>"
+
+
+class FailureInjector:
+    """Schedule and apply structural faults on a live fabric."""
+
+    def __init__(self, engine: FabricEngine, dampening_s: float = 10.0):
+        if dampening_s < 0:
+            raise ValueError(
+                f"dampening_s cannot be negative: {dampening_s}")
+        self.engine = engine
+        self.sim = engine.sim
+        self.topology = engine.fabric.topology
+        self.dampening_s = dampening_s
+        #: every applied action, in application order — the audit trail
+        #: determinism tests compare across processes.
+        self.log: List[FaultEvent] = []
+        #: link ids downed per killed device, for repair.
+        self._device_links: Dict[str, List[int]] = {}
+        #: earliest time each downed link may come back (hold-down).
+        self._hold_until: Dict[int, float] = {}
+
+    # -- scheduling helpers -------------------------------------------------
+    def _apply_at(self, at: Optional[float],
+                  fn: Callable[[], None]) -> None:
+        if at is None or at <= self.sim.now:
+            fn()
+        else:
+            self.sim.timeout(at - self.sim.now).add_callback(
+                lambda _event: fn())
+
+    def _record(self, action: str, target: str) -> None:
+        self.log.append(FaultEvent(at_s=self.sim.now, action=action,
+                                   target=target))
+
+    # -- link faults --------------------------------------------------------
+    def kill_link(self, link_id: int, at: Optional[float] = None) -> None:
+        """Hard-down one link (optic dead, cable pulled)."""
+        def apply() -> None:
+            link = self.topology.links[link_id]
+            if not link.healthy:
+                return
+            self.topology.fail_link(link_id)
+            self._hold_until[link_id] = self.sim.now + self.dampening_s
+            self._record("kill-link", f"link:{link_id}")
+            self.engine.notify_topology_changed()
+        self._apply_at(at, apply)
+
+    def restore_link(self, link_id: int,
+                     at: Optional[float] = None) -> None:
+        """Bring a downed link back, no earlier than its hold-down."""
+        def apply() -> None:
+            hold = self._hold_until.get(link_id, 0.0)
+            if self.sim.now < hold:
+                # Carrier dampening: defer readmission to window end.
+                self.sim.timeout(hold - self.sim.now).add_callback(
+                    lambda _event: apply())
+                return
+            link = self.topology.links[link_id]
+            if link.healthy:
+                return
+            self.topology.restore_link(link_id)
+            self._record("restore-link", f"link:{link_id}")
+            self.engine.notify_topology_changed()
+        self._apply_at(at, apply)
+
+    def flap_link(self, link_id: int, at: Optional[float] = None,
+                  down_s: float = 1.0) -> None:
+        """Down/up transition: the link dies and asks to return after
+        ``down_s``; the hold-down defers the return to the dampening
+        window, and rerouted flows stay on their new (healthy) paths —
+        at most one reroute per flow per flap."""
+        def apply() -> None:
+            self.kill_link(link_id)
+            self.restore_link(link_id, at=self.sim.now + down_s)
+        self._apply_at(at, apply)
+
+    def degrade_link(self, link_id: int, factor: float = _DEGRADE_FACTOR,
+                     at: Optional[float] = None) -> None:
+        """Scale a link's capacity (dirty optics, CRC retries)."""
+        def apply() -> None:
+            if link_id not in self.topology.links:
+                raise KeyError(f"unknown link id {link_id}")
+            self._record("degrade-link", f"link:{link_id}")
+            self.engine.set_capacity_factor(link_id, factor)
+        self._apply_at(at, apply)
+
+    # -- device faults ------------------------------------------------------
+    def kill_device(self, device: str,
+                    at: Optional[float] = None) -> None:
+        """Fail every link of *device* — a dead switch, NIC-less host,
+        or host that dropped off the fabric entirely."""
+        def apply() -> None:
+            downed = self.topology.fail_device(device)
+            if not downed:
+                return
+            self._device_links.setdefault(device, []).extend(downed)
+            hold = self.sim.now + self.dampening_s
+            for link_id in downed:
+                self._hold_until[link_id] = hold
+            self._record("kill-device", device)
+            self.engine.notify_topology_changed()
+        self._apply_at(at, apply)
+
+    def repair_device(self, device: str,
+                      at: Optional[float] = None) -> None:
+        """Undo a :meth:`kill_device` (field replacement complete)."""
+        def apply() -> None:
+            downed = self._device_links.pop(device, [])
+            if not downed:
+                return
+            self.topology.restore_links(downed)
+            self._record("repair-device", device)
+            self.engine.notify_topology_changed()
+        self._apply_at(at, apply)
+
+    def repair(self, target: str, at: Optional[float] = None) -> None:
+        """Repair by target string: ``link:<id>`` or a device name."""
+        if target.startswith("link:"):
+            self.restore_link(int(target.split(":", 1)[1]), at=at)
+        else:
+            self.repair_device(target, at=at)
+
+    # -- FaultSpec integration ----------------------------------------------
+    def schedule(self, spec: FaultSpec) -> None:
+        """Arm one validated :class:`FaultSpec` on the clock.
+
+        Structural effects map onto injector actions; purely software
+        effects (user code, CCL bugs) have no fabric footprint and are
+        ignored here — they belong to the job loop, not the fabric.
+        """
+        spec.validate(topology=self.topology)
+        at = spec.at_time_s
+        effect = spec.effect
+        if effect is Effect.LINK_DOWN:
+            self.kill_link(int(spec.target.split(":", 1)[1]), at=at)
+        elif effect is Effect.LINK_DEGRADE:
+            self.flap_link(int(spec.target.split(":", 1)[1]), at=at)
+        elif effect is Effect.MISWIRE:
+            self.kill_link(int(spec.target.split(":", 1)[1]), at=at)
+        elif effect in (Effect.SWITCH_ECN_STORM, Effect.PCIE_PFC_STORM):
+            # Congestive faults throttle rather than sever.
+            def degrade_all(target: str = spec.target) -> None:
+                for link in self.topology.links_of(target):
+                    self.degrade_link(link.link_id)
+            self._apply_at(at, degrade_all)
+        elif effect in (Effect.NIC_ERRCQE, Effect.GPU_FATAL,
+                        Effect.ECC_FATAL, Effect.CONFIG_ERROR,
+                        Effect.HOST_HANG, Effect.SWITCH_DROPS):
+            self.kill_device(spec.target, at=at)
+        # MULTI_HOST_SOFTWARE: job-level, no structural action.

@@ -1,0 +1,188 @@
+"""The closed detect → localize → cordon → requeue → repair loop.
+
+This is §3's operational payoff wired end to end on the simulated
+clock.  A structural fault injected by the
+:class:`~repro.resilience.injector.FailureInjector` perturbs what hosts
+can observe: NICs lose carrier (the per-host healthy-uplink census of
+:meth:`~repro.monitoring.pingmesh.Pingmesh.census`) and probe pairs go
+unreachable.  The pipeline polls that telemetry, and on a detection:
+
+1. **localizes** the root cause hierarchically — the dead links' shared
+   remote endpoint names a switch, a host losing every uplink names the
+   host, a lone dead link names itself — then waits the Figure-10
+   :meth:`~repro.monitoring.mttlf.MttlfModel.localization_delay_s`
+   (alert latency + drill-down + evidence collection);
+2. **cordons** the blast radius
+   (:func:`~repro.topology.blast_radius.impacted_hosts`) in the
+   :class:`~repro.core.placement.GpuAllocator` so no new job lands on
+   redundancy-degraded hosts;
+3. **requeues** affected jobs through the caller's ``on_cordon`` hook
+   (checkpoint rollback and restart charges are the job's side of the
+   contract);
+4. **repairs** after a seeded time-to-repair draw
+   (:meth:`~repro.cluster.recovery.RecoveryManager.repair_delay_s`),
+   restores the links, uncordons the hosts and re-baselines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..cluster.recovery import RecoveryManager
+from ..core.placement import GpuAllocator
+from ..monitoring.faults import Manifestation
+from ..monitoring.mttlf import MttlfModel
+from ..monitoring.pingmesh import Pingmesh
+from ..network.engine import FabricEngine
+from ..topology.blast_radius import impacted_hosts
+
+__all__ = ["RecoveryRecord", "RecoveryPipeline"]
+
+
+@dataclass
+class RecoveryRecord:
+    """Timeline of one fault through the recovery loop (seconds)."""
+
+    target: str                      # localized root cause
+    detected_s: float
+    localized_s: float = 0.0
+    cordoned_hosts: List[str] = field(default_factory=list)
+    interrupted_jobs: List[str] = field(default_factory=list)
+    repaired_s: Optional[float] = None
+    dead_links: List[int] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "detected_s": self.detected_s,
+            "localized_s": self.localized_s,
+            "cordoned_hosts": list(self.cordoned_hosts),
+            "interrupted_jobs": list(self.interrupted_jobs),
+            "repaired_s": self.repaired_s,
+            "dead_links": list(self.dead_links),
+        }
+
+
+class RecoveryPipeline:
+    """Periodic monitor process closing the recovery loop."""
+
+    def __init__(self, engine: FabricEngine, allocator: GpuAllocator,
+                 pingmesh: Optional[Pingmesh] = None,
+                 mttlf: Optional[MttlfModel] = None,
+                 recovery: Optional[RecoveryManager] = None,
+                 probe_interval_s: float = 30.0,
+                 manifestation: Manifestation = Manifestation.FAIL_STOP,
+                 on_cordon: Optional[
+                     Callable[[RecoveryRecord], List[str]]] = None):
+        if probe_interval_s <= 0:
+            raise ValueError(
+                f"probe_interval_s must be positive: {probe_interval_s}")
+        self.engine = engine
+        self.sim = engine.sim
+        self.topology = engine.fabric.topology
+        self.allocator = allocator
+        self.pingmesh = pingmesh or Pingmesh(engine.fabric)
+        n_hosts = max(2, len(self.topology.hosts()))
+        self.mttlf = mttlf or MttlfModel(n_hosts=n_hosts,
+                                         jitter_frac=0.0)
+        self.recovery = recovery or RecoveryManager(seed=0)
+        self.probe_interval_s = probe_interval_s
+        self.manifestation = manifestation
+        #: hook invoked at cordon time; returns the names of the jobs
+        #: it interrupted (recorded on the timeline).
+        self.on_cordon = on_cordon
+        self.records: List[RecoveryRecord] = []
+        self._occurrences: Counter = Counter()
+        self._stopped = False
+
+    def start(self) -> None:
+        self.sim.process(self._monitor(), name="recovery-pipeline")
+
+    def stop(self) -> None:
+        """Wind the monitor down at its next wake (lets the simulation
+        drain once the workload is done)."""
+        self._stopped = True
+
+    # -- detection ----------------------------------------------------------
+    def _degraded_hosts(self, baseline: Dict[str, int],
+                        census: Dict[str, int]) -> Dict[str, int]:
+        return {
+            host: baseline[host] - count
+            for host, count in census.items()
+            if count < baseline.get(host, count)
+        }
+
+    def _localize(self) -> Optional[RecoveryRecord]:
+        """Name the root cause from the dead-link pattern.
+
+        The hierarchical argument from §3.3, run over carrier evidence:
+        every dead link is an edge with two endpoints; a device that
+        appears on *all* of them is the shared cause (dead switch, dead
+        host); otherwise a single dead link is the cause itself.
+        """
+        dead = [link for link in self.topology.links.values()
+                if not link.healthy]
+        if not dead:
+            return None
+        counts: Counter = Counter()
+        for link in dead:
+            counts[link.a.device] += 1
+            counts[link.b.device] += 1
+        device, count = counts.most_common(1)[0]
+        if count == len(dead) and (len(dead) > 1 or len(
+                self.topology.links_of(device)) == count):
+            target = device
+        else:
+            target = f"link:{dead[0].link_id}"
+        return RecoveryRecord(
+            target=target, detected_s=self.sim.now,
+            dead_links=sorted(link.link_id for link in dead))
+
+    def _cordon_set(self, target: str) -> List[str]:
+        if target.startswith("link:"):
+            # A lone dead link cordons only its host endpoint (if any):
+            # the switch side keeps serving its other links.
+            link = self.topology.links[int(target.split(":", 1)[1])]
+            return sorted(
+                device for device in (link.a.device, link.b.device)
+                if device in self.topology.devices
+                and self.topology.devices[device].tier == 0)
+        return impacted_hosts(self.topology, target)
+
+    # -- the loop -----------------------------------------------------------
+    def _monitor(self):
+        baseline = self.pingmesh.census()
+        while not self._stopped:
+            yield self.sim.timeout(self.probe_interval_s)
+            if self._stopped:
+                return
+            census = self.pingmesh.census()
+            if not self._degraded_hosts(baseline, census):
+                continue
+            record = self._localize()
+            if record is None:
+                baseline = census
+                continue
+            # Modeled detection-to-root-cause delay (Figure 10).
+            yield self.sim.timeout(
+                self.mttlf.localization_delay_s(self.manifestation))
+            record.localized_s = self.sim.now
+            record.cordoned_hosts = self.allocator.cordon(
+                self._cordon_set(record.target))
+            if self.on_cordon is not None:
+                record.interrupted_jobs = list(
+                    self.on_cordon(record) or [])
+            self.records.append(record)
+            # Field repair: seeded TTR draw, then links return and the
+            # hosts rejoin the schedulable pool.
+            occurrence = self._occurrences[record.target]
+            self._occurrences[record.target] += 1
+            yield self.sim.timeout(self.recovery.repair_delay_s(
+                record.target, occurrence))
+            self.topology.restore_links(record.dead_links)
+            self.engine.notify_topology_changed()
+            self.allocator.uncordon(record.cordoned_hosts)
+            record.repaired_s = self.sim.now
+            baseline = self.pingmesh.census()

@@ -11,14 +11,16 @@ failure in Astral.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..network.flows import make_flow, reset_flow_ids
 from ..network.routing import EcmpRouter
 from .elements import DeviceKind, Topology
 
-__all__ = ["BlastRadius", "device_blast_radius", "blast_radius_table"]
+__all__ = ["BlastRadius", "failed_device", "device_blast_radius",
+           "blast_radius_table", "impacted_hosts"]
 
 
 @dataclass(frozen=True)
@@ -36,18 +38,20 @@ class BlastRadius:
         return self.stranded_gpus == 0
 
 
-def _fail_device(topology: Topology, device: str) -> List[int]:
-    failed = []
-    for link in topology.links_of(device):
-        if link.healthy:
-            topology.fail_link(link.link_id)
-            failed.append(link.link_id)
-    return failed
+@contextmanager
+def failed_device(topology: Topology, device: str) -> Iterator[List[int]]:
+    """Fail *device* (all its healthy links) for the duration of the
+    ``with`` block, restoring exactly those links on exit.
 
-
-def _restore(topology: Topology, link_ids: List[int]) -> None:
-    for link_id in link_ids:
-        topology.restore_link(link_id)
+    The restore runs in a ``finally``, so a measurement that raises
+    mid-analysis cannot leave the topology mutated.  Yields the failed
+    link ids (the would-be cut set).
+    """
+    failed = topology.fail_device(device)
+    try:
+        yield failed
+    finally:
+        topology.restore_links(failed)
 
 
 def device_blast_radius(topology: Topology, device: str,
@@ -62,34 +66,49 @@ def device_blast_radius(topology: Topology, device: str,
     hosts = topology.hosts()
     if probe_host is None:
         probe_host = next(h.name for h in hosts if h.name != device)
-    failed = _fail_device(topology, device)
-    try:
-        router = EcmpRouter(topology)
-        stranded_hosts = 0
-        stranded_gpus = 0
-        reset_flow_ids()
-        for host in hosts:
-            if host.name in (device, probe_host):
-                continue
-            host_hit = False
-            for gpu in host.gpus:
-                flow = make_flow(host.name, probe_host, rail=gpu.rail,
-                                 size_bits=1.0, dst_rail=gpu.rail)
-                if not router.reachable(flow):
-                    stranded_gpus += 1
-                    host_hit = True
-            if host_hit:
-                stranded_hosts += 1
-        return BlastRadius(
-            device=device,
-            kind=topology.devices[device].kind,
-            stranded_hosts=stranded_hosts,
-            stranded_gpus=stranded_gpus,
-            total_hosts=len(hosts),
-        )
-    finally:
-        _restore(topology, failed)
-        reset_flow_ids()
+    with failed_device(topology, device):
+        try:
+            router = EcmpRouter(topology)
+            stranded_hosts = 0
+            stranded_gpus = 0
+            reset_flow_ids()
+            for host in hosts:
+                if host.name in (device, probe_host):
+                    continue
+                host_hit = False
+                for gpu in host.gpus:
+                    flow = make_flow(host.name, probe_host, rail=gpu.rail,
+                                     size_bits=1.0, dst_rail=gpu.rail)
+                    if not router.reachable(flow):
+                        stranded_gpus += 1
+                        host_hit = True
+                if host_hit:
+                    stranded_hosts += 1
+            return BlastRadius(
+                device=device,
+                kind=topology.devices[device].kind,
+                stranded_hosts=stranded_hosts,
+                stranded_gpus=stranded_gpus,
+                total_hosts=len(hosts),
+            )
+        finally:
+            reset_flow_ids()
+
+
+def impacted_hosts(topology: Topology, device: str) -> List[str]:
+    """The host set a diagnosed *device* failure cordons.
+
+    Hosts directly wired to the device (they lost a fabric port, i.e.
+    redundancy, even when dual-ToR keeps them connected) plus the
+    device itself when it is a host.  This is the operational blast
+    radius — the conservative drain set — as opposed to the stranded
+    set :func:`device_blast_radius` counts, which dual-ToR wiring
+    keeps at zero for single failures.
+    """
+    names = set(topology.attached_hosts(device))
+    if topology.devices[device].kind is DeviceKind.HOST:
+        names.add(device)
+    return sorted(names)
 
 
 def blast_radius_table(topology: Topology) -> Dict[DeviceKind,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = [
     "DeviceKind",
@@ -244,6 +244,32 @@ class Topology:
     def restore_link(self, link_id: int) -> None:
         self.links[link_id].healthy = True
         self.version += 1
+
+    def fail_device(self, device: str) -> List[int]:
+        """Fail every healthy link of *device* (a dead switch, host or
+        NIC takes all its ports down at once); returns the failed link
+        ids so the caller can restore exactly what it broke."""
+        failed = []
+        for link in self.links_of(device):
+            if link.healthy:
+                self.fail_link(link.link_id)
+                failed.append(link.link_id)
+        return failed
+
+    def restore_links(self, link_ids: Iterable[int]) -> None:
+        for link_id in link_ids:
+            self.restore_link(link_id)
+
+    def attached_hosts(self, device: str) -> List[str]:
+        """Hosts wired (healthy or not) to *device* — its potential
+        blast radius at tier 1, the set operators cordon when the
+        device is diagnosed as a fault's root cause."""
+        names = []
+        for link in self.links_of(device):
+            other = self.devices[link.other(device)]
+            if other.kind is DeviceKind.HOST:
+                names.append(other.name)
+        return sorted(set(names))
 
     def healthy_links(self) -> List[Link]:
         return [link for link in self.links.values() if link.healthy]

@@ -66,3 +66,39 @@ class TestComparisonWithSingleTor:
         assert not radius.contained
         # Every host of that block loses the ToR's rail.
         assert radius.stranded_gpus == params.hosts_per_block
+
+
+class TestFailedDeviceContextManager:
+    def test_yields_cut_and_restores_on_exit(self, astral):
+        from repro.topology.blast_radius import failed_device
+        tor = astral.switches(DeviceKind.TOR)[0]
+        before = {l.link_id: l.healthy
+                  for l in astral.links_of(tor.name)}
+        with failed_device(astral, tor.name) as cut:
+            assert sorted(cut) == sorted(before)
+            assert all(not link.healthy
+                       for link in astral.links_of(tor.name))
+        assert {l.link_id: l.healthy
+                for l in astral.links_of(tor.name)} == before
+
+    def test_restores_even_when_body_raises(self, astral):
+        from repro.topology.blast_radius import failed_device
+        tor = astral.switches(DeviceKind.TOR)[0]
+        with pytest.raises(RuntimeError, match="mid-analysis"):
+            with failed_device(astral, tor.name):
+                raise RuntimeError("mid-analysis")
+        assert all(link.healthy for link in astral.links_of(tor.name))
+
+    def test_restores_only_links_it_failed(self, astral):
+        """A link that was already down stays down: the context manager
+        must not 'repair' pre-existing damage on exit."""
+        from repro.topology.blast_radius import failed_device
+        tor = astral.switches(DeviceKind.TOR)[0]
+        pre_dead = astral.links_of(tor.name)[0].link_id
+        astral.fail_link(pre_dead)
+        try:
+            with failed_device(astral, tor.name) as cut:
+                assert pre_dead not in cut
+            assert not astral.links[pre_dead].healthy
+        finally:
+            astral.restore_link(pre_dead)

@@ -22,7 +22,7 @@ class TestParser:
         assert set(sub.choices) == {
             "describe", "forecast", "inference", "memory", "pue",
             "sweep", "taxonomy", "overhead", "goodput",
-            "diagnose-demo", "cluster",
+            "diagnose-demo", "cluster", "resilience",
         }
 
 
@@ -141,3 +141,24 @@ class TestTopLevelPackage:
         import repro
         with pytest.raises(AttributeError):
             repro.not_a_thing
+
+
+class TestResilienceCommand:
+    def test_resilience_json_smoke(self, capsys):
+        import json
+        assert main(["resilience", "--iterations", "30",
+                     "--fault-at", "120", "--checkpoint-interval",
+                     "600", "--seed", "3", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["wedged_jobs"] == []
+        assert data["n_faults"] == 1
+        assert data["fault_log"]
+        assert data["jobs"][0]["completed_s"] is not None
+
+    def test_resilience_human_output(self, capsys):
+        assert main(["resilience", "--iterations", "30",
+                     "--fault-at", "120", "--checkpoint-interval",
+                     "600", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "fault" in out.lower()

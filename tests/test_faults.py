@@ -98,3 +98,108 @@ class TestSampling:
                           Manifestation.FAIL_STOP, "h0", detail="79")
         assert "Xid" in fault.syslog_message()
         assert "h0" in fault.syslog_message()
+
+
+class TestSpecValidation:
+    """Malformed specs fail at construction with the field named."""
+
+    def test_negative_at_time_s_rejected(self):
+        with pytest.raises(ValueError, match="at_time_s"):
+            FaultSpec(RootCause.GPU_HARDWARE, Manifestation.FAIL_STOP,
+                      "h0", at_time_s=-1.0)
+
+    def test_negative_at_iteration_rejected(self):
+        with pytest.raises(ValueError, match="at_iteration"):
+            FaultSpec(RootCause.GPU_HARDWARE, Manifestation.FAIL_STOP,
+                      "h0", at_iteration=-3)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultSpec(RootCause.GPU_HARDWARE, Manifestation.FAIL_STOP,
+                      "")
+
+    def test_malformed_link_reference_rejected(self):
+        with pytest.raises(ValueError, match="link:<id>"):
+            FaultSpec(RootCause.OPTICAL_FIBER, Manifestation.FAIL_STOP,
+                      "link:banana")
+
+    def test_link_effect_requires_link_target(self):
+        # OPTICAL_FIBER manifests as LINK_DOWN — a host target is a
+        # category error the constructor must catch.
+        with pytest.raises(ValueError, match="requires a 'link:<id>'"):
+            FaultSpec(RootCause.OPTICAL_FIBER, Manifestation.FAIL_STOP,
+                      "p0.b0.h0")
+
+    def test_device_effect_rejects_link_target(self):
+        with pytest.raises(ValueError, match="cannot strike a link"):
+            FaultSpec(RootCause.GPU_HARDWARE, Manifestation.FAIL_STOP,
+                      "link:3")
+
+    def test_validate_rejects_unknown_device(self):
+        from repro.topology import AstralParams, build_astral
+        topology = build_astral(AstralParams.tiny())
+        spec = FaultSpec(RootCause.SWITCH_BUG, Manifestation.FAIL_STOP,
+                         "no.such.tor")
+        with pytest.raises(ValueError, match="unknown device"):
+            spec.validate(topology=topology)
+
+    def test_validate_rejects_unknown_link_id(self):
+        from repro.topology import AstralParams, build_astral
+        topology = build_astral(AstralParams.tiny())
+        spec = FaultSpec(RootCause.OPTICAL_FIBER,
+                         Manifestation.FAIL_STOP, "link:999999")
+        with pytest.raises(ValueError, match="unknown link id"):
+            spec.validate(topology=topology)
+
+    def test_validate_passes_and_chains_on_known_targets(self):
+        from repro.topology import AstralParams, build_astral
+        topology = build_astral(AstralParams.tiny())
+        link_id = next(iter(topology.links))
+        spec = FaultSpec(RootCause.OPTICAL_FIBER,
+                         Manifestation.FAIL_STOP, f"link:{link_id}")
+        assert spec.validate(topology=topology) is spec
+
+
+class TestCrossProcessDeterminism:
+    """String-seeded draws must agree across interpreter processes
+    (different ``PYTHONHASHSEED``), or campaign replays diverge."""
+
+    @staticmethod
+    def _digest_script():
+        return """
+import hashlib, json, sys
+sys.path.insert(0, "src")
+from repro.cluster.recovery import RecoveryManager
+from repro.monitoring.faults import sample_faults
+
+faults = sample_faults(25, seed="campaign-7",
+                       hosts=["h0", "h1"], switches=["s0"],
+                       link_ids=[1, 2, 3])
+recovery = RecoveryManager(seed=7)
+payload = {
+    "faults": [(f.cause.value, f.manifestation.value, f.target,
+                f.at_iteration) for f in faults],
+    "fail": [recovery.failure_delay_s("job0", a, 32)
+             for a in range(4)],
+    "repair": [recovery.repair_delay_s("p0.b0.r0.g0.tor", o)
+               for o in range(4)],
+}
+print(hashlib.sha256(
+    json.dumps(payload, sort_keys=True).encode()).hexdigest())
+"""
+
+    def test_draws_stable_across_hash_seeds(self):
+        import os
+        import subprocess
+        import sys
+
+        digests = set()
+        for hash_seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            out = subprocess.run(
+                [sys.executable, "-c", self._digest_script()],
+                capture_output=True, text=True, env=env, check=True,
+                cwd=os.path.dirname(os.path.dirname(
+                    os.path.abspath(__file__))))
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1

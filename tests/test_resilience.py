@@ -1,0 +1,438 @@
+"""Tests for live failure injection and the closed recovery loop.
+
+Covers the tentpole end to end: mid-flight routing failover on the
+fabric engine (reroute, flap dampening, stranding and the
+:class:`PartitionError` cut set), the :class:`FailureInjector`'s
+scheduled topology mutations, the :class:`RecoveryPipeline`'s
+detect → localize → cordon → requeue → repair loop, the
+:class:`ClusterScheduler` interrupt hook, graceful collective
+degradation, and the seeded end-to-end campaign whose measured goodput
+penalty must land within 10% of the analytic
+:func:`failure_penalty_s` prediction.
+"""
+
+import pytest
+
+from repro.cluster import ClusterScheduler, JobSpec, RecoveryManager
+from repro.core.placement import GpuAllocator
+from repro.core.reliability import CheckpointPolicy, failure_penalty_s
+from repro.monitoring import FaultSpec, Manifestation, RootCause
+from repro.monitoring.mttlf import MttlfModel
+from repro.network import (
+    Endpoint,
+    Fabric,
+    FabricEngine,
+    make_flow,
+    reset_flow_ids,
+    run_collective_timed,
+)
+from repro.network.collectives import repair_ring
+from repro.network.routing import PartitionError, RoutingError
+from repro.resilience import (
+    FailureInjector,
+    RecoveryPipeline,
+    ResilienceCampaign,
+)
+from repro.topology import AstralParams, build_astral
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+def _engine(params=None):
+    topology = build_astral(params or AstralParams.small())
+    return FabricEngine(Fabric(topology))
+
+
+class TestRoutingFailover:
+    def test_tor_kill_reroutes_in_flight_flow(self):
+        """A flow crossing a dying ToR moves to a surviving ECMP path
+        mid-transfer and still finishes."""
+        engine = _engine()
+        topology = engine.fabric.topology
+        flow = make_flow("p0.b0.h0", "p0.b0.h1", rail=0, size_bits=2e12)
+        engine.submit(flow)
+        injector = FailureInjector(engine)
+        path = engine.fabric.router.path(flow)
+        tor = path.devices[1]
+        injector.kill_device(tor, at=2.0)
+        run = engine.run()
+        assert engine.reroutes[flow.flow_id] == 1
+        assert flow.flow_id in run.finish_times_s
+        # The adopted path avoids the dead ToR entirely.
+        assert tor not in run.paths[flow.flow_id].devices
+        assert all(not link.healthy
+                   for link in topology.links_of(tor))
+
+    def test_flap_causes_at_most_one_reroute_per_flow(self):
+        """Down/up inside the dampening window: the rerouted flow stays
+        on its new healthy path, so the flap costs one reroute, not
+        two."""
+        engine = _engine()
+        flow = make_flow("p0.b0.h0", "p0.b0.h1", rail=0, size_bits=4e12)
+        engine.submit(flow)
+        path = engine.fabric.router.path(flow)
+        injector = FailureInjector(engine, dampening_s=10.0)
+        injector.flap_link(path.link_ids[0], at=2.0, down_s=1.0)
+        run = engine.run()
+        assert flow.flow_id in run.finish_times_s
+        assert engine.reroutes.get(flow.flow_id, 0) <= 1
+        # The link did come back (after the hold-down).
+        assert engine.fabric.topology.links[path.link_ids[0]].healthy
+        restores = [e for e in injector.log if e.action == "restore-link"]
+        assert restores and restores[0].at_s == pytest.approx(12.0)
+
+    def test_partitioned_flow_raises_partition_error_with_cut(self):
+        """Killing every link of the destination host strands the flow;
+        the error names the cut set."""
+        engine = _engine()
+        topology = engine.fabric.topology
+        flow = make_flow("p0.b0.h0", "p0.b0.h1", rail=0, size_bits=2e12)
+        engine.submit(flow)
+        injector = FailureInjector(engine)
+        injector.kill_device("p0.b0.h1", at=2.0)
+        with pytest.raises(PartitionError) as excinfo:
+            engine.run()
+        exc = excinfo.value
+        assert exc.dst == "p0.b0.h1"
+        host_links = {l.link_id for l in topology.links_of("p0.b0.h1")}
+        assert set(exc.cut) == host_links
+        assert "cut links" in str(exc)
+
+    def test_stranded_handler_enables_graceful_cancel(self):
+        """With an on_stranded handler the simulation survives: the
+        handler cancels the orphan and the run drains cleanly."""
+        engine = _engine()
+        flow = make_flow("p0.b0.h0", "p0.b0.h1", rail=0, size_bits=2e12)
+        done = engine.submit(flow)
+        injector = FailureInjector(engine)
+        injector.kill_device("p0.b0.h1", at=2.0)
+        seen = []
+
+        def handler(stranded_flow, exc):
+            seen.append((stranded_flow.flow_id, exc))
+            engine.cancel(stranded_flow.flow_id)
+
+        engine.on_stranded(handler)
+        run = engine.run()
+        assert seen and seen[0][0] == flow.flow_id
+        assert isinstance(seen[0][1], RoutingError)
+        assert done.triggered and done.value is None
+        assert flow.flow_id not in run.finish_times_s
+
+    def test_unaffected_flows_do_not_reroute(self):
+        engine = _engine()
+        flow = make_flow("p1.b0.h0", "p1.b0.h1", rail=1, size_bits=2e12)
+        engine.submit(flow)
+        victim = make_flow("p0.b0.h0", "p0.b0.h1", rail=0,
+                           size_bits=2e12)
+        engine.submit(victim)
+        injector = FailureInjector(engine)
+        path = engine.fabric.router.path(victim)
+        injector.kill_device(path.devices[1], at=2.0)
+        engine.run()
+        assert flow.flow_id not in engine.reroutes
+
+
+class TestPartitionCut:
+    def test_partition_cut_none_when_reachable(self):
+        fabric = Fabric(build_astral(AstralParams.small()))
+        cut = fabric.router.partition_cut("p0.b0.h0", "p0.b0.h1")
+        assert cut is None
+
+    def test_partition_cut_names_dead_frontier(self):
+        topology = build_astral(AstralParams.small())
+        fabric = Fabric(topology)
+        dead = topology.fail_device("p0.b0.h1")
+        cut = fabric.router.partition_cut("p0.b0.h0", "p0.b0.h1")
+        assert cut is not None and set(cut) == set(dead)
+
+
+class TestFailureInjector:
+    def test_degrade_link_halves_throughput(self):
+        engine = _engine()
+        flow = make_flow("p0.b0.h0", "p0.b0.h1", rail=0, size_bits=2e12)
+        engine.submit(flow)
+        path = engine.fabric.router.path(flow)
+        injector = FailureInjector(engine)
+        injector.degrade_link(path.link_ids[0], factor=0.5, at=5.0)
+        run = engine.run()
+        # 5 s at 200 Gbps then 1e12 bits at 100 Gbps: t = 15 s.
+        assert run.finish_times_s[flow.flow_id] == pytest.approx(15.0)
+
+    def test_schedule_maps_link_down_spec(self):
+        engine = _engine()
+        topology = engine.fabric.topology
+        link_id = topology.links_of("p0.b0.h0")[0].link_id
+        spec = FaultSpec(
+            cause=RootCause.OPTICAL_FIBER,
+            manifestation=Manifestation.FAIL_STOP,
+            target=f"link:{link_id}", at_time_s=3.0)
+        injector = FailureInjector(engine)
+        injector.schedule(spec)
+        engine.sim.run()
+        assert not topology.links[link_id].healthy
+        assert injector.log[0].action == "kill-link"
+        assert injector.log[0].at_s == 3.0
+
+    def test_schedule_rejects_unknown_target(self):
+        engine = _engine()
+        spec = FaultSpec(
+            cause=RootCause.SWITCH_BUG,
+            manifestation=Manifestation.FAIL_STOP,
+            target="no.such.switch", at_time_s=1.0)
+        with pytest.raises(ValueError, match="unknown device"):
+            FailureInjector(engine).schedule(spec)
+
+    def test_repair_device_restores_links(self):
+        engine = _engine()
+        topology = engine.fabric.topology
+        injector = FailureInjector(engine)
+        injector.kill_device("p0.b0.r0.g0.tor")
+        assert any(not l.healthy for l in topology.links.values())
+        injector.repair("p0.b0.r0.g0.tor")
+        engine.sim.run()
+        assert all(l.healthy for l in topology.links.values())
+
+
+class TestRecoveryPipeline:
+    def test_detect_localize_cordon_repair_cycle(self):
+        engine = _engine()
+        topology = engine.fabric.topology
+        allocator = GpuAllocator(topology)
+        injector = FailureInjector(engine)
+        mttlf = MttlfModel(n_hosts=32, jitter_frac=0.0)
+        pipeline = RecoveryPipeline(
+            engine, allocator, mttlf=mttlf,
+            recovery=RecoveryManager(seed=5, ttr_hours=0.5),
+            probe_interval_s=30.0)
+        pipeline.start()
+        injector.kill_device("p0.b0.r0.g0.tor", at=95.0)
+
+        def stopper():
+            yield engine.sim.timeout(30_000.0)
+            pipeline.stop()
+
+        engine.sim.process(stopper(), name="stopper")
+        engine.sim.run()
+        assert len(pipeline.records) == 1
+        record = pipeline.records[0]
+        assert record.target == "p0.b0.r0.g0.tor"
+        # Detected at the first probe after injection.
+        assert record.detected_s == 120.0
+        # Localization takes exactly the modeled MTTLF delay.
+        assert record.localized_s - record.detected_s == pytest.approx(
+            mttlf.localization_delay_s(Manifestation.FAIL_STOP))
+        # Blast radius: every host of the block (dual-ToR redundancy
+        # loss), cordoned then returned after repair.
+        assert record.cordoned_hosts == [
+            f"p0.b0.h{i}" for i in range(8)]
+        assert record.repaired_s is not None
+        assert allocator.cordoned_hosts == []
+        assert all(l.healthy for l in topology.links.values())
+
+    def test_single_link_fault_localizes_to_link(self):
+        engine = _engine()
+        topology = engine.fabric.topology
+        allocator = GpuAllocator(topology)
+        injector = FailureInjector(engine)
+        host_link = topology.links_of("p0.b0.h3")[0].link_id
+        pipeline = RecoveryPipeline(
+            engine, allocator,
+            recovery=RecoveryManager(seed=5, ttr_hours=0.5),
+            probe_interval_s=30.0)
+        pipeline.start()
+        injector.kill_link(host_link, at=10.0)
+
+        def stopper():
+            yield engine.sim.timeout(30_000.0)
+            pipeline.stop()
+
+        engine.sim.process(stopper(), name="stopper")
+        engine.sim.run()
+        assert len(pipeline.records) == 1
+        record = pipeline.records[0]
+        assert record.target == f"link:{host_link}"
+        # Only the host endpoint of the link gets cordoned.
+        assert record.cordoned_hosts == ["p0.b0.h3"]
+
+
+class TestSchedulerInterrupt:
+    def test_interrupt_job_requeues_through_recovery_manager(self):
+        topology = build_astral(AstralParams.small())
+        recovery = RecoveryManager(
+            failure_scale=0.0,
+            checkpoint=CheckpointPolicy(interval_s=600.0), seed=0)
+        scheduler = ClusterScheduler(
+            topology,
+            [JobSpec(name="train", submit_s=0.0, n_hosts=4,
+                     duration_s=4000.0)],
+            recovery=recovery)
+
+        def fail_it():
+            yield scheduler.sim.timeout(1000.0)
+            assert scheduler.interrupt_job("train") is True
+
+        scheduler.sim.process(fail_it(), name="fault")
+        report = scheduler.run()
+        record = report.records[0]
+        assert record.status == "completed"
+        assert record.failures == 1
+        # Rolled back to the checkpoint at t=600: 400 s of work lost.
+        assert record.lost_s == pytest.approx(400.0)
+        # Makespan pays lost work + restart on top of the service time.
+        assert record.end_s == pytest.approx(
+            4000.0 + 400.0 + recovery.checkpoint.restart_s)
+
+    def test_interrupt_unknown_job_is_a_noop(self):
+        topology = build_astral(AstralParams.tiny())
+        scheduler = ClusterScheduler(
+            topology, [JobSpec(name="a", submit_s=0.0, n_hosts=1,
+                               duration_s=10.0)])
+        assert scheduler.interrupt_job("nope") is False
+        scheduler.run()
+
+
+class TestCollectiveDegradation:
+    def test_repair_ring_preserves_order(self):
+        ring = [Endpoint(f"h{i}", 0) for i in range(5)]
+        repaired = repair_ring(ring, ["h1", "h3"])
+        assert [ep.host for ep in repaired] == ["h0", "h2", "h4"]
+
+    def test_timed_collective_repairs_around_dead_member(self):
+        engine = _engine()
+        hosts = [f"p0.b0.h{i}" for i in range(4)]
+        endpoints = [Endpoint(host, 0) for host in hosts]
+        dead = set()
+
+        def alive(host):
+            return host not in dead
+
+        proc = run_collective_timed(
+            engine, endpoints, size_bits=4e11,
+            collective="allreduce", alive=alive)
+
+        def killer():
+            yield engine.sim.timeout(0.5)
+            dead.add(hosts[1])
+            # Cancel the dead member's in-flight transfers the way the
+            # strand handler would.
+            for flow in list(engine.active_flows()):
+                if hosts[1] in (flow.src_host, flow.dst_host):
+                    engine.cancel(flow.flow_id)
+
+        engine.sim.process(killer(), name="killer")
+        engine.sim.run()
+        result = proc.value
+        assert result.repairs == 1
+        assert result.n_endpoints == 3
+        assert result.network_time_s > 0
+
+
+def _tor_fault(at_time_s):
+    return FaultSpec(
+        cause=RootCause.SWITCH_BUG,
+        manifestation=Manifestation.FAIL_STOP,
+        target="p0.b0.r0.g0.tor",
+        at_time_s=at_time_s)
+
+
+def _campaign(seed=11):
+    # Iteration = 20 s compute + 1.5 s collective = 21.5 s exactly
+    # (dedicated host uplinks, no contention).  The fault lands inside
+    # iteration 84's collective window [1826.0, 1827.5] — mid-transfer
+    # — and half a checkpoint interval (1800 s) after the t=0
+    # checkpoint, which is what the analytic penalty model assumes in
+    # expectation.
+    return ResilienceCampaign(
+        params=AstralParams.small(),
+        faults=[_tor_fault(1826.7)],
+        n_jobs=1, hosts_per_job=4, n_iterations=180,
+        compute_s=20.0, collective_bits=2e11,
+        checkpoint_interval_s=3600.0,
+        probe_interval_s=30.0,
+        seed=seed)
+
+
+@pytest.mark.slow
+class TestEndToEndScenario:
+    """The acceptance scenario: ToR dies mid-collective, the job
+    survives it through the whole recovery loop, and the measured
+    goodput penalty matches the analytic model."""
+
+    def test_tor_kill_recovery_and_goodput(self):
+        report = _campaign().run()
+        data = report.to_dict()
+
+        # Survivors rerouted mid-transfer; nothing was stranded.
+        assert report.reroutes >= 1
+        assert report.stranded == 0
+
+        # Detect -> localize on the modeled clock.
+        assert len(report.recoveries) == 1
+        record = report.recoveries[0]
+        assert record["target"] == "p0.b0.r0.g0.tor"
+        assert 1826.7 <= record["detected_s"] <= 1826.7 + 30.0
+        mttlf = MttlfModel(n_hosts=32, jitter_frac=0.0)
+        assert record["localized_s"] - record["detected_s"] == \
+            pytest.approx(
+                mttlf.localization_delay_s(Manifestation.FAIL_STOP))
+
+        # Blast radius cordoned, job interrupted and requeued.
+        assert record["cordoned_hosts"] == [
+            f"p0.b0.h{i}" for i in range(8)]
+        assert record["interrupted_jobs"] == ["job0"]
+        job = report.jobs[0]
+        assert job.restarts == 1 and not job.gave_up
+        assert report.faulted_completion_s["job0"] is not None
+        assert report.wedged_jobs == []
+
+        # The requeued attempt landed outside the cordon.
+        placements = [entry for _, entry in job.timeline
+                      if entry.startswith("placed:")]
+        assert len(placements) == 2
+        second = set(placements[1][len("placed:"):].split(","))
+        assert not second & set(record["cordoned_hosts"])
+
+        # Fault healed: repair recorded after the TTR draw.
+        assert record["repaired_s"] > record["localized_s"]
+
+        # Measured goodput penalty within 10% of the analytic model.
+        predicted = failure_penalty_s(
+            3600.0,
+            mttlf.automated_hours(Manifestation.FAIL_STOP),
+            CheckpointPolicy().restart_s)
+        assert report.predicted_penalty_s == pytest.approx(predicted)
+        assert report.measured_penalty_s == pytest.approx(
+            report.predicted_penalty_s, rel=0.10)
+
+        # Same seed => identical campaign, timestamp for timestamp.
+        repeat = _campaign().run().to_dict()
+        assert repeat == data
+
+    def test_different_seed_same_structure(self):
+        report = _campaign(seed=12).run()
+        assert report.wedged_jobs == []
+        assert report.jobs[0].restarts == 1
+
+
+class TestCampaignGuards:
+    def test_allocation_retry_gives_up_cleanly(self):
+        """A job that can never be placed finishes as given-up instead
+        of wedging the simulation."""
+        topology = build_astral(AstralParams.tiny())
+        engine = FabricEngine(Fabric(topology))
+        allocator = GpuAllocator(topology)
+        from repro.resilience.campaign import ResilientJob
+        job = ResilientJob(
+            "greedy", engine, allocator,
+            n_hosts=len(topology.hosts()) + 1,
+            n_iterations=2, compute_s=1.0, collective_bits=1e9,
+            max_alloc_retries=3, alloc_retry_s=1.0)
+        engine.sim.process(job.run(), name="job")
+        engine.sim.run()
+        assert job.gave_up
+        assert job.completed_s is None
+        assert job.finished.triggered
