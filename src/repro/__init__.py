@@ -17,6 +17,8 @@ Subpackages:
   orchestration (workloads, policies, recovery, tidal admission).
 * :mod:`repro.resilience` — live failure injection against the running
   fabric and the closed detect→localize→cordon→requeue recovery loop.
+* :mod:`repro.validation` — differential, invariant, and metamorphic
+  oracles fuzzing the whole simulator stack (``repro validate``).
 * :mod:`repro.core` — the public facade tying everything together.
 """
 
@@ -38,6 +40,9 @@ def __getattr__(name):
         "FailureInjector": ("repro.resilience", "FailureInjector"),
         "ResilienceCampaign": ("repro.resilience",
                                "ResilienceCampaign"),
+        "ScenarioGenerator": ("repro.validation", "ScenarioGenerator"),
+        "run_validation_campaign": ("repro.validation",
+                                    "run_campaign"),
     }
     if name in lazy:
         import importlib

@@ -14,7 +14,9 @@ Commands map to the library's main entry points:
 * ``diagnose-demo`` — inject a fault and print the diagnosis chain;
 * ``cluster``   — schedule a multi-tenant job trace on the fabric;
 * ``resilience`` — seeded failure-injection campaign through the
-  detect → localize → cordon → requeue → repair loop.
+  detect → localize → cordon → requeue → repair loop;
+* ``validate`` — fuzz the simulator stack against the invariant,
+  differential, and metamorphic oracles (``repro.validation``).
 """
 
 from __future__ import annotations
@@ -154,6 +156,24 @@ def build_parser() -> argparse.ArgumentParser:
                             default=3600.0)
     resilience.add_argument("--json", action="store_true",
                             help="emit the full report as JSON")
+
+    validate = sub.add_parser(
+        "validate",
+        help="fuzz the simulator stack against the validation oracles")
+    validate.add_argument("--seed", type=int, default=7,
+                          help="campaign seed; each case is derived "
+                               "from (seed, index)")
+    validate.add_argument("--cases", type=int, default=25,
+                          help="number of scenarios to generate")
+    validate.add_argument("--case", type=int, default=None,
+                          help="re-run exactly one case index "
+                               "(reproduces a printed failure)")
+    validate.add_argument("--json", metavar="PATH", default=None,
+                          help="write the full campaign report "
+                               "(including failing specs) to PATH")
+    validate.add_argument("--fast", action="store_true",
+                          help="skip the packet-granular differential "
+                               "(CI smoke budget)")
 
     return parser
 
@@ -410,6 +430,34 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    import json
+
+    from repro.validation import run_campaign
+
+    def _progress(case) -> None:
+        verdict = "ok" if case.ok else "FAIL"
+        print(f"  case {case.index:>3} "
+              f"[{case.profile}/{case.family}] {verdict} "
+              f"({len(case.checks)} checks)")
+
+    indices = [args.case] if args.case is not None else None
+    report = run_campaign(args.seed, args.cases, indices=indices,
+                          fast=args.fast, progress=_progress)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.json}")
+    print(f"seed {report.seed}: {len(report.cases)} cases, "
+          f"{len(report.failures)} failing")
+    for case in report.failures:
+        print(f"FAIL case {case.index} [{case.profile}/{case.family}]")
+        for violation in case.violations:
+            print(f"  {violation}")
+        print(f"  reproduce with: {case.repro_command}")
+    return 1 if report.failures else 0
+
+
 _HANDLERS = {
     "describe": _cmd_describe,
     "forecast": _cmd_forecast,
@@ -423,6 +471,7 @@ _HANDLERS = {
     "diagnose-demo": _cmd_diagnose_demo,
     "cluster": _cmd_cluster,
     "resilience": _cmd_resilience,
+    "validate": _cmd_validate,
 }
 
 

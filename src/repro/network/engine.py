@@ -33,15 +33,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..simcore import Event, SimulationError, Simulator
+from .fabric import DONE_BITS as _DONE_BITS
 from .fabric import Fabric, FabricRun, LinkDir
 from .flows import Flow, FlowPath
 from .routing import RoutingError
 
 __all__ = ["FabricEngine", "SolverStats"]
 
-#: A flow is complete once its remaining demand is below this (bits) —
-#: the same threshold the batch fluid loop uses.
-_DONE_BITS = 1e-6
 
 
 @dataclass

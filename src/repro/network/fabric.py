@@ -21,11 +21,17 @@ from ..topology.elements import Topology
 from .flows import Flow, FlowPath
 from .routing import EcmpRouter
 
-__all__ = ["Fabric", "FabricRun", "LinkDir", "LinkLoad"]
+__all__ = ["DONE_BITS", "Fabric", "FabricRun", "LinkDir", "LinkLoad"]
 
 #: A directed traversal of a link: (link_id, forward) where forward means
 #: the flow enters at endpoint ``a`` and exits at endpoint ``b``.
 LinkDir = Tuple[int, bool]
+
+#: A flow is complete once its residue drops below this many bits.
+#: Shared by the event-driven engine and the batch loop: both integrate
+#: in floats, so exact zero is unreachable, and using one threshold is a
+#: precondition for their finish times being bit-identical.
+DONE_BITS = 1e-6
 
 
 @dataclass
@@ -220,8 +226,11 @@ class Fabric:
         submitted at time zero onto a private simulator and run to
         completion.  For simultaneous starts this reproduces the
         classic epoch-global fluid loop (kept as
-        :meth:`complete_batch`) exactly — same epochs, same finish
-        times — while sharing one code path with the timed simulator.
+        :meth:`complete_batch`) exactly — same epochs and
+        bit-identical finish times, a property the validation harness
+        (``repro.validation.differential``) asserts on fuzzed
+        scenarios — while sharing one code path with the timed
+        simulator.
 
         With ``pfc_spreading``, PFC backpressure multipliers (computed
         from the initial offered loads) shrink effective link
@@ -264,8 +273,18 @@ class Fabric:
         finishes.
 
         Reference implementation the event-driven engine is verified
-        against (``tests/test_fabric_engine.py``); *stats* counts its
+        against (``tests/test_fabric_engine.py`` and the
+        ``repro.validation`` differential oracles); *stats* counts its
         solver work for the incremental-vs-global benchmark.
+
+        Integration uses the same absolute-deadline arithmetic as the
+        engine: each flow's finish deadline ``fl(now + rem / rate)`` is
+        computed once when its rate changes and only re-aimed on rate
+        changes, never re-split per epoch.  Accumulating relative steps
+        (``now += step``; ``rem -= rate * step``) instead drifts the
+        finish times by 1-2 ulp from the engine's — float addition is
+        not associative — which is exactly the epoch-tolerance bug the
+        validation oracles surfaced.
         """
         if paths is None:
             paths = self.resolve_paths(flows)
@@ -286,6 +305,8 @@ class Fabric:
             capacity_factors = CongestionModel().pfc_capacity_factors(
                 link_loads, self.topology)
 
+        deadlines: Dict[int, float] = {}
+        prev_rates: Dict[int, float] = {}
         stalls = 0
         while active:
             rates = self.max_min_rates(
@@ -299,30 +320,50 @@ class Fabric:
                     "fluid completion starved: every active flow has "
                     f"rate 0 (flows {starved}); a capacity factor or "
                     "link failure zeroed every path")
-            step = min(
-                remaining_bits[fid] / (rates[fid] * 1e9)
-                for fid in active if rates[fid] > 0
-            )
-            now += step
+            for fid in active:
+                rate = rates[fid]
+                if rate > 0 and rate != prev_rates.get(fid):
+                    deadlines[fid] = now + \
+                        remaining_bits[fid] / (rate * 1e9)
+            prev_rates = dict(rates)
+            t_next = min(deadlines[fid] for fid in active
+                         if rates[fid] > 0)
+            elapsed = t_next - now
+            now = t_next
             done = []
             for fid in list(active):
-                remaining_bits[fid] -= rates[fid] * 1e9 * step
-                if remaining_bits[fid] <= 1e-6:
+                if rates[fid] > 0:
+                    remaining_bits[fid] -= rates[fid] * 1e9 * elapsed
+                if remaining_bits[fid] <= DONE_BITS:
                     finish[fid] = now
                     done.append(fid)
             for fid in done:
                 del active[fid]
+                deadlines.pop(fid, None)
+                prev_rates.pop(fid, None)
             if done:
                 stalls = 0
-            else:
-                # An epoch can leave the tightest flow's residue one
-                # ulp above the done threshold (subtracting rate*step
-                # rounds); the next, sub-resolution epoch clears it.
-                # Only repeated stalls indicate a genuine wedge.
-                stalls += 1
-                if stalls >= 8:
-                    raise RuntimeError(
-                        "fluid completion made no progress")
+                continue
+            # Advancing to the earliest deadline completed nothing:
+            # subtracting rate*elapsed rounded the residue one ulp
+            # above the done threshold.  Re-aim the expired deadlines
+            # from the surviving residue; when the residual delay is
+            # below the clock resolution (now + delay == now) the flow
+            # completes here.  Repeated stalls indicate a real wedge.
+            stalls += 1
+            if stalls >= 8:
+                raise RuntimeError(
+                    "fluid completion made no progress")
+            for fid in list(active):
+                if rates[fid] > 0 and deadlines[fid] <= now:
+                    delay = remaining_bits[fid] / (rates[fid] * 1e9)
+                    if now + delay == now:
+                        finish[fid] = now
+                        del active[fid]
+                        deadlines.pop(fid, None)
+                        prev_rates.pop(fid, None)
+                    else:
+                        deadlines[fid] = now + delay
 
         return FabricRun(
             total_time_s=now,

@@ -1,0 +1,135 @@
+"""Metamorphic checks: known input transforms, predictable outputs.
+
+No reference implementation needed — these exploit relations the
+physics must satisfy:
+
+* scaling every link rate (and the NIC line rate) by ``k`` scales
+  every completion time by exactly ``1/k``; for power-of-two ``k``
+  the float scaling is lossless, so the comparison is exact;
+* adding an idle job (zero-size flows, or a flow that starts after
+  the last finish) changes nothing;
+* killing a link no flow uses changes nothing.
+
+All three rebuild the world from a :class:`ScenarioSpec`, so flow ids,
+source ports, and therefore ECMP paths are identical between the base
+and transformed runs — the only safe way to compare, since a changed
+candidate set would re-hash paths and legitimately change the answer.
+The unused-link check in particular fails a host's *access* link:
+hosts never transit traffic, so an idle host's port is provably
+outside every other flow's ECMP candidate set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..network.fabric import Fabric
+from ..network.flows import make_flow
+from .oracles import Violation
+from .scenarios import ScenarioSpec, build_flows, build_topology
+
+__all__ = [
+    "check_idle_job_noop",
+    "check_rate_scaling",
+    "check_unused_link_noop",
+]
+
+
+def _batch_finish(spec: ScenarioSpec, scale: float = 1.0,
+                  fail_link_id: Optional[int] = None,
+                  extra_zero_flows: int = 0):
+    """Complete the spec's flows at t=0, optionally transformed."""
+    topology = build_topology(spec)
+    if scale != 1.0:
+        for link in topology.links.values():
+            link.capacity_gbps *= scale
+    if fail_link_id is not None:
+        topology.fail_link(fail_link_id)
+    fabric = Fabric(topology)
+    if scale != 1.0:
+        fabric.host_line_rate_gbps *= scale
+    flows = build_flows(spec)
+    base_ids = [flow.flow_id for flow in flows]
+    for index in range(extra_zero_flows):
+        # Reuse an existing flow's endpoints so the idle flow is
+        # reachable on every family (rail-only has no cross-pod path).
+        donor = spec.flows[index % len(spec.flows)]
+        flows.append(make_flow(donor.src, donor.dst, rail=donor.rail,
+                               size_bits=0.0, job=f"idle{index}"))
+    run = fabric.complete(flows)
+    return {fid: run.finish_times_s[fid] for fid in base_ids}
+
+
+def check_rate_scaling(spec: ScenarioSpec,
+                       k: float = 2.0) -> List[Violation]:
+    """Completion times must scale by exactly ``1/k`` with link rates.
+
+    With ``k`` a power of two every intermediate float (rates, epoch
+    deadlines, residues) scales losslessly, so ``finish_scaled * k``
+    must equal the base finish bit-for-bit; other ``k`` get a 1e-9
+    relative tolerance.
+    """
+    exact = k > 0 and (k == 2 ** round(_log2(k)))
+    base = _batch_finish(spec)
+    scaled = _batch_finish(spec, scale=k)
+    violations = []
+    for fid, base_t in base.items():
+        rescaled = scaled[fid] * k
+        if exact:
+            bad = rescaled != base_t
+        else:
+            bad = abs(rescaled - base_t) > 1e-9 * max(base_t, 1e-12)
+        if bad:
+            violations.append(Violation(
+                "rate-scaling",
+                f"flow {fid}: base finish {base_t!r} but x{k} rates "
+                f"give {scaled[fid]!r} (rescaled {rescaled!r})"))
+    return violations
+
+
+def _log2(k: float) -> float:
+    import math
+    return math.log2(k)
+
+
+def check_idle_job_noop(spec: ScenarioSpec,
+                        n_idle: int = 2) -> List[Violation]:
+    """Zero-size flows must not perturb anyone's finish time."""
+    base = _batch_finish(spec)
+    with_idle = _batch_finish(spec, extra_zero_flows=n_idle)
+    violations = []
+    for fid, base_t in base.items():
+        if with_idle[fid] != base_t:
+            violations.append(Violation(
+                "idle-job-noop",
+                f"flow {fid}: finish moved from {base_t!r} to "
+                f"{with_idle[fid]!r} after adding {n_idle} idle flows"))
+    return violations
+
+
+def check_unused_link_noop(spec: ScenarioSpec) -> List[Violation]:
+    """Killing an idle host's access link must change nothing.
+
+    Returns no violations (vacuously) when every host participates in
+    the workload — there is then no link provably outside all ECMP
+    candidate sets.
+    """
+    topology = build_topology(spec)
+    used_hosts = {flow.src for flow in spec.flows} \
+        | {flow.dst for flow in spec.flows}
+    idle_hosts = [host.name for host in topology.hosts()
+                  if host.name not in used_hosts]
+    if not idle_hosts:
+        return []
+    victim = topology.links_of(sorted(idle_hosts)[0])[0].link_id
+    base = _batch_finish(spec)
+    degraded = _batch_finish(spec, fail_link_id=victim)
+    violations = []
+    for fid, base_t in base.items():
+        if degraded[fid] != base_t:
+            violations.append(Violation(
+                "unused-link-noop",
+                f"flow {fid}: finish moved from {base_t!r} to "
+                f"{degraded[fid]!r} after killing unused link "
+                f"{victim}"))
+    return violations

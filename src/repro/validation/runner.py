@@ -1,0 +1,361 @@
+"""Campaign runner: execute scenarios, apply every applicable oracle.
+
+``run_case(seed, index)`` regenerates one scenario from its seed,
+drives it through the appropriate simulator path, and collects
+violations from the invariant, differential, and metamorphic oracles.
+``run_campaign`` loops cases and aggregates a JSON-serialisable
+report; every failing case carries a self-contained repro command
+(``repro validate --seed S --case I``) plus its full spec.
+
+Which oracles run depends on the scenario profile:
+
+==========  ==========================================================
+profile     oracles
+==========  ==========================================================
+batch       solver (feasibility, conservation, KKT), engine-vs-batch
+            bit-identity, byte-conservation replay, metamorphic
+            (rate scaling, idle job, unused link), determinism
+timed       clock monotonicity, per-epoch solver oracles + byte
+            conservation via replay, determinism
+degrade     same as timed, with the degrade schedule folded into the
+            replay's capacity events
+faulted     clock monotonicity, full accounting (every flow finishes
+            or is cancelled as stranded), reroute bounds, determinism
+collective  flow-vs-analytic bandwidth, RS+AG == AR composition,
+            solver oracles on the ring allocation, fluid-vs-packet on
+            the busiest link, determinism
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..network.engine import FabricEngine
+from ..network.fabric import Fabric
+from ..resilience import FailureInjector
+from .differential import (
+    check_engine_vs_batch,
+    check_fluid_vs_packet,
+    check_ring_vs_analytic,
+    check_rs_ag_composition,
+)
+from .metamorphic import (
+    check_idle_job_noop,
+    check_rate_scaling,
+    check_unused_link_noop,
+)
+from .oracles import (
+    TracingSimulator,
+    Violation,
+    check_clock_monotonic,
+    check_same_result,
+    check_solution,
+    replay_conservation,
+)
+from .scenarios import (
+    ScenarioGenerator,
+    ScenarioSpec,
+    build_flows,
+    build_topology,
+)
+
+__all__ = ["CaseReport", "CampaignReport", "run_case", "run_campaign"]
+
+
+@dataclass
+class CaseReport:
+    """Outcome of one scenario against its oracle battery."""
+
+    seed: int
+    index: int
+    family: str
+    profile: str
+    checks: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    spec: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def repro_command(self) -> str:
+        return f"repro validate --seed {self.seed} --case {self.index}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "index": self.index,
+            "family": self.family,
+            "profile": self.profile,
+            "ok": self.ok,
+            "checks": list(self.checks),
+            "violations": [
+                {"oracle": v.oracle, "detail": v.detail}
+                for v in self.violations
+            ],
+            "repro": self.repro_command,
+            "spec": self.spec,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate of a ``repro validate`` run."""
+
+    seed: int
+    cases: List[CaseReport] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[CaseReport]:
+        return [case for case in self.cases if not case.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "n_cases": len(self.cases),
+            "n_failures": len(self.failures),
+            "ok": self.ok,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+
+# --------------------------------------------------------------------------
+# Engine-path execution
+# --------------------------------------------------------------------------
+
+def _run_engine_scenario(spec: ScenarioSpec):
+    """Build and run the spec on a fresh traced engine.
+
+    Returns ``(run, engine, injector, sim, cancelled_ids)``; stranded
+    flows (every ECMP path dead) are cancelled and recorded rather
+    than raised, so fault schedules that sever a flow are data, not
+    crashes.
+    """
+    topology = build_topology(spec)
+    sim = TracingSimulator()
+    fabric = Fabric(topology)
+    engine = FabricEngine(fabric, sim=sim)
+    cancelled: List[int] = []
+
+    def _cancel_stranded(flow, exc) -> None:
+        cancelled.append(flow.flow_id)
+        engine.cancel(flow.flow_id)
+
+    engine.on_stranded(_cancel_stranded)
+    injector = FailureInjector(engine, dampening_s=spec.dampening_s)
+    flows = build_flows(spec)
+    for flow in flows:
+        engine.submit(flow, start_time_s=flow.start_time_s)
+    for fault in spec.faults:
+        if fault.kind == "degrade":
+            injector.degrade_link(fault.link_id, factor=fault.factor,
+                                  at=fault.at_s)
+        elif fault.kind == "flap":
+            injector.flap_link(fault.link_id, at=fault.at_s,
+                               down_s=fault.down_s)
+        else:
+            injector.kill_link(fault.link_id, at=fault.at_s)
+    run = engine.run()
+    return run, engine, injector, sim, cancelled, flows
+
+
+def _engine_fingerprint(spec: ScenarioSpec) -> Dict[str, Any]:
+    """A comparable summary for the bit-identical-replay oracle."""
+    run, engine, injector, _, cancelled, _ = _run_engine_scenario(spec)
+    return {
+        "finish": dict(run.finish_times_s),
+        "cancelled": sorted(cancelled),
+        "reroutes": dict(engine.reroutes),
+        "log": [(event.at_s, event.action, event.target)
+                for event in injector.log],
+    }
+
+
+# --------------------------------------------------------------------------
+# Per-profile batteries
+# --------------------------------------------------------------------------
+
+def _check_batch(spec: ScenarioSpec, fast: bool) -> (List[str],
+                                                     List[Violation]):
+    checks = ["solver-oracles", "engine-vs-batch", "byte-conservation",
+              "rate-scaling", "idle-job-noop", "unused-link-noop",
+              "bit-identical-replay"]
+    violations: List[Violation] = []
+    topology = build_topology(spec)
+    fabric = Fabric(topology)
+    flows = build_flows(spec)
+    paths = fabric.resolve_paths(flows)
+    violations += check_solution(fabric, flows, paths)
+    violations += check_engine_vs_batch(fabric, flows, paths)
+    run = fabric.complete(flows, paths=paths)
+    violations += replay_conservation(
+        fabric, flows, run.finish_times_s, paths, check_epochs=False)
+    violations += check_rate_scaling(spec)
+    violations += check_idle_job_noop(spec)
+    violations += check_unused_link_noop(spec)
+    violations += check_same_result(
+        lambda: _batch_fingerprint(spec), label=f"case {spec.index}")
+    return checks, violations
+
+
+def _batch_fingerprint(spec: ScenarioSpec) -> Dict[int, float]:
+    topology = build_topology(spec)
+    fabric = Fabric(topology)
+    flows = build_flows(spec)
+    return dict(fabric.complete(flows).finish_times_s)
+
+
+def _check_timed(spec: ScenarioSpec, fast: bool) -> (List[str],
+                                                     List[Violation]):
+    checks = ["clock-monotonic", "byte-conservation",
+              "per-epoch-solver-oracles", "bit-identical-replay"]
+    violations: List[Violation] = []
+    run, _, _, sim, _, flows = _run_engine_scenario(spec)
+    violations += check_clock_monotonic(sim.trace)
+    capacity_events = [(fault.at_s, fault.link_id, fault.factor)
+                       for fault in spec.faults
+                       if fault.kind == "degrade"]
+    replay_fabric = Fabric(build_topology(spec))
+    violations += replay_conservation(
+        replay_fabric, flows, run.finish_times_s, run.paths,
+        capacity_events=capacity_events)
+    violations += check_same_result(
+        lambda: _engine_fingerprint(spec), label=f"case {spec.index}")
+    return checks, violations
+
+
+def _check_faulted(spec: ScenarioSpec, fast: bool) -> (List[str],
+                                                       List[Violation]):
+    checks = ["clock-monotonic", "flow-accounting", "reroute-bounds",
+              "bit-identical-replay"]
+    violations: List[Violation] = []
+    run, engine, injector, sim, cancelled, flows = \
+        _run_engine_scenario(spec)
+    violations += check_clock_monotonic(sim.trace)
+    for flow in flows:
+        finished = flow.flow_id in run.finish_times_s
+        if not finished and flow.flow_id not in cancelled:
+            violations.append(Violation(
+                "flow-accounting",
+                f"flow {flow.flow_id} neither finished nor was "
+                "cancelled as stranded"))
+        if finished and run.finish_times_s[flow.flow_id] \
+                < flow.start_time_s:
+            violations.append(Violation(
+                "flow-accounting",
+                f"flow {flow.flow_id} finished at "
+                f"{run.finish_times_s[flow.flow_id]!r} before its "
+                f"start {flow.start_time_s!r}"))
+    # Failover discipline from the resilience layer: at most one
+    # reroute per flow per topology-change event.
+    n_changes = len([e for e in injector.log
+                     if e.action in ("kill-link", "restore-link",
+                                     "kill-device", "repair-device")])
+    for fid, count in engine.reroutes.items():
+        if count > max(n_changes, 1):
+            violations.append(Violation(
+                "reroute-bounds",
+                f"flow {fid} rerouted {count}x across only "
+                f"{n_changes} topology changes"))
+    violations += check_same_result(
+        lambda: _engine_fingerprint(spec), label=f"case {spec.index}")
+    return checks, violations
+
+
+def _check_collective(spec: ScenarioSpec, fast: bool) -> (List[str],
+                                                          List[Violation]):
+    checks = ["flow-vs-analytic", "rs-ag-composition",
+              "solver-oracles", "fluid-vs-packet",
+              "bit-identical-replay"]
+    violations: List[Violation] = []
+    conf = spec.collective or {}
+    hosts = conf["hosts"]
+    rail = conf["rail"]
+    size_bits = conf["size_bits"]
+    fabric = Fabric(build_topology(spec))
+    violations += check_ring_vs_analytic(fabric, hosts, rail, size_bits)
+    violations += check_rs_ag_composition(fabric, hosts, rail,
+                                          size_bits)
+    from ..network.collectives import Endpoint, ring_allreduce_flows
+    from ..network.flows import reset_flow_ids
+    reset_flow_ids()
+    ring = ring_allreduce_flows(
+        [Endpoint(host, rail) for host in hosts], size_bits)
+    violations += check_solution(fabric, ring)
+    # Differential congestion check on the busiest port of the run.
+    reset_flow_ids()
+    run = fabric.complete(ring_allreduce_flows(
+        [Endpoint(host, rail) for host in hosts], size_bits))
+    if run.link_loads and not fast:
+        busiest = max(run.link_loads.values(),
+                      key=lambda load: load.utilization)
+        violations += check_fluid_vs_packet(
+            busiest.capacity_gbps, busiest.offered_gbps,
+            seed=spec.seed)
+    violations += check_same_result(
+        lambda: _collective_fingerprint(spec),
+        label=f"case {spec.index}")
+    return checks, violations
+
+
+def _collective_fingerprint(spec: ScenarioSpec) -> Dict[int, float]:
+    from ..network.collectives import Endpoint, ring_allreduce_flows
+    from ..network.flows import reset_flow_ids
+    conf = spec.collective or {}
+    fabric = Fabric(build_topology(spec))
+    reset_flow_ids()
+    flows = ring_allreduce_flows(
+        [Endpoint(host, conf["rail"]) for host in conf["hosts"]],
+        conf["size_bits"])
+    return dict(fabric.complete(flows).finish_times_s)
+
+
+_BATTERIES: Dict[str, Callable] = {
+    "batch": _check_batch,
+    "timed": _check_timed,
+    "degrade": _check_timed,   # replay folds the degrade schedule in
+    "faulted": _check_faulted,
+    "collective": _check_collective,
+}
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
+
+def run_case(seed: int, index: int, fast: bool = False) -> CaseReport:
+    """Regenerate and validate one scenario."""
+    spec = ScenarioGenerator(seed).spec(index)
+    report = CaseReport(seed=seed, index=index, family=spec.family,
+                        profile=spec.profile, spec=spec.to_dict())
+    battery = _BATTERIES[spec.profile]
+    try:
+        report.checks, report.violations = battery(spec, fast)
+    except Exception as exc:  # noqa: BLE001 — a crash is a finding
+        trace = traceback.format_exc(limit=4)
+        report.violations = [Violation(
+            "no-crash", f"{type(exc).__name__}: {exc}\n{trace}")]
+    return report
+
+
+def run_campaign(seed: int, n_cases: int,
+                 indices: Optional[Sequence[int]] = None,
+                 fast: bool = False,
+                 progress: Optional[Callable[[CaseReport], None]] = None
+                 ) -> CampaignReport:
+    """Validate ``n_cases`` scenarios (or an explicit index list)."""
+    report = CampaignReport(seed=seed)
+    for index in (indices if indices is not None else range(n_cases)):
+        case = run_case(seed, index, fast=fast)
+        report.cases.append(case)
+        if progress is not None:
+            progress(case)
+    return report

@@ -1,0 +1,316 @@
+"""Seeded random-but-valid scenario sampling for the fuzz campaign.
+
+A scenario is a JSON-serialisable :class:`ScenarioSpec`: a topology
+family with sampled dimensions (Astral plus the baseline variants,
+varying pod counts and oversubscription), a workload (simultaneous
+batches, cluster-trace-staggered multijob mixes, or a collective), and
+a fault schedule (capacity degrades, link kills, flaps).  Every case is
+derived from ``random.Random(f"validation:{seed}:{index}")`` — string
+seeding keeps draws independent of ``PYTHONHASHSEED`` and of each
+other, so ``repro validate --seed S --case I`` reproduces exactly one
+case with no shared state.
+
+Flow ids are not stored in the spec: rebuilding the flows in spec
+order after :func:`~repro.network.flows.reset_flow_ids` reassigns the
+same ids (and therefore the same ECMP source ports and paths), which
+is what makes a spec self-contained.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..cluster.workload import WorkloadGenerator
+from ..network.flows import Flow, make_flow, reset_flow_ids
+from ..topology import (
+    AstralParams,
+    ClosParams,
+    build_astral,
+    build_clos,
+    build_full_interconnect_tier2,
+    build_rail_only,
+)
+from ..topology.elements import Topology
+
+__all__ = [
+    "FAMILIES",
+    "PROFILES",
+    "FaultAction",
+    "FlowSpec",
+    "ScenarioGenerator",
+    "ScenarioSpec",
+    "build_flows",
+    "build_topology",
+]
+
+#: Topology families the generator samples from.
+FAMILIES = ("astral", "astral_oversub", "clos", "tier2_full",
+            "rail_only")
+
+#: Workload/fault profiles, cycled by case index so a fixed-size
+#: campaign always covers all of them.
+PROFILES = ("batch", "timed", "degrade", "faulted", "collective")
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow, by endpoint names (ids are assigned at build time)."""
+
+    src: str
+    dst: str
+    rail: int
+    size_bits: float
+    start_s: float = 0.0
+    job: str = ""
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault on a link.
+
+    ``kind`` is ``degrade`` (capacity scaled by ``factor``), ``kill``
+    (permanent), or ``flap`` (down, then asks to return after
+    ``down_s``; the injector's hold-down defers the return).
+    """
+
+    kind: str
+    link_id: int
+    at_s: float
+    factor: float = 1.0
+    down_s: float = 0.0
+
+
+@dataclass
+class ScenarioSpec:
+    """A self-contained, JSON-round-trippable validation case."""
+
+    seed: int
+    index: int
+    family: str
+    profile: str
+    topo: Dict[str, Any]
+    flows: List[FlowSpec] = field(default_factory=list)
+    faults: List[FaultAction] = field(default_factory=list)
+    #: injector hold-down window, scaled to the scenario's timescale.
+    dampening_s: float = 1.0
+    #: collective profile only: {kind, hosts, rail, size_bits}.
+    collective: Optional[Dict[str, Any]] = None
+
+    @property
+    def repro_command(self) -> str:
+        return f"repro validate --seed {self.seed} --case {self.index}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "index": self.index,
+            "family": self.family,
+            "profile": self.profile,
+            "topo": dict(self.topo),
+            "flows": [asdict(flow) for flow in self.flows],
+            "faults": [asdict(fault) for fault in self.faults],
+            "dampening_s": self.dampening_s,
+            "collective": dict(self.collective)
+            if self.collective else None,
+            "repro": self.repro_command,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        return cls(
+            seed=data["seed"],
+            index=data["index"],
+            family=data["family"],
+            profile=data["profile"],
+            topo=dict(data["topo"]),
+            flows=[FlowSpec(**flow) for flow in data["flows"]],
+            faults=[FaultAction(**fault) for fault in data["faults"]],
+            dampening_s=data.get("dampening_s", 1.0),
+            collective=dict(data["collective"])
+            if data.get("collective") else None,
+        )
+
+
+def build_topology(spec: ScenarioSpec) -> Topology:
+    """Instantiate the spec's topology (deterministic link ids)."""
+    if spec.family == "clos":
+        return build_clos(ClosParams(**spec.topo))
+    params = AstralParams(**spec.topo)
+    if spec.family == "tier2_full":
+        return build_full_interconnect_tier2(params)
+    if spec.family == "rail_only":
+        return build_rail_only(params)
+    return build_astral(params)
+
+
+def build_flows(spec: ScenarioSpec) -> List[Flow]:
+    """Rebuild the spec's flows with freshly-reset (stable) ids."""
+    reset_flow_ids()
+    flows = []
+    for flow_spec in spec.flows:
+        flow = make_flow(flow_spec.src, flow_spec.dst, flow_spec.rail,
+                         flow_spec.size_bits, job=flow_spec.job)
+        flow.start_time_s = flow_spec.start_s
+        flows.append(flow)
+    return flows
+
+
+class ScenarioGenerator:
+    """Derive :class:`ScenarioSpec` cases from one campaign seed."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    # -- sampling helpers --------------------------------------------------
+    def _sample_topo(self, rng: random.Random, family: str
+                     ) -> Dict[str, Any]:
+        if family == "clos":
+            params = rng.choice([ClosParams.tiny(), ClosParams.small()])
+            return asdict(params)
+        params = AstralParams(
+            pods=rng.choice([1, 2]),
+            blocks_per_pod=rng.choice([1, 2]),
+            hosts_per_block=rng.choice([2, 4]),
+            gpus_per_host=rng.choice([1, 2]),
+            nic_ports=2,
+            aggs_per_group=rng.choice([2, 4]),
+            cores_per_group=2,
+            tier3_oversubscription=rng.choice([1.5, 2.0])
+            if family == "astral_oversub" else 1.0,
+        )
+        return asdict(params)
+
+    def _sample_flows(self, rng: random.Random, spec: ScenarioSpec
+                      ) -> List[FlowSpec]:
+        topo = build_topology(spec)
+        hosts = sorted(host.name for host in topo.hosts())
+        rails = spec.topo["gpus_per_host"]
+        if spec.family == "rail_only":
+            # No Core tier: cross-pod destinations are unreachable.
+            pod = rng.choice(sorted({h.split(".")[0] for h in hosts}))
+            hosts = [h for h in hosts if h.startswith(pod + ".")]
+        n_flows = rng.randint(2, min(12, len(hosts) * 2))
+        flow_specs = []
+        for index in range(n_flows):
+            src, dst = rng.sample(hosts, 2)
+            size = 10 ** rng.uniform(8.0, 11.0)
+            flow_specs.append(FlowSpec(
+                src=src, dst=dst, rail=rng.randrange(rails),
+                size_bits=size, job=f"job{index % 3}"))
+        return flow_specs
+
+    def _stagger_starts(self, rng: random.Random,
+                        flow_specs: List[FlowSpec]) -> List[FlowSpec]:
+        """Give flows cluster-trace arrival structure.
+
+        Job arrival times come from the cluster layer's seeded
+        :class:`WorkloadGenerator` (an exponential interarrival
+        process), rescaled onto the transfer timescale so the stagger
+        overlaps the transfers instead of serialising them.
+        """
+        trace = WorkloadGenerator(
+            seed=rng.randrange(2 ** 31)).generate(len(flow_specs))
+        max_submit = max(job.submit_s for job in trace) or 1.0
+        line_bps = 200e9
+        horizon = 0.5 * sum(f.size_bits for f in flow_specs) \
+            / line_bps / max(1, len(flow_specs) // 2)
+        return [
+            FlowSpec(src=f.src, dst=f.dst, rail=f.rail,
+                     size_bits=f.size_bits,
+                     start_s=job.submit_s / max_submit * horizon,
+                     job=f.job)
+            for f, job in zip(flow_specs, trace)
+        ]
+
+    def _path_links(self, spec: ScenarioSpec) -> List[int]:
+        """Link ids actually crossed by the spec's flows."""
+        from ..network.fabric import Fabric
+        topo = build_topology(spec)
+        fabric = Fabric(topo)
+        flows = build_flows(spec)
+        used: List[int] = []
+        for path in fabric.resolve_paths(flows).values():
+            for link_id in path.link_ids:
+                if link_id not in used:
+                    used.append(link_id)
+        return used
+
+    def _est_makespan(self, spec: ScenarioSpec) -> float:
+        line_bps = 200e9
+        total = sum(f.size_bits for f in spec.flows)
+        latest = max((f.start_s for f in spec.flows), default=0.0)
+        return latest + total / line_bps
+
+    def _sample_faults(self, rng: random.Random, spec: ScenarioSpec
+                       ) -> List[FaultAction]:
+        used = self._path_links(spec)
+        if not used:
+            return []
+        horizon = self._est_makespan(spec)
+        faults = []
+        for _ in range(rng.randint(1, 2)):
+            link_id = rng.choice(used)
+            at_s = rng.uniform(0.05, 0.8) * horizon
+            if spec.profile == "degrade":
+                faults.append(FaultAction(
+                    kind="degrade", link_id=link_id, at_s=at_s,
+                    factor=rng.uniform(0.3, 0.9)))
+            else:
+                kind = rng.choice(["kill", "flap"])
+                faults.append(FaultAction(
+                    kind=kind, link_id=link_id, at_s=at_s,
+                    down_s=rng.uniform(0.1, 0.5) * horizon))
+        return sorted(faults, key=lambda fault: fault.at_s)
+
+    def _sample_collective(self, rng: random.Random, spec: ScenarioSpec
+                           ) -> Dict[str, Any]:
+        hosts_per_block = spec.topo["hosts_per_block"]
+        n = rng.randint(3, max(3, hosts_per_block))
+        hosts = [f"p0.b0.h{i}" for i in range(n)]
+        return {
+            "kind": rng.choice(["allreduce", "alltoall"]),
+            "hosts": hosts,
+            "rail": rng.randrange(spec.topo["gpus_per_host"]),
+            "size_bits": 10 ** rng.uniform(9.6, 10.6),
+        }
+
+    # -- public API --------------------------------------------------------
+    def spec(self, index: int) -> ScenarioSpec:
+        """The ``index``-th case of this campaign seed."""
+        rng = random.Random(f"validation:{self.seed}:{index}")
+        profile = PROFILES[index % len(PROFILES)]
+        if profile == "collective":
+            # The collective differentials assume the Astral shape and
+            # a block wide enough to host the ring.
+            family = "astral"
+            topo = self._sample_topo(rng, family)
+            topo["hosts_per_block"] = 4
+            topo["gpus_per_host"] = rng.choice([2, 4])
+            topo["aggs_per_group"] = max(topo["aggs_per_group"],
+                                         topo["gpus_per_host"])
+            topo["cores_per_group"] = topo["aggs_per_group"]
+            spec = ScenarioSpec(seed=self.seed, index=index,
+                                family=family, profile=profile,
+                                topo=topo)
+            spec.collective = self._sample_collective(rng, spec)
+            return spec
+        family = rng.choice(FAMILIES)
+        if profile == "faulted" and family == "rail_only":
+            # Rail-only has no Core detour; a kill strands every flow
+            # on the ToR pair, which tests nothing but the handler.
+            family = "astral"
+        spec = ScenarioSpec(seed=self.seed, index=index, family=family,
+                            profile=profile,
+                            topo=self._sample_topo(rng, family))
+        spec.flows = self._sample_flows(rng, spec)
+        if profile in ("timed", "degrade", "faulted"):
+            spec.flows = self._stagger_starts(rng, spec.flows)
+        if profile in ("degrade", "faulted"):
+            spec.faults = self._sample_faults(rng, spec)
+            spec.dampening_s = 0.2 * self._est_makespan(spec)
+        return spec
+
+    def specs(self, n_cases: int) -> List[ScenarioSpec]:
+        return [self.spec(index) for index in range(n_cases)]

@@ -22,7 +22,7 @@ class TestParser:
         assert set(sub.choices) == {
             "describe", "forecast", "inference", "memory", "pue",
             "sweep", "taxonomy", "overhead", "goodput",
-            "diagnose-demo", "cluster", "resilience",
+            "diagnose-demo", "cluster", "resilience", "validate",
         }
 
 

@@ -1,0 +1,176 @@
+"""Resilience edge cases the fuzz campaign does not systematically hit:
+faults at t=0, faults after completion, double-kills, and restores
+inside the carrier-dampening hold-down window.
+"""
+
+import pytest
+
+from repro.network import Fabric, make_flow, reset_flow_ids
+from repro.network.engine import FabricEngine
+from repro.resilience import FailureInjector
+from repro.simcore import Simulator
+from repro.topology import AstralParams, build_astral
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+def _engine():
+    fabric = Fabric(build_astral(AstralParams.small()))
+    return FabricEngine(fabric, sim=Simulator())
+
+
+def _submit(engine, count=2, size=8e9, start=0.0):
+    hosts = sorted(h.name for h in engine.fabric.topology.hosts())
+    flows = []
+    for index in range(count):
+        flow = make_flow(hosts[index], hosts[-(index + 1)], rail=0,
+                         size_bits=size)
+        engine.submit(flow, start_time_s=start)
+        flows.append(flow)
+    return flows
+
+
+def _access_link(engine, host):
+    return engine.fabric.topology.links_of(host)[0].link_id
+
+
+class TestFaultAtTimeZero:
+    def test_kill_before_any_flow_starts(self):
+        """A link dead at t=0 is simply avoided at path resolution —
+        every flow still completes."""
+        engine = _engine()
+        injector = FailureInjector(engine, dampening_s=0.001)
+        flows = _submit(engine)
+        injector.kill_link(_access_link(engine, flows[0].src_host),
+                           at=0.0)
+        run = engine.run()
+        assert set(run.finish_times_s) == {f.flow_id for f in flows}
+        assert injector.log[0].at_s == 0.0
+        assert injector.log[0].action == "kill-link"
+
+    def test_degrade_at_time_zero(self):
+        engine = _engine()
+        injector = FailureInjector(engine, dampening_s=0.001)
+        flows = _submit(engine, count=1)
+        link_id = _access_link(engine, flows[0].src_host)
+        baseline = _clean_run_time()
+        injector.degrade_link(link_id, factor=0.5, at=0.0)
+        run = engine.run()
+        # Half the access capacity from the start: twice the time.
+        assert run.finish_times_s[flows[0].flow_id] == pytest.approx(
+            2 * baseline, rel=1e-9)
+
+
+def _clean_run_time():
+    reset_flow_ids()
+    engine = _engine()
+    flows = _submit(engine, count=1)
+    run = engine.run()
+    reset_flow_ids()
+    return run.finish_times_s[flows[0].flow_id]
+
+
+class TestFaultAfterCompletion:
+    def test_kill_after_last_finish_changes_nothing(self):
+        reset_flow_ids()
+        engine = _engine()
+        clean = {fid: t for fid, t in
+                 engine_run_with(engine, kill_at=None).items()}
+        reset_flow_ids()
+        engine = _engine()
+        makespan = max(clean.values())
+        faulted = engine_run_with(engine, kill_at=10 * makespan)
+        assert faulted == clean
+
+    def test_late_kill_is_still_logged(self):
+        engine = _engine()
+        injector = FailureInjector(engine, dampening_s=0.001)
+        flows = _submit(engine)
+        link_id = _access_link(engine, flows[0].src_host)
+        injector.kill_link(link_id, at=1e6)
+        engine.run()
+        assert [(e.action, e.at_s) for e in injector.log] == \
+            [("kill-link", 1e6)]
+        assert not engine.fabric.topology.links[link_id].healthy
+
+
+def engine_run_with(engine, kill_at):
+    injector = FailureInjector(engine, dampening_s=0.001)
+    flows = _submit(engine)
+    if kill_at is not None:
+        injector.kill_link(_access_link(engine, flows[0].src_host),
+                           at=kill_at)
+    return dict(engine.run().finish_times_s)
+
+
+class TestDoubleKill:
+    def test_second_kill_is_a_silent_noop(self):
+        engine = _engine()
+        injector = FailureInjector(engine, dampening_s=0.001)
+        flows = _submit(engine)
+        link_id = _access_link(engine, flows[0].src_host)
+        injector.kill_link(link_id, at=0.0)
+        injector.kill_link(link_id, at=0.0)
+        run = engine.run()
+        # One log entry, not two: the dead link cannot die again.
+        kills = [e for e in injector.log if e.action == "kill-link"]
+        assert len(kills) == 1
+        assert set(run.finish_times_s) == {f.flow_id for f in flows}
+
+    def test_kill_then_restore_then_kill_again(self):
+        engine = _engine()
+        injector = FailureInjector(engine, dampening_s=0.0)
+        flows = _submit(engine, size=64e9)
+        link_id = _access_link(engine, flows[0].src_host)
+        injector.kill_link(link_id, at=0.01)
+        injector.restore_link(link_id, at=0.02)
+        injector.kill_link(link_id, at=0.03)
+        engine.run()
+        assert [e.action for e in injector.log] == \
+            ["kill-link", "restore-link", "kill-link"]
+        assert not engine.fabric.topology.links[link_id].healthy
+
+
+class TestRestoreDuringHoldDown:
+    def test_restore_deferred_to_window_end(self):
+        """A restore requested inside the dampening window lands
+        exactly when the window expires, not when requested."""
+        engine = _engine()
+        dampening = 0.5
+        injector = FailureInjector(engine, dampening_s=dampening)
+        flows = _submit(engine, size=512e9)
+        link_id = _access_link(engine, flows[0].src_host)
+        kill_at = 0.01
+        injector.kill_link(link_id, at=kill_at)
+        injector.restore_link(link_id, at=kill_at + 0.05)
+        engine.run()
+        events = {e.action: e.at_s for e in injector.log}
+        assert events["kill-link"] == kill_at
+        assert events["restore-link"] == pytest.approx(
+            kill_at + dampening)
+        assert engine.fabric.topology.links[link_id].healthy
+
+    def test_flap_honours_hold_down(self):
+        engine = _engine()
+        dampening = 0.2
+        injector = FailureInjector(engine, dampening_s=dampening)
+        flows = _submit(engine, size=512e9)
+        link_id = _access_link(engine, flows[0].src_host)
+        injector.flap_link(link_id, at=0.01, down_s=0.02)
+        engine.run()
+        events = {e.action: e.at_s for e in injector.log}
+        assert events["restore-link"] >= 0.01 + dampening - 1e-12
+
+    def test_restore_after_window_is_immediate(self):
+        engine = _engine()
+        injector = FailureInjector(engine, dampening_s=0.05)
+        flows = _submit(engine, size=512e9)
+        link_id = _access_link(engine, flows[0].src_host)
+        injector.kill_link(link_id, at=0.01)
+        injector.restore_link(link_id, at=0.2)
+        engine.run()
+        events = {e.action: e.at_s for e in injector.log}
+        assert events["restore-link"] == 0.2

@@ -1,0 +1,115 @@
+"""The seeded fuzz campaign: generator determinism, spec round-trip,
+oracle coverage, and failure reporting."""
+
+import pytest
+
+from repro.network import reset_flow_ids
+from repro.validation import (
+    PROFILES,
+    ScenarioGenerator,
+    ScenarioSpec,
+    build_flows,
+    build_topology,
+    run_campaign,
+    run_case,
+)
+from repro.validation import runner as runner_module
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+class TestScenarioGenerator:
+    def test_same_seed_same_specs(self):
+        first = ScenarioGenerator(5).specs(8)
+        second = ScenarioGenerator(5).specs(8)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        assert ScenarioGenerator(5).spec(0) != ScenarioGenerator(6).spec(0)
+
+    def test_profiles_cycle(self):
+        specs = ScenarioGenerator(1).specs(len(PROFILES))
+        assert tuple(spec.profile for spec in specs) == PROFILES
+
+    def test_spec_json_round_trip(self):
+        for index in range(len(PROFILES)):
+            spec = ScenarioGenerator(9).spec(index)
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_repro_command_names_seed_and_case(self):
+        spec = ScenarioGenerator(13).spec(4)
+        assert spec.repro_command == "repro validate --seed 13 --case 4"
+
+    def test_specs_build_and_route(self):
+        """Every sampled scenario is valid: topology builds, flows
+        resolve paths (reachability holds per family)."""
+        from repro.network import Fabric
+        for index in range(10):
+            spec = ScenarioGenerator(3).spec(index)
+            topology = build_topology(spec)
+            if spec.profile == "collective":
+                assert spec.collective is not None
+                continue
+            fabric = Fabric(topology)
+            flows = build_flows(spec)
+            paths = fabric.resolve_paths(flows)
+            assert len(paths) == len(flows)
+
+    def test_flow_ids_stable_across_rebuilds(self):
+        spec = ScenarioGenerator(3).spec(1)
+        first = [flow.flow_id for flow in build_flows(spec)]
+        second = [flow.flow_id for flow in build_flows(spec)]
+        assert first == second
+
+
+class TestCampaign:
+    def test_smoke_campaign_all_green(self):
+        report = run_campaign(seed=7, n_cases=10, fast=True)
+        assert report.ok, [str(v) for case in report.failures
+                           for v in case.violations]
+        assert {case.profile for case in report.cases} == set(PROFILES)
+
+    def test_case_report_serialises(self):
+        case = run_case(seed=7, index=0, fast=True)
+        data = case.to_dict()
+        assert data["ok"] is True
+        assert data["repro"] == "repro validate --seed 7 --case 0"
+        assert data["spec"]["profile"] == "batch"
+
+    def test_crash_becomes_finding_with_repro(self, monkeypatch):
+        def boom(spec, fast):
+            raise RuntimeError("synthetic crash")
+
+        monkeypatch.setitem(runner_module._BATTERIES, "batch", boom)
+        case = run_case(seed=7, index=0)
+        assert not case.ok
+        assert case.violations[0].oracle == "no-crash"
+        assert "synthetic crash" in case.violations[0].detail
+        assert case.repro_command == "repro validate --seed 7 --case 0"
+
+    def test_explicit_indices(self):
+        report = run_campaign(seed=7, n_cases=0, indices=[3, 8],
+                              fast=True)
+        assert [case.index for case in report.cases] == [3, 8]
+
+    def test_campaign_report_counts(self):
+        report = run_campaign(seed=7, n_cases=5, fast=True)
+        data = report.to_dict()
+        assert data["n_cases"] == 5
+        assert data["n_failures"] == 0
+        assert data["ok"] is True
+
+
+@pytest.mark.slow
+class TestFuzzSweep:
+    """The long sweeps CI runs nightly; excluded from tier-1."""
+
+    @pytest.mark.parametrize("seed", [7, 11, 23])
+    def test_fifty_cases_per_seed(self, seed):
+        report = run_campaign(seed=seed, n_cases=50)
+        assert report.ok, [
+            (case.index, str(v))
+            for case in report.failures for v in case.violations]

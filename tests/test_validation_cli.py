@@ -1,0 +1,69 @@
+"""``repro validate`` CLI: exit codes, JSON artifact, repro commands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.network import reset_flow_ids
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+class TestValidateCommand:
+    def test_green_campaign_exits_zero(self, capsys):
+        assert main(["validate", "--seed", "7", "--cases", "5",
+                     "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "5 cases, 0 failing" in out
+
+    def test_single_case_reproduction(self, capsys):
+        assert main(["validate", "--seed", "7", "--case", "3",
+                     "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "case   3" in out
+        assert "1 cases, 0 failing" in out
+
+    def test_json_artifact_written(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["validate", "--seed", "7", "--cases", "3",
+                     "--fast", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["seed"] == 7
+        assert data["n_cases"] == 3
+        assert data["ok"] is True
+        # Every case embeds its self-contained spec + repro command.
+        assert all("spec" in case and "repro" in case
+                   for case in data["cases"])
+
+    def test_failures_print_repro_and_exit_nonzero(self, monkeypatch,
+                                                   capsys):
+        import repro.validation as validation
+        from repro.validation import CampaignReport, CaseReport
+        from repro.validation.oracles import Violation
+
+        failing = CaseReport(
+            seed=9, index=4, family="astral", profile="batch",
+            checks=["solver-oracles"],
+            violations=[Violation("rate-feasibility", "link 3 over")])
+
+        def fake_campaign(seed, cases, indices=None, fast=False,
+                          progress=None):
+            report = CampaignReport(seed=seed, cases=[failing])
+            if progress:
+                progress(failing)
+            return report
+
+        monkeypatch.setattr(validation, "run_campaign", fake_campaign)
+        assert main(["validate", "--seed", "9", "--cases", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "[rate-feasibility] link 3 over" in out
+        assert "repro validate --seed 9 --case 4" in out
+
+    def test_help_lists_validate(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "validate" in capsys.readouterr().out
