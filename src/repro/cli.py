@@ -16,7 +16,11 @@ Commands map to the library's main entry points:
 * ``resilience`` — seeded failure-injection campaign through the
   detect → localize → cordon → requeue → repair loop;
 * ``validate`` — fuzz the simulator stack against the invariant,
-  differential, and metamorphic oracles (``repro.validation``).
+  differential, and metamorphic oracles (``repro.validation``),
+  optionally fanned out across farm workers with result caching;
+* ``farm`` — run an arbitrary task-spec file (explicit tasks and/or
+  parameter-grid sweeps) on the parallel experiment farm
+  (``repro.farm``).
 """
 
 from __future__ import annotations
@@ -174,6 +178,32 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--fast", action="store_true",
                           help="skip the packet-granular differential "
                                "(CI smoke budget)")
+    validate.add_argument("--workers", type=int, default=1,
+                          help="fan cases out across N worker "
+                               "processes (bit-identical to serial)")
+    validate.add_argument("--cache-dir", metavar="PATH", default=None,
+                          help="serve unchanged cases from the farm's "
+                               "content-addressed result cache at PATH")
+
+    farm = sub.add_parser(
+        "farm",
+        help="run a task-spec file on the parallel experiment farm")
+    farm.add_argument("specfile",
+                      help="JSON document with 'tasks' and/or 'sweep' "
+                           "entries (see repro.farm.specs_from_document)")
+    farm.add_argument("--workers", type=int, default=1)
+    farm.add_argument("--no-cache", action="store_true",
+                      help="recompute every task (results still warm "
+                           "the cache for later runs)")
+    farm.add_argument("--cache-dir", metavar="PATH", default=None,
+                      help="cache location (default ~/.cache/repro-farm "
+                           "or $REPRO_FARM_CACHE)")
+    farm.add_argument("--timeout", type=float, default=None,
+                      help="per-task wall-clock budget in seconds")
+    farm.add_argument("--retries", type=int, default=1,
+                      help="retry budget for tasks whose worker dies")
+    farm.add_argument("--json", metavar="PATH", default=None,
+                      help="write the full farm report to PATH")
 
     return parser
 
@@ -363,33 +393,18 @@ def _cmd_cluster(args) -> int:
 
 def _cmd_resilience(args) -> int:
     import json
-    import random
 
-    from repro.monitoring import FaultSpec, Manifestation, RootCause
-    from repro.resilience import ResilienceCampaign
-    from repro.topology import AstralParams, build_astral
-    from repro.topology.elements import DeviceKind
+    from repro.resilience import ResilienceCampaign, default_tor_faults
+    from repro.topology import AstralParams
 
     params = {
         "tiny": AstralParams.tiny,
         "small": AstralParams.small,
         "cluster": AstralParams.cluster,
     }[args.scale]()
-    tors = sorted(s.name for s in build_astral(params).switches(
-        DeviceKind.TOR))
-    # Contiguous placement fills the lowest block first, so faults on
-    # p0.b0 ToRs are the ones that hit the first job's blast radius.
-    in_first_block = [name for name in tors
-                      if name.startswith("p0.b0.")]
-    tors = in_first_block or tors
-    rng = random.Random(f"resilience-cli:{args.seed}")
-    faults = [
-        FaultSpec(cause=RootCause.SWITCH_BUG,
-                  manifestation=Manifestation.FAIL_STOP,
-                  target=rng.choice(tors),
-                  at_time_s=args.fault_at + index * 1800.0)
-        for index in range(args.faults)
-    ]
+    faults = default_tor_faults(params, seed=args.seed,
+                                n_faults=args.faults,
+                                first_at_s=args.fault_at)
     campaign = ResilienceCampaign(
         params=params, faults=faults, n_jobs=args.jobs,
         hosts_per_job=args.hosts_per_job,
@@ -432,6 +447,7 @@ def _cmd_resilience(args) -> int:
 
 def _cmd_validate(args) -> int:
     import json
+    import time
 
     from repro.validation import run_campaign
 
@@ -439,23 +455,84 @@ def _cmd_validate(args) -> int:
         verdict = "ok" if case.ok else "FAIL"
         print(f"  case {case.index:>3} "
               f"[{case.profile}/{case.family}] {verdict} "
-              f"({len(case.checks)} checks)")
+              f"({len(case.checks)} checks, {case.elapsed_s:6.2f}s)")
 
     indices = [args.case] if args.case is not None else None
+    started = time.perf_counter()
     report = run_campaign(args.seed, args.cases, indices=indices,
-                          fast=args.fast, progress=_progress)
+                          fast=args.fast, progress=_progress,
+                          workers=args.workers,
+                          use_cache=args.cache_dir is not None,
+                          cache_dir=args.cache_dir)
+    wall_s = time.perf_counter() - started
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2)
         print(f"report written to {args.json}")
     print(f"seed {report.seed}: {len(report.cases)} cases, "
           f"{len(report.failures)} failing")
+    rate = len(report.cases) / wall_s if wall_s > 0 else 0.0
+    print(f"wall {wall_s:.2f}s ({rate:.2f} cases/s, "
+          f"case-time sum {report.total_elapsed_s:.2f}s, "
+          f"workers {args.workers})")
+    if report.farm is not None:
+        stats = report.farm.cache_stats or {}
+        print(f"cache: {stats.get('hits', 0)} hits, "
+              f"{stats.get('misses', 0)} misses; "
+              f"{report.farm.n_executed} simulated, "
+              f"{report.farm.n_cached} from cache")
     for case in report.failures:
         print(f"FAIL case {case.index} [{case.profile}/{case.family}]")
         for violation in case.violations:
             print(f"  {violation}")
         print(f"  reproduce with: {case.repro_command}")
     return 1 if report.failures else 0
+
+
+def _cmd_farm(args) -> int:
+    import json
+
+    from repro.farm import (FarmExecutor, ResultCache,
+                            specs_from_document)
+
+    with open(args.specfile, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    specs = specs_from_document(document)
+
+    def _progress(result, done, total) -> None:
+        tag = "cache" if result.cached else \
+            f"{result.elapsed_s:6.2f}s"
+        verdict = "ok" if result.ok else result.status.upper()
+        print(f"  [{done:>3}/{total}] {result.spec.describe():<48} "
+              f"{verdict:<8} ({tag})")
+
+    cache = ResultCache(root=args.cache_dir) if args.cache_dir \
+        else ResultCache()
+    executor = FarmExecutor(
+        workers=args.workers, use_cache=not args.no_cache,
+        cache=cache, timeout_s=args.timeout,
+        max_retries=args.retries, progress=_progress)
+    report = executor.run(specs)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.json}")
+    stats = report.cache_stats or {}
+    print(f"{len(report.results)} tasks: {report.n_ok} ok, "
+          f"{len(report.failures)} failed; "
+          f"{report.n_cached} from cache, "
+          f"{report.n_executed} executed")
+    print(f"wall {report.wall_s:.2f}s "
+          f"({report.throughput:.2f} tasks/s, "
+          f"workers {report.workers}); "
+          f"cache {stats.get('hits', 0)} hits / "
+          f"{stats.get('misses', 0)} misses")
+    for result in report.failures:
+        print(f"FAILED {result.spec.describe()} "
+              f"[{result.status}] {result.error.splitlines()[0]}"
+              if result.error else
+              f"FAILED {result.spec.describe()} [{result.status}]")
+    return 0 if report.ok else 1
 
 
 _HANDLERS = {
@@ -472,6 +549,7 @@ _HANDLERS = {
     "cluster": _cmd_cluster,
     "resilience": _cmd_resilience,
     "validate": _cmd_validate,
+    "farm": _cmd_farm,
 }
 
 

@@ -1,0 +1,58 @@
+"""repro.farm — parallel experiment execution with result caching.
+
+The farm turns every runnable unit in the repo — a validation fuzz
+case, a resilience campaign, a monitoring campaign, a cluster-sweep
+point, a Seer forecast, a figure benchmark — into a content-addressed
+:class:`TaskSpec`, and executes batches of them on a process pool with
+per-task crash isolation, timeouts, bounded retry, and an on-disk
+result cache keyed by spec hash + code fingerprint.  Parallel
+execution is bit-identical to serial; warm reruns of unchanged
+scenarios skip simulation entirely.
+
+Quick use::
+
+    from repro.farm import FarmExecutor, grid_specs
+
+    specs = grid_specs("cluster-sweep",
+                       base={"scale": "small", "jobs": 20},
+                       grid={"policy": ["fifo", "topology"]},
+                       seeds=[0, 1, 2])
+    report = FarmExecutor(workers=4).run(specs)
+    assert report.ok
+
+or from the shell: ``repro farm sweep.json --workers 4`` and
+``repro validate --workers 4``.
+"""
+
+from .cache import (CacheStats, ResultCache, code_fingerprint,
+                    default_cache_dir)
+from .executor import (FarmExecutor, FarmReport, FarmTaskTimeout,
+                       TaskResult)
+from .spec import (TaskSpec, UnknownTaskKind, canonical_json,
+                   dedupe_specs, execute_spec, register_task,
+                   specs_from_document, task_kind, task_kinds)
+from .sweep import SweepResult, grid_specs, run_sweep, seed_specs
+
+__all__ = [
+    "CacheStats",
+    "FarmExecutor",
+    "FarmReport",
+    "FarmTaskTimeout",
+    "ResultCache",
+    "SweepResult",
+    "TaskResult",
+    "TaskSpec",
+    "UnknownTaskKind",
+    "canonical_json",
+    "code_fingerprint",
+    "dedupe_specs",
+    "default_cache_dir",
+    "execute_spec",
+    "grid_specs",
+    "register_task",
+    "run_sweep",
+    "seed_specs",
+    "specs_from_document",
+    "task_kind",
+    "task_kinds",
+]

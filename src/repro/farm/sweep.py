@@ -1,0 +1,131 @@
+"""Sweep fan-out: parameter grids and seed matrices over task kinds.
+
+:func:`grid_specs` expands a base param dict with a cartesian grid
+(and/or a seed list) into :class:`~repro.farm.spec.TaskSpec` rows in a
+deterministic order — grid keys sorted, values in declaration order —
+so the same sweep document always produces the same spec list and
+therefore the same cache keys.
+
+:func:`run_sweep` pushes the rows through a
+:class:`~repro.farm.executor.FarmExecutor` and wraps the report in a
+:class:`SweepResult`, which re-attaches each result to the grid point
+that produced it and offers typed extraction (``column``/``table``)
+for plotting or asserting over the swept axis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import (Any, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+from .executor import FarmExecutor, FarmReport, TaskResult
+from .spec import TaskSpec
+
+__all__ = ["SweepResult", "grid_specs", "run_sweep", "seed_specs"]
+
+
+def grid_specs(kind: str, base: Optional[Mapping[str, Any]] = None,
+               grid: Optional[Mapping[str, Sequence[Any]]] = None,
+               seeds: Optional[Iterable[int]] = None,
+               seed_key: str = "seed") -> List[TaskSpec]:
+    """Expand ``base`` x ``grid`` x ``seeds`` into one spec per cell.
+
+    ``grid`` maps param names to candidate values; ``seeds`` is
+    shorthand for one more axis on ``seed_key``.  A grid value
+    overrides the base value for its cell; an empty/absent grid with
+    no seeds yields exactly one spec (the base).
+    """
+    base = dict(base or {})
+    axes: List[Tuple[str, List[Any]]] = [
+        (key, list(values)) for key, values in sorted(
+            (grid or {}).items())
+    ]
+    if seeds is not None:
+        if any(key == seed_key for key, _ in axes):
+            raise ValueError(
+                f"{seed_key!r} appears in both grid= and seeds=")
+        axes.append((seed_key, [int(seed) for seed in seeds]))
+        axes.sort(key=lambda axis: axis[0])
+    if not axes:
+        return [TaskSpec(kind=kind, params=base)]
+    specs = []
+    names = [name for name, _ in axes]
+    for cell in itertools.product(*(values for _, values in axes)):
+        params = dict(base)
+        params.update(zip(names, cell))
+        label = ",".join(f"{name}={value}"
+                         for name, value in zip(names, cell))
+        specs.append(TaskSpec(kind=kind, params=params,
+                              label=f"{kind}[{label}]"))
+    return specs
+
+
+def seed_specs(kind: str, base: Optional[Mapping[str, Any]] = None,
+               seeds: Iterable[int] = (), seed_key: str = "seed"
+               ) -> List[TaskSpec]:
+    """A pure seed matrix: one spec per seed over a fixed base."""
+    return grid_specs(kind, base=base, seeds=list(seeds),
+                      seed_key=seed_key)
+
+
+@dataclass
+class SweepResult:
+    """A farm report with its grid coordinates re-attached."""
+
+    report: FarmReport
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    @property
+    def results(self) -> List[TaskResult]:
+        return self.report.results
+
+    def rows(self) -> List[Tuple[Dict[str, Any], TaskResult]]:
+        """(params, result) per cell, in sweep order."""
+        return [(dict(result.spec.params), result)
+                for result in self.report.results]
+
+    def column(self, *path: str) -> List[Any]:
+        """Extract one nested result field across every OK cell.
+
+        ``column("summary", "utilization")`` digs
+        ``result["summary"]["utilization"]`` per cell; failed cells
+        contribute ``None`` so the column stays aligned with
+        :meth:`rows`.
+        """
+        values: List[Any] = []
+        for result in self.report.results:
+            if not result.ok:
+                values.append(None)
+                continue
+            node = result.result
+            for key in path:
+                node = node[key]
+            values.append(node)
+        return values
+
+    def table(self, axes: Sequence[str], *path: str
+              ) -> List[Tuple[Tuple[Any, ...], Any]]:
+        """((axis values...), field) per cell — a plottable series."""
+        column = self.column(*path)
+        return [
+            (tuple(result.spec.params.get(axis) for axis in axes),
+             value)
+            for result, value in zip(self.report.results, column)
+        ]
+
+
+def run_sweep(specs: Sequence[TaskSpec], workers: int = 1,
+              use_cache: bool = True, cache=None,
+              timeout_s: Optional[float] = None,
+              max_retries: int = 1, progress=None) -> SweepResult:
+    """Run pre-expanded specs through a farm; see :class:`FarmExecutor`."""
+    executor = FarmExecutor(
+        workers=workers, use_cache=use_cache, cache=cache,
+        timeout_s=timeout_s, max_retries=max_retries,
+        progress=progress)
+    return SweepResult(report=executor.run(specs))

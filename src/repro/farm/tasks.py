@@ -1,0 +1,319 @@
+"""Builtin task kinds: every runnable unit of the repo, spec-wrapped.
+
+Each runner is a pure function of its params dict — all imports are
+lazy (workers should not pay for subsystems the sweep never touches)
+and every stochastic input is an explicit seed in the spec.  Returned
+values are plain JSON so results cache, diff, and aggregate without
+pickling.
+
+Registered kinds:
+
+====================  ====================================================
+``validation-case``   one fuzz case through the oracle battery (PR 4)
+``resilience-campaign``  a seeded fault campaign through the recovery
+                      loop (PR 3)
+``monitoring-campaign``  sampled Figure-7 faults, diagnosed and scored
+``cluster-sweep``     one scheduler run over a seeded trace (PR 1),
+                      optionally with the peak-set contention replay
+``seer-forecast``     a Seer training forecast for a layout
+``figure-bench``      a named cheap figure regeneration (pue, goodput,
+                      overhead, taxonomy)
+``farm-selftest``     controllable ok/fail/hang/crash task for testing
+                      the executor's isolation paths
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .spec import register_task
+
+__all__ = ["SCALES"]
+
+#: topology scale names accepted wherever a spec says ``"scale"``.
+SCALES = ("tiny", "small", "cluster")
+
+
+def _params_for_scale(scale: str):
+    from ..topology import AstralParams
+    try:
+        factory = {
+            "tiny": AstralParams.tiny,
+            "small": AstralParams.small,
+            "cluster": AstralParams.cluster,
+        }[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {SCALES}") from None
+    return factory()
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+@register_task("validation-case", version=1,
+               description="one repro.validation fuzz case")
+def run_validation_case(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Params: ``seed``, ``index``, optional ``fast`` (default True)."""
+    from ..validation.runner import run_case
+    report = run_case(int(params["seed"]), int(params["index"]),
+                      fast=bool(params.get("fast", True)))
+    return report.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# resilience
+# ---------------------------------------------------------------------------
+
+@register_task("resilience-campaign", version=1,
+               description="seeded failure-injection campaign")
+def run_resilience_campaign(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Params mirror the ``repro resilience`` CLI.
+
+    ``seed``, ``scale``, ``jobs``, ``hosts_per_job``, ``iterations``,
+    ``faults``, ``fault_at_s``, ``checkpoint_interval_s``,
+    ``compute_s``, ``collective_bits``.
+    """
+    from ..resilience.campaign import (ResilienceCampaign,
+                                       default_tor_faults)
+    scale = params.get("scale", "small")
+    topo_params = _params_for_scale(scale)
+    seed = int(params.get("seed", 0))
+    faults = default_tor_faults(
+        topo_params, seed=seed,
+        n_faults=int(params.get("faults", 1)),
+        first_at_s=float(params.get("fault_at_s", 1800.0)))
+    campaign = ResilienceCampaign(
+        params=topo_params, faults=faults,
+        n_jobs=int(params.get("jobs", 1)),
+        hosts_per_job=int(params.get("hosts_per_job", 4)),
+        n_iterations=int(params.get("iterations", 120)),
+        compute_s=float(params.get("compute_s", 20.0)),
+        collective_bits=float(params.get("collective_bits", 2e11)),
+        checkpoint_interval_s=float(
+            params.get("checkpoint_interval_s", 3600.0)),
+        seed=seed)
+    return campaign.run().to_dict()
+
+
+# ---------------------------------------------------------------------------
+# monitoring
+# ---------------------------------------------------------------------------
+
+@register_task("monitoring-campaign", version=1,
+               description="Figure-7 fault campaign with localization "
+                           "scoring")
+def run_monitoring_campaign(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Params: ``seed``, ``n_faults``, ``job_hosts``, ``iterations``."""
+    from ..monitoring.campaign import FaultCampaign
+    campaign = FaultCampaign(
+        job_hosts=int(params.get("job_hosts", 6)),
+        iterations=int(params.get("iterations", 5)),
+        seed=int(params.get("seed", 0)))
+    result = campaign.run(int(params.get("n_faults", 5)))
+    records = [
+        {
+            "cause": record.fault.cause.value,
+            "manifestation": record.fault.manifestation.value,
+            "target": record.fault.target,
+            "detected": record.manifestation_detected,
+            "localized": record.localized_correctly,
+            "root_cause_device": record.diagnosis.root_cause_device,
+            "inferred_cause": record.diagnosis.inferred_cause,
+        }
+        for record in result.records
+    ]
+    return {
+        "n_faults": result.n_faults,
+        "detection_rate": result.detection_rate,
+        "localization_accuracy": result.localization_accuracy,
+        "records": records,
+    }
+
+
+# ---------------------------------------------------------------------------
+# cluster
+# ---------------------------------------------------------------------------
+
+@register_task("cluster-sweep", version=1,
+               description="one scheduler run over a seeded job trace")
+def run_cluster_sweep(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Params mirror ``repro cluster``: ``seed``, ``scale``, ``jobs``,
+    ``policy``, ``failure_scale``, ``tidal``, ``contention``."""
+    from ..core import AstralInfrastructure
+    scale = params.get("scale", "small")
+    seed = int(params.get("seed", 0))
+    infra = AstralInfrastructure(params=_params_for_scale(scale),
+                                 seed=seed)
+    report = infra.run_cluster(
+        jobs=int(params.get("jobs", 20)),
+        policy=params.get("policy", "topology"),
+        seed=seed,
+        failure_scale=float(params.get("failure_scale", 1.0)),
+        tidal_cap=bool(params.get("tidal", True)))
+    result = report.to_dict()
+    if params.get("contention", False):
+        outcomes = infra.cluster_contention(report)
+        result["contention"] = {
+            name: {
+                "efficiency": outcomes[name].efficiency,
+                "mean_iteration_s": outcomes[name].mean_iteration_s,
+            }
+            for name in sorted(outcomes)
+        }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# seer
+# ---------------------------------------------------------------------------
+
+@register_task("seer-forecast", version=1,
+               description="Seer training forecast for one layout")
+def run_seer_forecast(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Params: ``model`` (registry name), ``gpu``, ``tp``, ``pp``,
+    ``dp``, ``ep``, ``microbatches``, ``corrected``."""
+    from .. import seer as seer_mod
+    from ..seer import NetworkSuite, ParallelismConfig, Seer
+    model = getattr(seer_mod, params.get("model", "LLAMA3_70B"))
+    parallel = ParallelismConfig(
+        tp=int(params.get("tp", 8)), pp=int(params.get("pp", 4)),
+        dp=int(params.get("dp", 4)), ep=int(params.get("ep", 1)),
+        microbatches=int(params.get("microbatches", 8)))
+    corrected = bool(params.get("corrected", True))
+    seer = Seer(gpu=params.get("gpu", "H800"), network=NetworkSuite(),
+                corrected=corrected)
+    forecast = seer.forecast_training(model, parallel)
+    result = {
+        "model": model.name,
+        "world_size": parallel.world_size,
+        "iteration_time_s": forecast.iteration_time_s,
+        "tokens_per_s": forecast.tokens_per_s,
+        "throughput_per_gpu": forecast.throughput_per_gpu,
+        "exposed_comm_fraction": forecast.exposed_comm_fraction(),
+    }
+    if corrected:
+        result["accuracy_deviation"] = seer.accuracy_deviation(
+            model, parallel)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# figure benches
+# ---------------------------------------------------------------------------
+
+def _figure_pue(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..power import astral_vs_traditional, pue_evolution
+    return {
+        "series": [{"label": report.label, "pue": report.pue}
+                   for report in pue_evolution()],
+        "improvement_frac":
+            astral_vs_traditional()["improvement_frac"],
+    }
+
+
+def _figure_goodput(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..core import training_goodput
+    rows = []
+    for n_gpus in params.get("gpus", [1024, 8192, 65536]):
+        manual = training_goodput(int(n_gpus), localization="manual")
+        auto = training_goodput(int(n_gpus), localization="automated")
+        rows.append({
+            "gpus": int(n_gpus),
+            "mtbf_hours": auto.mtbf_hours,
+            "manual": manual.goodput_fraction,
+            "astral": auto.goodput_fraction,
+        })
+    return {"rows": rows}
+
+
+def _figure_overhead(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..monitoring import MonitoringOverhead
+    return dict(MonitoringOverhead().report(
+        int(params.get("gpus", 100_000))))
+
+
+def _figure_taxonomy(params: Dict[str, Any]) -> Dict[str, Any]:
+    from collections import Counter
+
+    from ..monitoring import sample_faults
+    count = int(params.get("count", 1000))
+    faults = sample_faults(count, seed=int(params.get("seed", 0)))
+    return {
+        "count": count,
+        "manifestations": dict(sorted(Counter(
+            f.manifestation.value for f in faults).items())),
+        "causes": dict(sorted(Counter(
+            f.cause.value for f in faults).items())),
+    }
+
+
+_FIGURES = {
+    "pue": _figure_pue,
+    "goodput": _figure_goodput,
+    "overhead": _figure_overhead,
+    "taxonomy": _figure_taxonomy,
+}
+
+
+@register_task("figure-bench", version=1,
+               description="regenerate one cheap paper figure")
+def run_figure_bench(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Params: ``figure`` in {pue, goodput, overhead, taxonomy} plus
+    that figure's options."""
+    figure = params.get("figure")
+    if figure not in _FIGURES:
+        raise ValueError(
+            f"unknown figure {figure!r}; choose from "
+            f"{', '.join(sorted(_FIGURES))}")
+    result = _FIGURES[figure](params)
+    result["figure"] = figure
+    return result
+
+
+# ---------------------------------------------------------------------------
+# executor self-test
+# ---------------------------------------------------------------------------
+
+@register_task("farm-selftest", version=1,
+               description="ok/fail/hang/crash probe for executor tests")
+def run_selftest(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Controllable behaviours for the executor's failure-path tests.
+
+    ``mode``: ``ok`` echoes ``value``; ``fail`` raises; ``hang``
+    sleeps ``sleep_s`` (to trip the per-task timeout); ``crash``
+    hard-kills the hosting process (``os._exit``) to exercise pool
+    recovery; ``flaky`` crashes on the first ``crashes`` attempts of a
+    process-lineage marker file, then succeeds — exercising retry.
+    """
+    import os
+    import time
+
+    mode = params.get("mode", "ok")
+    if mode == "ok":
+        return {"value": params.get("value", 0),
+                "squared": params.get("value", 0) ** 2}
+    if mode == "fail":
+        raise RuntimeError(f"selftest asked to fail "
+                           f"(value={params.get('value')})")
+    if mode == "hang":
+        time.sleep(float(params.get("sleep_s", 60.0)))
+        return {"value": "woke"}
+    if mode == "crash":
+        os._exit(13)
+    if mode == "flaky":
+        marker = params["marker"]
+        crashes = int(params.get("crashes", 1))
+        attempts = 0
+        if os.path.exists(marker):
+            with open(marker, "r", encoding="utf-8") as handle:
+                attempts = int(handle.read().strip() or 0)
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write(str(attempts + 1))
+        if attempts < crashes:
+            os._exit(13)
+        return {"value": params.get("value", 0),
+                "attempts_seen": attempts}
+    raise ValueError(f"unknown selftest mode {mode!r}")

@@ -20,7 +20,8 @@ simulated clock:
 """
 
 from .campaign import (JobOutcome, ResilienceCampaign, ResilienceReport,
-                       ResilientJob)
+                       ResilientJob, default_tor_faults,
+                       run_campaign_matrix)
 from .injector import FailureInjector, FaultEvent
 from .pipeline import RecoveryPipeline, RecoveryRecord
 
@@ -33,4 +34,6 @@ __all__ = [
     "JobOutcome",
     "ResilienceCampaign",
     "ResilienceReport",
+    "default_tor_faults",
+    "run_campaign_matrix",
 ]

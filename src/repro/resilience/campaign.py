@@ -19,8 +19,9 @@ the cross-check §4's goodput model is calibrated by.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..cluster.recovery import RecoveryManager
 from ..core.placement import (AllocationError, GpuAllocator,
@@ -39,7 +40,67 @@ from .injector import FailureInjector
 from .pipeline import RecoveryPipeline
 
 __all__ = ["ResilientJob", "JobOutcome", "ResilienceCampaign",
-           "ResilienceReport"]
+           "ResilienceReport", "default_tor_faults",
+           "run_campaign_matrix"]
+
+
+def default_tor_faults(params: AstralParams, seed: int = 0,
+                       n_faults: int = 1, first_at_s: float = 1800.0,
+                       spacing_s: float = 1800.0,
+                       manifestation: Manifestation =
+                       Manifestation.FAIL_STOP) -> List[FaultSpec]:
+    """Draw a deterministic ToR-kill schedule for a campaign.
+
+    Contiguous placement fills the lowest block first, so faults are
+    drawn from the ``p0.b0`` ToRs — the ones inside the first job's
+    blast radius.  String seeding (``resilience-cli:<seed>``) keeps
+    the draw identical across processes, which is what lets the farm
+    reproduce a CLI campaign bit-for-bit from its spec.
+    """
+    from ..monitoring.faults import RootCause
+    from ..topology.elements import DeviceKind
+    tors = sorted(s.name for s in build_astral(params).switches(
+        DeviceKind.TOR))
+    in_first_block = [name for name in tors
+                     if name.startswith("p0.b0.")]
+    tors = in_first_block or tors
+    rng = random.Random(f"resilience-cli:{seed}")
+    return [
+        FaultSpec(cause=RootCause.SWITCH_BUG,
+                  manifestation=manifestation,
+                  target=rng.choice(tors),
+                  at_time_s=first_at_s + index * spacing_s)
+        for index in range(n_faults)
+    ]
+
+
+def run_campaign_matrix(seeds, scale: str = "small",
+                        workers: int = 1, use_cache: bool = False,
+                        cache_dir: Optional[str] = None,
+                        **campaign_params) -> List[Dict[str, Any]]:
+    """Fan a seed matrix of resilience campaigns across farm workers.
+
+    Each seed becomes one ``resilience-campaign``
+    :class:`~repro.farm.spec.TaskSpec` (params mirror the
+    ``repro resilience`` CLI); results come back as
+    :meth:`ResilienceReport.to_dict` payloads in seed order.  Raises
+    ``RuntimeError`` listing the failed seeds if any campaign did not
+    complete.
+    """
+    from ..farm import ResultCache, run_sweep, seed_specs
+    specs = seed_specs("resilience-campaign",
+                       base={"scale": scale, **campaign_params},
+                       seeds=list(seeds))
+    cache = ResultCache(root=cache_dir) if cache_dir else None
+    sweep = run_sweep(specs, workers=workers, use_cache=use_cache,
+                      cache=cache)
+    failed = [result.spec.params["seed"]
+              for result in sweep.results if not result.ok]
+    if failed:
+        raise RuntimeError(
+            f"resilience campaigns failed for seeds {failed}: "
+            f"{[r.error for r in sweep.results if not r.ok][0]}")
+    return [result.result for result in sweep.results]
 
 
 @dataclass

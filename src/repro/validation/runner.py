@@ -29,6 +29,7 @@ collective  flow-vs-analytic bandwidth, RS+AG == AR composition,
 
 from __future__ import annotations
 
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -76,6 +77,11 @@ class CaseReport:
     checks: List[str] = field(default_factory=list)
     violations: List[Violation] = field(default_factory=list)
     spec: Dict[str, Any] = field(default_factory=dict)
+    #: wall-clock of this case's battery.  Measurement metadata, NOT
+    #: part of :meth:`to_dict` — the serialised report must stay
+    #: bit-identical across runs/workers for the farm cache and the
+    #: parallel-vs-serial differential.
+    elapsed_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -101,6 +107,17 @@ class CaseReport:
             "spec": self.spec,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CaseReport":
+        """Rebuild a report from :meth:`to_dict` (farm result payload)."""
+        return cls(
+            seed=data["seed"], index=data["index"],
+            family=data["family"], profile=data["profile"],
+            checks=list(data.get("checks", [])),
+            violations=[Violation(v["oracle"], v["detail"])
+                        for v in data.get("violations", [])],
+            spec=dict(data.get("spec", {})))
+
 
 @dataclass
 class CampaignReport:
@@ -108,6 +125,9 @@ class CampaignReport:
 
     seed: int
     cases: List[CaseReport] = field(default_factory=list)
+    #: set when the campaign ran through the farm (parallel/cached);
+    #: carries worker count, wall-clock, and cache hit/miss stats.
+    farm: Optional[Any] = None
 
     @property
     def failures(self) -> List[CaseReport]:
@@ -117,14 +137,31 @@ class CampaignReport:
     def ok(self) -> bool:
         return not self.failures
 
+    @property
+    def total_elapsed_s(self) -> float:
+        return sum(case.elapsed_s for case in self.cases)
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "seed": self.seed,
             "n_cases": len(self.cases),
             "n_failures": len(self.failures),
             "ok": self.ok,
             "cases": [case.to_dict() for case in self.cases],
         }
+        if self.farm is not None:
+            data["farm"] = {
+                "workers": self.farm.workers,
+                "wall_s": self.farm.wall_s,
+                "throughput_per_s": self.farm.throughput,
+                "n_cached": self.farm.n_cached,
+                "n_executed": self.farm.n_executed,
+                "cache_hits": (self.farm.cache_stats or {}).get(
+                    "hits", 0),
+                "cache_misses": (self.farm.cache_stats or {}).get(
+                    "misses", 0),
+            }
+        return data
 
 
 # --------------------------------------------------------------------------
@@ -337,25 +374,93 @@ def run_case(seed: int, index: int, fast: bool = False) -> CaseReport:
     report = CaseReport(seed=seed, index=index, family=spec.family,
                         profile=spec.profile, spec=spec.to_dict())
     battery = _BATTERIES[spec.profile]
+    started = time.perf_counter()
     try:
         report.checks, report.violations = battery(spec, fast)
     except Exception as exc:  # noqa: BLE001 — a crash is a finding
         trace = traceback.format_exc(limit=4)
         report.violations = [Violation(
             "no-crash", f"{type(exc).__name__}: {exc}\n{trace}")]
+    report.elapsed_s = time.perf_counter() - started
     return report
 
 
 def run_campaign(seed: int, n_cases: int,
                  indices: Optional[Sequence[int]] = None,
                  fast: bool = False,
-                 progress: Optional[Callable[[CaseReport], None]] = None
+                 progress: Optional[Callable[[CaseReport], None]] = None,
+                 workers: int = 1,
+                 use_cache: bool = False,
+                 cache_dir: Optional[str] = None
                  ) -> CampaignReport:
-    """Validate ``n_cases`` scenarios (or an explicit index list)."""
+    """Validate ``n_cases`` scenarios (or an explicit index list).
+
+    ``workers > 1`` fans the cases out across a
+    :class:`~repro.farm.executor.FarmExecutor` process pool;
+    ``use_cache`` serves unchanged cases from the farm's
+    content-addressed result cache (``cache_dir`` overrides its
+    location).  Both paths produce bit-identical reports — the farm
+    route exists purely for wall-clock and memoization.
+    """
+    if workers > 1 or use_cache:
+        return _run_campaign_farm(seed, n_cases, indices=indices,
+                                  fast=fast, progress=progress,
+                                  workers=workers, use_cache=use_cache,
+                                  cache_dir=cache_dir)
     report = CampaignReport(seed=seed)
     for index in (indices if indices is not None else range(n_cases)):
         case = run_case(seed, index, fast=fast)
         report.cases.append(case)
         if progress is not None:
             progress(case)
+    return report
+
+
+def _run_campaign_farm(seed: int, n_cases: int,
+                       indices: Optional[Sequence[int]],
+                       fast: bool, progress, workers: int,
+                       use_cache: bool, cache_dir: Optional[str]
+                       ) -> CampaignReport:
+    """The farm-backed campaign path (parallel and/or cached)."""
+    from ..farm import FarmExecutor, ResultCache, TaskSpec
+
+    specs = [
+        TaskSpec("validation-case",
+                 {"seed": seed, "index": int(index), "fast": fast},
+                 label=f"validate[{seed}:{index}]")
+        for index in (indices if indices is not None
+                      else range(n_cases))
+    ]
+    cache = ResultCache(root=cache_dir) if cache_dir \
+        else ResultCache()
+
+    def _farm_progress(result, done, total) -> None:
+        if progress is None:
+            return
+        if result.status == "ok":
+            case = CaseReport.from_dict(result.result)
+            case.elapsed_s = result.elapsed_s
+            progress(case)
+
+    executor = FarmExecutor(workers=workers, use_cache=use_cache,
+                            cache=cache, progress=_farm_progress)
+    farm_report = executor.run(specs)
+    report = CampaignReport(seed=seed)
+    report.farm = farm_report
+    for task in farm_report.results:
+        if task.status == "ok":
+            case = CaseReport.from_dict(task.result)
+            case.elapsed_s = task.elapsed_s
+        else:
+            # An executor-level failure (timeout/crash) still yields a
+            # case row, so the campaign exit code reflects it.
+            params = task.spec.params
+            case = CaseReport(
+                seed=seed, index=params["index"], family="?",
+                profile="?",
+                violations=[Violation(
+                    f"farm-{task.status}",
+                    task.error or "task did not complete")])
+            case.elapsed_s = task.elapsed_s
+        report.cases.append(case)
     return report

@@ -23,6 +23,7 @@ class TestParser:
             "describe", "forecast", "inference", "memory", "pue",
             "sweep", "taxonomy", "overhead", "goodput",
             "diagnose-demo", "cluster", "resilience", "validate",
+            "farm",
         }
 
 

@@ -1,0 +1,106 @@
+"""``repro farm`` and the farmed ``repro validate`` flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.network import reset_flow_ids
+
+
+@pytest.fixture(autouse=True)
+def _fresh_flow_ids():
+    reset_flow_ids()
+
+
+def _write_specfile(tmp_path, document):
+    path = tmp_path / "specs.json"
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return str(path)
+
+
+class TestFarmCommand:
+    def test_tasks_and_sweep_document(self, tmp_path, capsys):
+        specfile = _write_specfile(tmp_path, {
+            "tasks": [{"kind": "figure-bench",
+                       "params": {"figure": "pue"}}],
+            "sweep": {"kind": "cluster-sweep",
+                      "base": {"scale": "tiny", "jobs": 4},
+                      "grid": {"policy": ["fifo", "topology"]},
+                      "seeds": [0]},
+        })
+        out_json = tmp_path / "report.json"
+        assert main(["farm", specfile, "--workers", "2",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "3 tasks: 3 ok" in out
+        data = json.loads(out_json.read_text())
+        assert data["ok"] is True
+        assert data["n_tasks"] == 3
+        assert {r["spec"]["kind"] for r in data["results"]} \
+            == {"figure-bench", "cluster-sweep"}
+
+    def test_warm_rerun_serves_from_cache(self, tmp_path, capsys):
+        specfile = _write_specfile(tmp_path, {
+            "tasks": [{"kind": "figure-bench",
+                       "params": {"figure": "goodput"}}]})
+        cache_dir = str(tmp_path / "cache")
+        assert main(["farm", specfile, "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["farm", specfile, "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 from cache, 0 executed" in out
+
+    def test_failing_task_sets_exit_code(self, tmp_path, capsys):
+        specfile = _write_specfile(tmp_path, {
+            "tasks": [{"kind": "figure-bench",
+                       "params": {"figure": "nope"}}]})
+        assert main(["farm", specfile, "--no-cache",
+                     "--cache-dir", str(tmp_path / "cache")]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "ValueError" in out
+
+    def test_unknown_kind_is_a_clean_failure(self, tmp_path, capsys):
+        specfile = _write_specfile(tmp_path, {
+            "tasks": [{"kind": "warp-drive", "params": {}}]})
+        with pytest.raises(Exception):
+            main(["farm", specfile,
+                  "--cache-dir", str(tmp_path / "cache")])
+
+
+class TestValidateFarmFlags:
+    def test_workers_flag_matches_serial_output(self, tmp_path,
+                                                capsys):
+        assert main(["validate", "--seed", "7", "--cases", "3",
+                     "--fast"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["validate", "--seed", "7", "--cases", "3",
+                     "--fast", "--workers", "2",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        parallel_out = capsys.readouterr().out
+        assert "3 cases, 0 failing" in serial_out
+        assert "3 cases, 0 failing" in parallel_out
+        assert "cache:" in parallel_out
+
+    def test_per_case_timing_is_printed(self, capsys):
+        assert main(["validate", "--seed", "7", "--cases", "2",
+                     "--fast"]) == 0
+        out = capsys.readouterr().out
+        # Each case row carries its wall-clock; the footer the rate.
+        assert out.count("s)") >= 2
+        assert "cases/s" in out
+
+    def test_json_report_carries_farm_stats(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        cache_dir = str(tmp_path / "cache")
+        for _ in range(2):
+            assert main(["validate", "--seed", "7", "--cases", "3",
+                         "--fast", "--workers", "2",
+                         "--cache-dir", cache_dir,
+                         "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["ok"] is True
+        # Second run is fully warm: zero simulations executed.
+        assert data["farm"]["cache_hits"] == 3
+        assert data["farm"]["n_executed"] == 0

@@ -51,7 +51,7 @@ class TestValidateCommand:
             violations=[Violation("rate-feasibility", "link 3 over")])
 
         def fake_campaign(seed, cases, indices=None, fast=False,
-                          progress=None):
+                          progress=None, **farm_kwargs):
             report = CampaignReport(seed=seed, cases=[failing])
             if progress:
                 progress(failing)
