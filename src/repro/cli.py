@@ -20,7 +20,10 @@ Commands map to the library's main entry points:
   optionally fanned out across farm workers with result caching;
 * ``farm`` — run an arbitrary task-spec file (explicit tasks and/or
   parameter-grid sweeps) on the parallel experiment farm
-  (``repro.farm``).
+  (``repro.farm``);
+* ``scale`` — symmetry-folded hierarchical simulation at paper scale
+  (``repro.hierarchy``): named presets up to the published 512K-GPU
+  deployment, or explicit dimensions for small differential runs.
 """
 
 from __future__ import annotations
@@ -204,6 +207,49 @@ def build_parser() -> argparse.ArgumentParser:
                       help="retry budget for tasks whose worker dies")
     farm.add_argument("--json", metavar="PATH", default=None,
                       help="write the full farm report to PATH")
+
+    scale = sub.add_parser(
+        "scale",
+        help="symmetry-folded hierarchical run up to 512K GPUs")
+    scale.add_argument("--gpus", default="4k",
+                       choices=["4k", "64k", "512k"],
+                       help="named scale preset (512k = the paper's "
+                            "published deployment dimensions)")
+    scale.add_argument("--pods", type=int, default=None,
+                       help="explicit topology instead of a preset; "
+                            "combines with the other --*-per-* flags")
+    scale.add_argument("--blocks-per-pod", type=int, default=2)
+    scale.add_argument("--hosts-per-block", type=int, default=4)
+    scale.add_argument("--gpus-per-host", type=int, default=2)
+    scale.add_argument("--aggs-per-group", type=int, default=2)
+    scale.add_argument("--cores-per-group", type=int, default=2)
+    scale.add_argument("--hosts-per-job", type=int, default=None,
+                       help="tenant size (default: one block)")
+    scale.add_argument("--iterations", type=int, default=4)
+    scale.add_argument("--compute-s", type=float, default=0.5)
+    scale.add_argument("--comm-bits", type=float, default=8e9)
+    scale.add_argument("--collective", default="allreduce",
+                       choices=["allreduce", "alltoall"])
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument("--tail-shapes", type=int, default=1,
+                       help="2 gives the last pod a distinct job "
+                            "shape (exercises multiple pod classes)")
+    scale.add_argument("--faults", type=int, default=0,
+                       help="deterministic ToR fail-slow faults to "
+                            "arm (each refines its pod to exact "
+                            "flat simulation)")
+    scale.add_argument("--power-cap", action="append", default=[],
+                       metavar="POD=FACTOR",
+                       help="cap a pod's compute rate, e.g. 1=0.8 "
+                            "(repeatable)")
+    scale.add_argument("--workers", type=int, default=1,
+                       help="route through the experiment farm with "
+                            "N workers")
+    scale.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="serve unchanged runs from the farm's "
+                            "content-addressed result cache at PATH")
+    scale.add_argument("--json", metavar="PATH", default=None,
+                       help="write the full report to PATH")
 
     return parser
 
@@ -535,6 +581,98 @@ def _cmd_farm(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_scale(args) -> int:
+    import json
+    import time
+
+    from repro.farm import TaskSpec, execute_spec
+    from repro.hierarchy import preset_params
+
+    task_params = {
+        "hosts_per_job": args.hosts_per_job,
+        "iterations": args.iterations,
+        "compute_s": args.compute_s,
+        "comm_bits": args.comm_bits,
+        "collective": args.collective,
+        "seed": args.seed,
+        "tail_shapes": args.tail_shapes,
+        "faults": args.faults,
+    }
+    if args.pods is not None:
+        task_params["dims"] = {
+            "pods": args.pods,
+            "blocks_per_pod": args.blocks_per_pod,
+            "hosts_per_block": args.hosts_per_block,
+            "gpus_per_host": args.gpus_per_host,
+            "aggs_per_group": args.aggs_per_group,
+            "cores_per_group": args.cores_per_group,
+        }
+        hosts_per_block = args.hosts_per_block
+    else:
+        task_params["scale"] = args.gpus
+        hosts_per_block = preset_params(args.gpus).hosts_per_block
+    if args.hosts_per_job is None:
+        task_params["hosts_per_job"] = hosts_per_block
+    caps = {}
+    for entry in args.power_cap:
+        pod, _, factor = entry.partition("=")
+        try:
+            caps[str(int(pod))] = float(factor)
+        except ValueError:
+            raise SystemExit(
+                f"bad --power-cap {entry!r}; expected POD=FACTOR")
+    if caps:
+        task_params["power_caps"] = caps
+
+    spec = TaskSpec("hierarchy-run", task_params, label="cli")
+    started = time.perf_counter()
+    if args.workers > 1 or args.cache_dir is not None:
+        from repro.farm import FarmExecutor, ResultCache
+        cache = ResultCache(root=args.cache_dir) if args.cache_dir \
+            else ResultCache()
+        report = executor_report = FarmExecutor(
+            workers=args.workers,
+            use_cache=args.cache_dir is not None,
+            cache=cache).run([spec])
+        if not report.ok:
+            failure = report.failures[0]
+            print(f"FAILED [{failure.status}] "
+                  f"{(failure.error or '').splitlines()[0]}")
+            return 1
+        result = report.results[0].result
+        print(f"farm: {executor_report.n_executed} executed, "
+              f"{executor_report.n_cached} from cache "
+              f"(workers {args.workers})")
+    else:
+        result = execute_spec(spec)
+    wall_s = time.perf_counter() - started
+
+    scenario, fold = result["scenario"], result["fold"]
+    aggregate = result["aggregate"]
+    print(f"cluster         : {scenario['total_gpus']:,} GPUs, "
+          f"{scenario['n_pods']} pods")
+    print(f"jobs            : {scenario['n_jobs']:,} on "
+          f"{scenario['n_job_hosts']:,} hosts")
+    mode = "EXACT" if fold["exact"] else (
+        "flat-fallback" if fold["flat_fallback"] else "hybrid")
+    print(f"fold            : {fold['n_pod_classes']} pod classes, "
+          f"{fold['n_refined_groups']} refined groups "
+          f"({fold['n_refined_pods']} pods), "
+          f"{fold['n_analytic_jobs']} analytic jobs [{mode}]")
+    print(f"engine          : {fold['n_engine_sims']} sims over "
+          f"{fold['engine_hosts']:,} hosts "
+          f"(fold factor {fold['fold_factor']:,.0f}x, "
+          f"{fold['n_memo_hits']} memo hits)")
+    print(f"mean efficiency : {aggregate['mean_efficiency']:.1%} "
+          f"({aggregate['mean_iteration_s']:.4f} s/iter)")
+    print(f"wall            : {wall_s:.2f} s")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0
+
+
 _HANDLERS = {
     "describe": _cmd_describe,
     "forecast": _cmd_forecast,
@@ -550,6 +688,7 @@ _HANDLERS = {
     "resilience": _cmd_resilience,
     "validate": _cmd_validate,
     "farm": _cmd_farm,
+    "scale": _cmd_scale,
 }
 
 

@@ -18,6 +18,8 @@ Registered kinds:
 ``seer-forecast``     a Seer training forecast for a layout
 ``figure-bench``      a named cheap figure regeneration (pue, goodput,
                       overhead, taxonomy)
+``hierarchy-run``     a symmetry-folded hierarchical simulation at a
+                      named scale preset or explicit dimensions (PR 6)
 ``farm-selftest``     controllable ok/fail/hang/crash task for testing
                       the executor's isolation paths
 ====================  ====================================================
@@ -53,7 +55,10 @@ def _params_for_scale(scale: str):
 # validation
 # ---------------------------------------------------------------------------
 
-@register_task("validation-case", version=1,
+# version 2: the oracle profile cycle grew from 5 to 6 entries
+# ("hierarchical" joined), silently remapping every case index — old
+# cached results describe different scenarios and must not be reused.
+@register_task("validation-case", version=2,
                description="one repro.validation fuzz case")
 def run_validation_case(params: Dict[str, Any]) -> Dict[str, Any]:
     """Params: ``seed``, ``index``, optional ``fast`` (default True)."""
@@ -271,6 +276,58 @@ def run_figure_bench(params: Dict[str, Any]) -> Dict[str, Any]:
     result = _FIGURES[figure](params)
     result["figure"] = figure
     return result
+
+
+# ---------------------------------------------------------------------------
+# hierarchy
+# ---------------------------------------------------------------------------
+
+@register_task("hierarchy-run", version=1,
+               description="symmetry-folded hierarchical simulation")
+def run_hierarchy(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Params mirror ``repro scale``.
+
+    ``scale`` (one of 4k/64k/512k) or ``dims`` (explicit AstralParams
+    kwargs), ``hosts_per_job``, ``iterations``, ``compute_s``,
+    ``comm_bits``, ``collective``, ``seed``, ``tail_shapes``,
+    ``faults`` (count of deterministic ToR fail-slows, armed on the
+    first jobs in placement order), ``power_caps`` (pod index ->
+    compute factor; keys are strings because specs are JSON).
+    """
+    from ..hierarchy import HierarchicalRun, preset_params, uniform_jobs
+    from ..hierarchy.virtual import place_jobs
+    from ..monitoring.faults import (FaultSpec, Manifestation,
+                                     RootCause)
+    from ..topology import AstralParams
+
+    if params.get("dims"):
+        topo = AstralParams(**{key: int(value)
+                               for key, value in params["dims"].items()})
+    else:
+        topo = preset_params(params.get("scale", "4k"))
+    seed = int(params.get("seed", 0))
+    jobs = uniform_jobs(
+        topo,
+        int(params.get("hosts_per_job", topo.hosts_per_block)),
+        iterations=int(params.get("iterations", 4)),
+        compute_time_s=float(params.get("compute_s", 0.5)),
+        comm_size_bits=float(params.get("comm_bits", 8e9)),
+        collective=params.get("collective", "allreduce"),
+        seed=seed,
+        tail_shapes=int(params.get("tail_shapes", 1)))
+    faults = {}
+    for placed in place_jobs(topo, jobs)[:int(params.get("faults", 0))]:
+        pod, block, _ = placed.coords[0]
+        faults[placed.name] = FaultSpec(
+            cause=RootCause.SWITCH_BUG,
+            manifestation=Manifestation.FAIL_SLOW,
+            target=f"p{pod}.b{block}.r0.g0.tor")
+    caps = {int(pod): float(factor)
+            for pod, factor in (params.get("power_caps") or {}).items()}
+    run = HierarchicalRun(topo, jobs, faults=faults or None,
+                          pod_power_caps=caps or None)
+    run.run()
+    return run.report.to_dict()
 
 
 # ---------------------------------------------------------------------------

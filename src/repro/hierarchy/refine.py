@@ -1,0 +1,66 @@
+"""Unfolding: broken symmetry falls back to exact flat simulation.
+
+A fault — from ``repro.resilience``'s campaigns, a monitoring fault
+spec, anything carrying a :class:`FaultSpec` — breaks the symmetry of
+every pod it touches: the faulted pod no longer behaves like its
+classmates, so its class membership is revoked and it is simulated
+*exactly*, faults armed, on the real event-driven engine.  Pods that
+share a cross-pod tenant with a refined pod are dragged in
+transitively (``symmetry.detect_symmetry`` closes this), so each
+:class:`RefinedGroup` is self-contained: no flow of its jobs touches
+anything outside the group's pods.
+
+The group runs on a ``pods=len(group)`` sub-topology with the full
+block range preserved (fault blast radius may reach any block-level
+device) and only pod indices rebased; fault targets are renamed with
+the same map.  Core switch names are pod-free and pass through
+untouched.  When *every* pod is refined the pod map is the identity,
+the sub-topology equals the flat one, and — because group jobs keep
+their original placement order, hence their original flow ids — the
+result is bit-identical to a flat :class:`MultiJobRun`: full unfold
+degenerates to flat, by construction rather than by approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Dict
+
+from ..monitoring.multijob import JobOutcome
+from ..topology.astral import AstralParams
+from .compose import scaled_compute_s
+from .fold import EngineRunner, _config_for
+from .symmetry import RefinedGroup, SymmetryMap
+from .virtual import rename_device, rename_host
+
+__all__ = ["run_refined_group", "run_refined_groups"]
+
+
+def run_refined_group(params: AstralParams, group: RefinedGroup,
+                      power_caps: Dict[int, float],
+                      runner: EngineRunner) -> Dict[str, JobOutcome]:
+    pod_map = {pod: index for index, pod in enumerate(group.pods)}
+    sub = dc_replace(params, pods=len(group.pods))
+    configs = [
+        _config_for(
+            placed,
+            tuple(rename_host(h, pod_map) for h in placed.hosts),
+            scaled_compute_s(placed.job, placed.pods, power_caps))
+        for placed in group.jobs
+    ]
+    faults = {
+        name: dc_replace(fault,
+                         target=rename_device(fault.target, pod_map))
+        for name, fault in group.faults.items()
+    }
+    return runner.run(sub, configs, faults=faults or None)
+
+
+def run_refined_groups(params: AstralParams, symmetry: SymmetryMap,
+                       runner: EngineRunner) -> Dict[str, JobOutcome]:
+    outcomes: Dict[str, JobOutcome] = {}
+    for group in symmetry.refined:
+        outcomes.update(
+            run_refined_group(params, group, symmetry.power_caps,
+                              runner))
+    return outcomes

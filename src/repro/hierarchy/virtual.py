@@ -1,0 +1,224 @@
+"""Arithmetic view of an Astral fabric: coordinates without objects.
+
+The flat builder (:func:`repro.topology.astral.build_astral`)
+instantiates every host, switch, and link as a Python object — ~78K
+devices at paper scale, which is exactly what the hierarchical layer
+must avoid.  This module works purely in *coordinates*: a host is a
+``(pod, block, host)`` triple, devices are names derived from the same
+formulas the builder uses, and placement is integer arithmetic over
+:class:`~repro.topology.astral.AstralParams`.  Nothing here allocates
+per-device state, so a 512K-GPU cluster costs a dataclass.
+
+Name formats (kept bit-compatible with ``build_astral`` so folded
+sub-simulations and flat reference runs agree on every identifier):
+
+* host  ``p{pod}.b{block}.h{host}``
+* ToR   ``p{pod}.b{block}.r{rail}.g{group}.tor``
+* Agg   ``p{pod}.r{rail}.g{group}.a{rank}.agg``
+* Core  ``cg{group}.c{index}.core`` (pod-free: never renamed)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..topology.astral import AstralParams
+
+__all__ = [
+    "Coord",
+    "HierJob",
+    "PlacedJob",
+    "host_name",
+    "parse_host",
+    "pod_of_device",
+    "place_jobs",
+    "rename_device",
+    "rename_host",
+]
+
+#: (pod, block, host) — one host's coordinates in the fabric.
+Coord = Tuple[int, int, int]
+
+
+def host_name(pod: int, block: int, host: int) -> str:
+    return f"p{pod}.b{block}.h{host}"
+
+
+def parse_host(name: str) -> Coord:
+    """``p1.b2.h3`` -> ``(1, 2, 3)``; raises ValueError otherwise."""
+    parts = name.split(".")
+    if len(parts) != 3 or parts[0][:1] != "p" or parts[1][:1] != "b" \
+            or parts[2][:1] != "h":
+        raise ValueError(f"not an Astral host name: {name!r}")
+    return int(parts[0][1:]), int(parts[1][1:]), int(parts[2][1:])
+
+
+def pod_of_device(name: str) -> Optional[int]:
+    """Pod index encoded in a device name, or None (core tier, links).
+
+    Works for hosts, ToRs, and Aggs, whose names all begin ``p<pod>.``;
+    core switches (``cg...``) and opaque targets return None.
+    """
+    head = name.split(".", 1)[0]
+    if head[:1] == "p" and head[1:].isdigit():
+        return int(head[1:])
+    return None
+
+
+def rename_host(name: str, pod_map: Dict[int, int],
+                block_map: Optional[Dict[int, int]] = None) -> str:
+    pod, block, host = parse_host(name)
+    if block_map is not None:
+        block = block_map[block]
+    return host_name(pod_map[pod], block, host)
+
+
+def rename_device(name: str, pod_map: Dict[int, int],
+                  block_map: Optional[Dict[int, int]] = None) -> str:
+    """Rename any pod-scoped device into a sub-simulation's coordinates.
+
+    Hosts and ToRs carry ``p<pod>.b<block>`` prefixes, Aggs only a
+    ``p<pod>``; core names and unrecognised targets pass through
+    unchanged (cores are shared and pod-free by construction).
+    """
+    parts = name.split(".")
+    head = parts[0]
+    if head[:1] != "p" or not head[1:].isdigit():
+        return name
+    pod = int(head[1:])
+    if pod not in pod_map:
+        return name
+    parts[0] = f"p{pod_map[pod]}"
+    if len(parts) > 1 and parts[1][:1] == "b" and parts[1][1:].isdigit():
+        block = int(parts[1][1:])
+        if block_map is not None:
+            parts[1] = f"b{block_map[block]}"
+    return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class HierJob:
+    """Shape of one tenant in a hierarchical scenario.
+
+    Mirrors :class:`repro.monitoring.jobsim.JobConfig`, minus concrete
+    host names: jobs are placed by the contiguous virtual placer unless
+    ``hosts`` pins them explicitly.  Identically-shaped jobs (same
+    field values except ``name``/``hosts``) at identical pod-relative
+    positions are what the symmetry detector folds together — note
+    ``seed`` is part of the shape, because the compute-noise draws it
+    feeds must replicate bit-for-bit.
+    """
+
+    name: str
+    n_hosts: int = 0
+    hosts: Tuple[str, ...] = ()
+    rail: int = 0
+    compute_time_s: float = 0.5
+    comm_size_bits: float = 8e9
+    iterations: int = 4
+    collective: str = "allreduce"
+    compute_noise_frac: float = 0.01
+    seed: int = 0
+    start_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.hosts and self.n_hosts < 1:
+            raise ValueError(
+                f"job {self.name!r} needs n_hosts >= 1 or explicit hosts")
+
+
+@dataclass(frozen=True)
+class PlacedJob:
+    """A job bound to concrete host coordinates."""
+
+    job: HierJob
+    hosts: Tuple[str, ...]
+    coords: Tuple[Coord, ...] = field(default=())
+
+    @property
+    def name(self) -> str:
+        return self.job.name
+
+    @property
+    def pods(self) -> Tuple[int, ...]:
+        return tuple(sorted({coord[0] for coord in self.coords}))
+
+    @property
+    def pod_local(self) -> bool:
+        return len(self.pods) == 1
+
+    @property
+    def pod(self) -> int:
+        """The single pod of a pod-local job."""
+        pods = self.pods
+        if len(pods) != 1:
+            raise ValueError(f"job {self.name!r} spans pods {pods}")
+        return pods[0]
+
+    @property
+    def blocks(self) -> Tuple[int, ...]:
+        return tuple(sorted({coord[1] for coord in self.coords}))
+
+    def positions_in_pod(self) -> Tuple[Tuple[int, int], ...]:
+        """Pod-relative host slots, in ring (placement) order."""
+        return tuple((block, host) for _, block, host in self.coords)
+
+
+def _host_at(params: AstralParams, index: int) -> Coord:
+    per_block = params.hosts_per_block
+    per_pod = params.blocks_per_pod * per_block
+    pod, rest = divmod(index, per_pod)
+    block, host = divmod(rest, per_block)
+    return pod, block, host
+
+
+def place_jobs(params: AstralParams,
+               jobs: Sequence[HierJob]) -> List[PlacedJob]:
+    """Contiguously place *jobs* on the virtual fabric, in order.
+
+    The cursor walks hosts pod-major (pod, block, host) — the same
+    order a contiguous flat allocator fills — so identical job
+    sequences land at identical pod-relative slots in every pod, which
+    is what gives the symmetry detector something to fold.  Jobs with
+    explicit ``hosts`` are honoured verbatim (and may overlap the
+    cursor only if the caller wants them to: explicitly-placed hosts
+    are reserved before the cursor starts).
+    """
+    total = params.pods * params.blocks_per_pod * params.hosts_per_block
+    names = [job.name for job in jobs]
+    if len(set(names)) != len(names):
+        raise ValueError("job names must be unique")
+    reserved = set()
+    for job in jobs:
+        for host in job.hosts:
+            coord = parse_host(host)
+            if coord in reserved:
+                raise ValueError(
+                    f"host {host} pinned by more than one job")
+            reserved.add(coord)
+    placed: List[PlacedJob] = []
+    cursor = 0
+    for job in jobs:
+        if job.hosts:
+            coords = tuple(parse_host(host) for host in job.hosts)
+            placed.append(PlacedJob(job=job, hosts=tuple(job.hosts),
+                                    coords=coords))
+            continue
+        coords_list: List[Coord] = []
+        while len(coords_list) < job.n_hosts:
+            if cursor >= total:
+                raise ValueError(
+                    f"cluster exhausted placing job {job.name!r}: "
+                    f"{total} hosts, need {job.n_hosts} more")
+            coord = _host_at(params, cursor)
+            cursor += 1
+            if coord in reserved:
+                continue
+            coords_list.append(coord)
+        coords = tuple(coords_list)
+        placed.append(PlacedJob(
+            job=job,
+            hosts=tuple(host_name(*coord) for coord in coords),
+            coords=coords))
+    return placed

@@ -24,6 +24,10 @@ faulted     clock monotonicity, full accounting (every flow finishes
 collective  flow-vs-analytic bandwidth, RS+AG == AR composition,
             solver oracles on the ring allocation, fluid-vs-packet on
             the busiest link, determinism
+hierarchical flat-vs-folded bit-exact differential (certified pod
+            symmetry: iteration times and expectations must match
+            ``==``), fold effectiveness (the fold must actually
+            shrink the engine-simulated host count), determinism
 ==========  ==========================================================
 """
 
@@ -355,12 +359,84 @@ def _collective_fingerprint(spec: ScenarioSpec) -> Dict[int, float]:
     return dict(fabric.complete(flows).finish_times_s)
 
 
+def _check_hierarchical(spec: ScenarioSpec, fast: bool
+                        ) -> (List[str], List[Violation]):
+    checks = ["flat-vs-folded-exact", "fold-effectiveness",
+              "bit-identical-replay"]
+    violations: List[Violation] = []
+    from ..hierarchy import (HierJob, HierarchicalRun,
+                             build_flat_fabric, flat_job_configs)
+    from ..monitoring.multijob import MultiJobRun
+    from ..network.flows import reset_flow_ids
+    from ..topology import AstralParams
+
+    conf = spec.hierarchy or {}
+    params = AstralParams(**spec.topo)
+    jobs = [HierJob(**job) for job in conf.get("jobs", [])]
+    caps = {int(pod): factor
+            for pod, factor in (conf.get("power_caps") or {}).items()}
+
+    reset_flow_ids()
+    flat = MultiJobRun(build_flat_fabric(params),
+                       flat_job_configs(params, jobs, caps)).run()
+    reset_flow_ids()
+    hier_run = HierarchicalRun(params, jobs, pod_power_caps=caps)
+    hier = hier_run.run()
+
+    if not hier_run.report.exact:
+        violations.append(Violation(
+            "flat-vs-folded-exact",
+            "sampled scenario is symmetric and fault-free but the "
+            "fold did not claim exactness"))
+    for name, outcome in flat.items():
+        folded = hier[name]
+        if outcome.iteration_times_s != folded.iteration_times_s:
+            violations.append(Violation(
+                "flat-vs-folded-exact",
+                f"job {name}: flat {outcome.iteration_times_s!r} != "
+                f"folded {folded.iteration_times_s!r}"))
+        if outcome.expected_iteration_s != folded.expected_iteration_s:
+            violations.append(Violation(
+                "flat-vs-folded-exact",
+                f"job {name}: expected {outcome.expected_iteration_s!r}"
+                f" != folded {folded.expected_iteration_s!r}"))
+    report = hier_run.report
+    # Pods are identical by construction except for their power-cap
+    # factor, so the fold must land exactly one class per distinct
+    # factor and engine-simulate at most one pod's hosts per class.
+    expected_classes = len({caps.get(pod, 1.0)
+                            for pod in range(params.pods)})
+    if report.n_pod_classes != expected_classes:
+        violations.append(Violation(
+            "fold-effectiveness",
+            f"expected {expected_classes} pod classes (distinct power "
+            f"caps), got {report.n_pod_classes}"))
+    per_pod_hosts = report.n_job_hosts // params.pods
+    if report.engine_hosts > expected_classes * per_pod_hosts:
+        violations.append(Violation(
+            "fold-effectiveness",
+            f"fold simulated {report.engine_hosts} hosts; at most "
+            f"{expected_classes} classes x {per_pod_hosts} hosts/pod "
+            "should have been needed"))
+
+    def _fingerprint():
+        reset_flow_ids()
+        rerun = HierarchicalRun(params, jobs, pod_power_caps=caps)
+        return {name: tuple(outcome.iteration_times_s)
+                for name, outcome in rerun.run().items()}
+
+    violations += check_same_result(_fingerprint,
+                                    label=f"case {spec.index}")
+    return checks, violations
+
+
 _BATTERIES: Dict[str, Callable] = {
     "batch": _check_batch,
     "timed": _check_timed,
     "degrade": _check_timed,   # replay folds the degrade schedule in
     "faulted": _check_faulted,
     "collective": _check_collective,
+    "hierarchical": _check_hierarchical,
 }
 
 

@@ -51,7 +51,8 @@ FAMILIES = ("astral", "astral_oversub", "clos", "tier2_full",
 
 #: Workload/fault profiles, cycled by case index so a fixed-size
 #: campaign always covers all of them.
-PROFILES = ("batch", "timed", "degrade", "faulted", "collective")
+PROFILES = ("batch", "timed", "degrade", "faulted", "collective",
+            "hierarchical")
 
 
 @dataclass(frozen=True)
@@ -97,6 +98,9 @@ class ScenarioSpec:
     dampening_s: float = 1.0
     #: collective profile only: {kind, hosts, rail, size_bits}.
     collective: Optional[Dict[str, Any]] = None
+    #: hierarchical profile only: {jobs: [...], power_caps: {...}} —
+    #: the folded-vs-flat cross-check scenario.
+    hierarchy: Optional[Dict[str, Any]] = None
 
     @property
     def repro_command(self) -> str:
@@ -114,6 +118,8 @@ class ScenarioSpec:
             "dampening_s": self.dampening_s,
             "collective": dict(self.collective)
             if self.collective else None,
+            "hierarchy": dict(self.hierarchy)
+            if self.hierarchy else None,
             "repro": self.repro_command,
         }
 
@@ -130,6 +136,8 @@ class ScenarioSpec:
             dampening_s=data.get("dampening_s", 1.0),
             collective=dict(data["collective"])
             if data.get("collective") else None,
+            hierarchy=dict(data["hierarchy"])
+            if data.get("hierarchy") else None,
         )
 
 
@@ -264,6 +272,53 @@ class ScenarioGenerator:
                     down_s=rng.uniform(0.1, 0.5) * horizon))
         return sorted(faults, key=lambda fault: fault.at_s)
 
+    def _sample_hierarchy(self, rng: random.Random,
+                          topo: Dict[str, Any]) -> Dict[str, Any]:
+        """A pod-symmetric tenant mix for the flat-vs-folded oracle.
+
+        One pod's blocks are decomposed into contiguous 1- or 2-block
+        segments, each carrying a sampled single-rail ring job; the
+        same segment layout repeats in every pod, so the placer's
+        pod-major cursor lands the copies at identical pod-relative
+        slots and the symmetry detector has real folds to find.  Rings
+        keep the line-rate certificate true (2-block rings put at most
+        one boundary leg per block per rail, under the ToR->Agg
+        headroom of 2), so the cross-check can demand exact ``==`` —
+        including under sampled per-pod power caps, which scale
+        compute identically on both sides.
+        """
+        blocks = topo["blocks_per_pod"]
+        hosts_per_block = topo["hosts_per_block"]
+        rails = topo["gpus_per_host"]
+        segments: List[int] = []
+        remaining = blocks
+        while remaining > 0:
+            width = 2 if remaining >= 2 and rng.random() < 0.4 else 1
+            segments.append(width)
+            remaining -= width
+        shapes = [
+            {
+                "n_hosts": width * hosts_per_block,
+                "rail": rng.randrange(rails),
+                "compute_time_s": rng.choice([0.2, 0.5]),
+                "comm_size_bits": round(10 ** rng.uniform(8.5, 9.8)),
+                "iterations": 3,
+                "compute_noise_frac": 0.01,
+                "seed": rng.randrange(100),
+            }
+            for width in segments
+        ]
+        jobs = []
+        for pod in range(topo["pods"]):
+            for k, shape in enumerate(shapes):
+                jobs.append(dict(shape, name=f"t{pod:02d}x{k:02d}"))
+        power_caps: Dict[str, float] = {}
+        if rng.random() < 0.5:
+            for pod in range(topo["pods"]):
+                if rng.random() < 0.5:
+                    power_caps[str(pod)] = rng.choice([0.6, 0.8])
+        return {"jobs": jobs, "power_caps": power_caps}
+
     def _sample_collective(self, rng: random.Random, spec: ScenarioSpec
                            ) -> Dict[str, Any]:
         hosts_per_block = spec.topo["hosts_per_block"]
@@ -295,6 +350,22 @@ class ScenarioGenerator:
                                 family=family, profile=profile,
                                 topo=topo)
             spec.collective = self._sample_collective(rng, spec)
+            return spec
+        if profile == "hierarchical":
+            # Folding is an Astral-shape property (pod/rail symmetry).
+            topo = asdict(AstralParams(
+                pods=rng.choice([2, 3]),
+                blocks_per_pod=rng.choice([1, 2]),
+                hosts_per_block=rng.choice([2, 4]),
+                gpus_per_host=rng.choice([1, 2]),
+                nic_ports=2,
+                aggs_per_group=2,
+                cores_per_group=2,
+            ))
+            spec = ScenarioSpec(seed=self.seed, index=index,
+                                family="astral", profile=profile,
+                                topo=topo)
+            spec.hierarchy = self._sample_hierarchy(rng, topo)
             return spec
         family = rng.choice(FAMILIES)
         if profile == "faulted" and family == "rail_only":

@@ -23,7 +23,7 @@ class TestParser:
             "describe", "forecast", "inference", "memory", "pue",
             "sweep", "taxonomy", "overhead", "goodput",
             "diagnose-demo", "cluster", "resilience", "validate",
-            "farm",
+            "farm", "scale",
         }
 
 
@@ -142,6 +142,50 @@ class TestTopLevelPackage:
         import repro
         with pytest.raises(AttributeError):
             repro.not_a_thing
+
+
+class TestScaleCommand:
+    _DIMS = ["--pods", "2", "--blocks-per-pod", "2",
+             "--hosts-per-block", "4", "--gpus-per-host", "2",
+             "--aggs-per-group", "2", "--cores-per-group", "2"]
+
+    def test_explicit_dims_smoke(self, capsys):
+        assert main(["scale", *self._DIMS, "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "32 GPUs" in out
+        assert "EXACT" in out
+
+    def test_fault_refines_and_caps_split_classes(self, capsys):
+        assert main(["scale", *self._DIMS, "--iterations", "3",
+                     "--faults", "1", "--power-cap", "1=0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "1 refined groups" in out
+
+    def test_bad_power_cap_exits(self):
+        with pytest.raises(SystemExit):
+            main(["scale", *self._DIMS, "--power-cap", "one=fast"])
+
+    def test_json_report(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "scale.json"
+        assert main(["scale", *self._DIMS, "--iterations", "3",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["fold"]["exact"] is True
+        assert data["scenario"]["total_gpus"] == 32
+        assert data["jobs"]
+
+    def test_farm_route_caches(self, capsys, tmp_path):
+        args = ["scale", *self._DIMS, "--iterations", "3",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "1 executed, 0 from cache" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 executed, 1 from cache" in warm
+        # The folded numbers themselves must agree bit-for-bit.
+        assert cold.splitlines()[1:-1] == warm.splitlines()[1:-1]
 
 
 class TestResilienceCommand:

@@ -31,7 +31,7 @@ class TestParallelSerialBitEquality:
         specs = [
             TaskSpec("validation-case",
                      {"seed": 7, "index": index, "fast": True})
-            for index in range(5)   # one case per oracle profile
+            for index in range(6)   # one case per oracle profile
         ]
         serial, parallel = _both_ways(tmp_path, specs)
         assert serial.identity() == parallel.identity()
@@ -78,6 +78,25 @@ class TestParallelSerialBitEquality:
         serial, parallel = _both_ways(tmp_path, specs)
         assert serial.identity() == parallel.identity()
 
+    def test_hierarchy_runs(self, tmp_path):
+        dims = {"pods": 2, "blocks_per_pod": 2, "hosts_per_block": 4,
+                "gpus_per_host": 2, "aggs_per_group": 2,
+                "cores_per_group": 2}
+        specs = [
+            TaskSpec("hierarchy-run",
+                     {"dims": dims, "hosts_per_job": 4,
+                      "iterations": 3, "seed": 0}),
+            TaskSpec("hierarchy-run",
+                     {"dims": dims, "hosts_per_job": 4,
+                      "iterations": 3, "seed": 0, "faults": 1}),
+            TaskSpec("hierarchy-run",
+                     {"dims": dims, "hosts_per_job": 4,
+                      "iterations": 3, "seed": 0,
+                      "power_caps": {"1": 0.8}}),
+        ]
+        serial, parallel = _both_ways(tmp_path, specs)
+        assert serial.identity() == parallel.identity()
+
     def test_mixed_kind_batch(self, tmp_path):
         """Kinds interleaved in one pool share workers without bleed."""
         specs = [
@@ -98,8 +117,8 @@ class TestValidateCampaignEquality:
     def test_run_campaign_workers_matches_serial_report(self, tmp_path):
         """The ``repro validate --workers N`` path, end to end."""
         from repro.validation import run_campaign
-        serial = run_campaign(7, 5, fast=True)
-        parallel = run_campaign(7, 5, fast=True, workers=2,
+        serial = run_campaign(7, 6, fast=True)
+        parallel = run_campaign(7, 6, fast=True, workers=2,
                                 cache_dir=str(tmp_path / "cache"),
                                 use_cache=True)
         serial_dict = serial.to_dict()
@@ -111,10 +130,10 @@ class TestValidateCampaignEquality:
         from repro.validation import run_campaign
         kwargs = dict(fast=True, workers=2, use_cache=True,
                       cache_dir=str(tmp_path / "cache"))
-        cold = run_campaign(7, 5, **kwargs)
-        warm = run_campaign(7, 5, **kwargs)
+        cold = run_campaign(7, 6, **kwargs)
+        warm = run_campaign(7, 6, **kwargs)
         assert warm.farm.n_executed == 0
-        assert warm.farm.n_cached == 5
+        assert warm.farm.n_cached == 6
         cold_dict, warm_dict = cold.to_dict(), warm.to_dict()
         cold_dict.pop("farm")
         warm_dict.pop("farm")

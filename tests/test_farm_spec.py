@@ -65,6 +65,24 @@ class TestContentHash:
         assert spec.seed_material == spec.seed_material
         assert isinstance(spec.seed_material, int)
 
+    def test_hierarchy_run_hash_covers_every_knob(self):
+        base = {"scale": "4k", "hosts_per_job": 64, "seed": 0,
+                "faults": 0, "power_caps": {}}
+        seen = {TaskSpec("hierarchy-run", base).content_hash}
+        for mutation in (
+            {"scale": "64k"},
+            {"hosts_per_job": 32},
+            {"seed": 1},
+            {"faults": 1},
+            {"power_caps": {"1": 0.8}},
+            {"tail_shapes": 2},
+            {"dims": {"pods": 2, "blocks_per_pod": 1,
+                      "hosts_per_block": 4}},
+        ):
+            mutated = TaskSpec("hierarchy-run", {**base, **mutation})
+            assert mutated.content_hash not in seen, mutation
+            seen.add(mutated.content_hash)
+
 
 class TestRegistry:
     def test_all_runnable_units_are_registered(self):
@@ -73,7 +91,7 @@ class TestRegistry:
         assert set(task_kinds()) >= {
             "validation-case", "resilience-campaign",
             "monitoring-campaign", "cluster-sweep", "seer-forecast",
-            "figure-bench",
+            "figure-bench", "hierarchy-run",
         }
 
     def test_unknown_kind_raises(self):

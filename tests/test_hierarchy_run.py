@@ -1,0 +1,206 @@
+"""Flat-vs-folded differentials and the fold's edge cases.
+
+The correctness bar: on symmetric fault-free scenarios the folded
+runner must equal a flat :class:`MultiJobRun` with ``==`` on every
+float — no tolerances — and faults must transparently unfold exactly
+the pods they touch, degenerating to the flat simulation when every
+pod is broken.
+"""
+
+import pytest
+
+from repro.hierarchy import (HierJob, HierarchicalRun,
+                             build_flat_fabric, flat_job_configs,
+                             preset_params, uniform_jobs)
+from repro.monitoring import FaultSpec, Manifestation, RootCause
+from repro.monitoring.multijob import MultiJobRun
+from repro.network.flows import reset_flow_ids
+from repro.topology import AstralParams
+
+
+def tiny(pods: int = 2) -> AstralParams:
+    return AstralParams(pods=pods, blocks_per_pod=2, hosts_per_block=4,
+                        gpus_per_host=2, aggs_per_group=2,
+                        cores_per_group=2)
+
+
+def tor_fault(pod: int, block: int = 0) -> FaultSpec:
+    return FaultSpec(cause=RootCause.SWITCH_BUG,
+                     manifestation=Manifestation.FAIL_SLOW,
+                     target=f"p{pod}.b{block}.r0.g0.tor")
+
+
+def run_flat(params, jobs, caps=None, faults=None):
+    reset_flow_ids()
+    return MultiJobRun(build_flat_fabric(params),
+                       flat_job_configs(params, jobs, caps),
+                       faults=faults).run()
+
+
+def assert_bit_identical(folded, flat):
+    assert set(folded) == set(flat)
+    for name in flat:
+        assert folded[name].iteration_times_s \
+            == flat[name].iteration_times_s, name
+        assert folded[name].expected_iteration_s \
+            == flat[name].expected_iteration_s, name
+
+
+def block_jobs(params, per_block: int = 1):
+    """One single-block job per block: exercises the block-fold path."""
+    return [HierJob(f"j{i}", n_hosts=params.hosts_per_block,
+                    iterations=3)
+            for i in range(params.pods * params.blocks_per_pod)]
+
+
+class TestExactDifferential:
+    def test_block_fold_path_is_bit_identical(self):
+        params, jobs = tiny(), block_jobs(tiny())
+        run = HierarchicalRun(params, jobs)
+        folded = run.run()
+        assert_bit_identical(folded, run_flat(params, jobs))
+        report = run.report
+        assert report.exact
+        assert report.n_pod_classes == 1
+        assert report.n_refined_groups == 0
+        # One rep block of 4 hosts solved for all 16 job hosts.
+        assert report.engine_hosts == 4
+        assert report.fold_factor == 4.0
+
+    def test_pod_fold_path_is_bit_identical(self):
+        params = tiny()
+        jobs = [HierJob("a", n_hosts=8, iterations=3),
+                HierJob("b", n_hosts=8, iterations=3)]   # 2 blocks each
+        run = HierarchicalRun(params, jobs)
+        assert not run.symmetry.classes[0].foldable_by_block
+        assert_bit_identical(run.run(), run_flat(params, jobs))
+        assert run.report.exact
+        assert run.report.engine_hosts == 8
+
+    def test_result_surface_matches_multijobrun(self):
+        params, jobs = tiny(), block_jobs(tiny())
+        outcomes = HierarchicalRun(params, jobs).run()
+        assert list(outcomes) == [job.name for job in jobs]
+        sample = outcomes["j0"]
+        assert len(sample.iteration_times_s) == 3
+        assert 0.0 < sample.efficiency <= 1.0
+        assert sample.mean_iteration_s >= sample.expected_iteration_s
+
+
+class TestEdgeCases:
+    def test_single_pod_cluster(self):
+        params = tiny(pods=1)
+        jobs = block_jobs(params)
+        run = HierarchicalRun(params, jobs)
+        assert_bit_identical(run.run(), run_flat(params, jobs))
+        assert run.report.n_pod_classes == 1
+        assert run.report.exact
+
+    def test_all_pods_faulted_degenerates_to_flat(self):
+        params, jobs = tiny(), block_jobs(tiny())
+        faults = {"j0": tor_fault(0), "j2": tor_fault(1)}
+        run = HierarchicalRun(params, jobs, faults=faults)
+        assert run.report is not None
+        folded = run.run()
+        assert run.report.n_pod_classes == 0
+        assert run.report.n_refined_pods == params.pods
+        assert not run.report.exact
+        assert_bit_identical(folded,
+                             run_flat(params, jobs, faults=faults))
+
+    def test_fault_then_heal_refolds_exactly(self):
+        params, jobs = tiny(), block_jobs(tiny())
+        faulted = HierarchicalRun(params, jobs,
+                                  faults={"j2": tor_fault(1)})
+        faulted.run()
+        assert faulted.report.n_refined_groups == 1
+        assert faulted.report.n_pod_classes == 1
+        # Fault cleared: a fresh run folds back to one class and is
+        # again bit-identical to flat.
+        healed = HierarchicalRun(params, jobs)
+        assert_bit_identical(healed.run(), run_flat(params, jobs))
+        assert healed.report.n_refined_groups == 0
+        assert healed.report.exact
+
+    def test_power_cap_asymmetry_stays_exact(self):
+        params, jobs = tiny(), block_jobs(tiny())
+        caps = {1: 0.8}
+        run = HierarchicalRun(params, jobs, pod_power_caps=caps)
+        assert_bit_identical(run.run(),
+                             run_flat(params, jobs, caps=caps))
+        assert run.report.n_pod_classes == 2   # capped pod splits off
+        assert run.report.exact
+        # The capped pod's jobs really run slower.
+        outcomes = run.report.outcomes
+        assert outcomes["j2"].expected_iteration_s \
+            > outcomes["j0"].expected_iteration_s
+
+    def test_resilience_fault_specs_trigger_refinement(self):
+        from repro.resilience import default_tor_faults
+        params, jobs = tiny(), block_jobs(tiny())
+        spec = default_tor_faults(params, seed=3)[0]   # a p0.b0 ToR
+        run = HierarchicalRun(params, jobs, faults={"j0": spec})
+        run.run()
+        assert run.report.n_refined_groups == 1
+        assert run.symmetry.refined[0].pods == (0,)
+
+    def test_analytic_cross_pod_tier(self):
+        params = tiny()
+        jobs = [HierJob("wide", n_hosts=12, iterations=3)]
+        run = HierarchicalRun(params, jobs)
+        outcomes = run.run()
+        assert run.report.n_analytic_jobs == 1
+        assert not run.report.exact
+        assert len(outcomes["wide"].iteration_times_s) == 3
+        assert outcomes["wide"].efficiency <= 1.0
+
+    def test_empty_job_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            HierarchicalRun(tiny(), [])
+
+
+class TestFoldEconomy:
+    def test_identical_pods_cost_one_engine_sim(self):
+        params, jobs = tiny(), block_jobs(tiny())
+        run = HierarchicalRun(params, jobs)
+        run.run()
+        # 4 identical blocks across 2 identical pods: one sub-sim.
+        assert run.report.n_engine_sims == 1
+
+    def test_presets_ladder_and_64k_folds(self):
+        params = preset_params("64k")
+        assert params.total_gpus == 65_536
+        jobs = uniform_jobs(params, params.hosts_per_block,
+                            iterations=2)
+        run = HierarchicalRun(params, jobs)
+        run.run()
+        assert run.report.exact
+        assert run.report.n_pod_classes == 1
+        assert run.report.engine_hosts == params.hosts_per_block
+        assert run.report.fold_factor == 64.0
+
+    def test_tail_shapes_make_two_classes(self):
+        params = tiny()
+        jobs = uniform_jobs(params, params.hosts_per_block,
+                            iterations=2, tail_shapes=2)
+        run = HierarchicalRun(params, jobs)
+        run.run()
+        assert run.report.n_pod_classes == 2
+        assert run.report.exact
+
+
+class TestReport:
+    def test_to_dict_is_deterministic_and_truncates(self):
+        params, jobs = tiny(), block_jobs(tiny())
+        run = HierarchicalRun(params, jobs)
+        run.run()
+        full = run.report.to_dict()
+        assert full == run.report.to_dict()
+        assert "elapsed_s" not in str(full)
+        truncated = run.report.to_dict(max_jobs=1)
+        assert len(truncated["jobs"]) == 1
+        assert truncated["n_jobs_truncated"] == len(jobs) - 1
+
+    def test_run_is_memoised(self):
+        run = HierarchicalRun(tiny(), block_jobs(tiny()))
+        assert run.run() is run.run()

@@ -1,0 +1,201 @@
+"""Placement, signatures, the line-rate certificate, and fold planning."""
+
+import pytest
+
+from repro.hierarchy import (HierJob, detect_symmetry, job_shape,
+                             line_rate_certificate, place_jobs)
+from repro.hierarchy.virtual import (parse_host, pod_of_device,
+                                     rename_device, rename_host)
+from repro.monitoring import FaultSpec, Manifestation, RootCause
+from repro.topology import AstralParams
+
+
+def tiny(pods: int = 2) -> AstralParams:
+    return AstralParams(pods=pods, blocks_per_pod=2, hosts_per_block=4,
+                        gpus_per_host=2, aggs_per_group=2,
+                        cores_per_group=2)
+
+
+def tor_fault(pod: int, block: int = 0) -> FaultSpec:
+    return FaultSpec(cause=RootCause.SWITCH_BUG,
+                     manifestation=Manifestation.FAIL_SLOW,
+                     target=f"p{pod}.b{block}.r0.g0.tor")
+
+
+class TestVirtualNaming:
+    def test_host_round_trip(self):
+        assert parse_host("p3.b7.h11") == (3, 7, 11)
+        with pytest.raises(ValueError):
+            parse_host("cg0.c1.core")
+
+    def test_pod_of_device(self):
+        assert pod_of_device("p2.b0.h1") == 2
+        assert pod_of_device("p2.b0.r1.g0.tor") == 2
+        assert pod_of_device("p5.r0.g1.a2.agg") == 5
+        assert pod_of_device("cg0.c3.core") is None
+        assert pod_of_device("link:1234") is None
+
+    def test_rename_device_rebases_pod_and_block(self):
+        pod_map, block_map = {3: 0}, {5: 1}
+        assert rename_host("p3.b5.h2", pod_map, block_map) == "p0.b1.h2"
+        assert rename_device("p3.b5.r1.g0.tor", pod_map, block_map) \
+            == "p0.b1.r1.g0.tor"
+        assert rename_device("p3.r1.g0.a0.agg", pod_map) \
+            == "p0.r1.g0.a0.agg"
+        # Cores and opaque targets pass through untouched.
+        assert rename_device("cg0.c3.core", pod_map) == "cg0.c3.core"
+        assert rename_device("link:99", pod_map) == "link:99"
+
+
+class TestPlacement:
+    def test_contiguous_pod_major(self):
+        placed = place_jobs(tiny(), [HierJob("a", n_hosts=4),
+                                     HierJob("b", n_hosts=4),
+                                     HierJob("c", n_hosts=4)])
+        assert placed[0].hosts[0] == "p0.b0.h0"
+        assert placed[0].blocks == (0,)
+        assert placed[1].blocks == (1,)        # next block, same pod
+        assert placed[2].hosts[0] == "p1.b0.h0"  # spills to pod 1
+        assert placed[0].positions_in_pod() \
+            == placed[2].positions_in_pod()
+
+    def test_cross_pod_job_spans(self):
+        placed = place_jobs(tiny(), [HierJob("wide", n_hosts=12)])
+        assert placed[0].pods == (0, 1)
+        assert not placed[0].pod_local
+        with pytest.raises(ValueError):
+            placed[0].pod
+
+    def test_explicit_hosts_reserved_before_cursor(self):
+        placed = place_jobs(tiny(), [
+            HierJob("pinned", hosts=("p0.b0.h0", "p0.b0.h1")),
+            HierJob("flow", n_hosts=2),
+        ])
+        assert placed[1].hosts == ("p0.b0.h2", "p0.b0.h3")
+
+    def test_double_pin_rejected(self):
+        with pytest.raises(ValueError, match="more than one job"):
+            place_jobs(tiny(), [HierJob("a", hosts=("p0.b0.h0",)),
+                                HierJob("b", hosts=("p0.b0.h0",))])
+
+    def test_exhaustion_and_duplicate_names(self):
+        with pytest.raises(ValueError, match="exhausted"):
+            place_jobs(tiny(), [HierJob("big", n_hosts=17)])
+        with pytest.raises(ValueError, match="unique"):
+            place_jobs(tiny(), [HierJob("x", n_hosts=1),
+                                HierJob("x", n_hosts=1)])
+
+
+class TestJobShape:
+    def test_name_excluded_seed_included(self):
+        a = HierJob("a", n_hosts=2, seed=7)
+        b = HierJob("b", n_hosts=2, seed=7)
+        c = HierJob("c", n_hosts=2, seed=8)
+        assert job_shape(a) == job_shape(b)
+        assert job_shape(a) != job_shape(c)
+
+
+class TestCertificate:
+    def test_single_block_rings_certify(self):
+        placed = place_jobs(tiny(), [HierJob(f"j{i}", n_hosts=4)
+                                     for i in range(4)])
+        assert line_rate_certificate(tiny(), placed)
+
+    def test_alltoall_voids(self):
+        placed = place_jobs(tiny(), [
+            HierJob("a2a", n_hosts=4, collective="all_to_all")])
+        assert not line_rate_certificate(tiny(), placed)
+
+    def test_pod_crossing_leg_voids(self):
+        placed = place_jobs(tiny(), [HierJob("wide", n_hosts=12)])
+        assert not line_rate_certificate(tiny(), placed)
+
+    def test_boundary_oversubscription_voids(self):
+        # Hosts alternate blocks: every ring leg crosses the block
+        # boundary, 3 exits from b0 on one rail > tor_agg/nic = 2.
+        hosts = ("p0.b0.h0", "p0.b1.h0", "p0.b0.h1", "p0.b1.h1",
+                 "p0.b0.h2", "p0.b1.h2")
+        placed = place_jobs(tiny(), [HierJob("zigzag", hosts=hosts)])
+        assert not line_rate_certificate(tiny(), placed)
+
+
+class TestDetectSymmetry:
+    def test_identical_pods_fold_into_one_class(self):
+        placed = place_jobs(tiny(), [HierJob(f"j{i}", n_hosts=4)
+                                     for i in range(4)])
+        symmetry = detect_symmetry(tiny(), placed)
+        assert len(symmetry.classes) == 1
+        assert symmetry.classes[0].members == [0, 1]
+        assert symmetry.classes[0].certified
+        assert symmetry.exact
+
+    def test_distinct_seeds_split_classes(self):
+        placed = place_jobs(tiny(), [
+            HierJob("j0", n_hosts=4), HierJob("j1", n_hosts=4),
+            HierJob("j2", n_hosts=4, seed=1),
+            HierJob("j3", n_hosts=4, seed=1)])
+        symmetry = detect_symmetry(tiny(), placed)
+        assert len(symmetry.classes) == 2
+
+    def test_power_cap_splits_classes(self):
+        placed = place_jobs(tiny(), [HierJob(f"j{i}", n_hosts=4)
+                                     for i in range(4)])
+        symmetry = detect_symmetry(tiny(), placed,
+                                   power_caps={1: 0.8})
+        assert len(symmetry.classes) == 2
+        assert symmetry.exact           # caps rescale, don't refine
+
+    def test_bad_power_cap_rejected(self):
+        placed = place_jobs(tiny(), [HierJob("j", n_hosts=4)])
+        for factor in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="power cap"):
+                detect_symmetry(tiny(), placed,
+                                power_caps={0: factor})
+
+    def test_fault_refines_only_its_pod(self):
+        placed = place_jobs(tiny(), [HierJob(f"j{i}", n_hosts=4)
+                                     for i in range(4)])
+        symmetry = detect_symmetry(tiny(), placed,
+                                   faults={"j2": tor_fault(1)})
+        assert len(symmetry.refined) == 1
+        assert symmetry.refined[0].pods == (1,)
+        assert [p.name for p in symmetry.refined[0].jobs] \
+            == ["j2", "j3"]
+        assert len(symmetry.classes) == 1   # pod 0 still folds
+        assert symmetry.classes[0].members == [0]
+        assert not symmetry.exact
+
+    def test_cross_job_drags_its_pods_transitively(self):
+        placed = place_jobs(tiny(3), [
+            HierJob("local", n_hosts=8),            # pod 0
+            HierJob("wide", n_hosts=16),            # pods 1-2
+        ])
+        symmetry = detect_symmetry(tiny(3), placed,
+                                   faults={"wide": tor_fault(1)})
+        assert len(symmetry.refined) == 1
+        assert symmetry.refined[0].pods == (1, 2)
+        assert symmetry.analytic == []
+        assert len(symmetry.classes) == 1       # pod 0 untouched
+
+    def test_healthy_cross_job_goes_analytic(self):
+        placed = place_jobs(tiny(), [HierJob("wide", n_hosts=12)])
+        symmetry = detect_symmetry(tiny(), placed)
+        assert [p.name for p in symmetry.analytic] == ["wide"]
+        assert not symmetry.exact
+
+    def test_unlocatable_target_forces_flat_fallback(self):
+        placed = place_jobs(tiny(), [HierJob("j", n_hosts=4)])
+        fault = FaultSpec(cause=RootCause.OPTICAL_FIBER,
+                          manifestation=Manifestation.FAIL_SLOW,
+                          target="link:42")
+        symmetry = detect_symmetry(tiny(), placed,
+                                   faults={"j": fault})
+        assert symmetry.flat_fallback
+        assert len(symmetry.refined) == 1
+        assert symmetry.refined[0].pods == (0, 1)
+
+    def test_fault_on_unknown_job_rejected(self):
+        placed = place_jobs(tiny(), [HierJob("j", n_hosts=4)])
+        with pytest.raises(ValueError, match="unknown job"):
+            detect_symmetry(tiny(), placed,
+                            faults={"ghost": tor_fault(0)})
