@@ -58,13 +58,18 @@ def _params_for_scale(scale: str):
 # version 2: the oracle profile cycle grew from 5 to 6 entries
 # ("hierarchical" joined), silently remapping every case index — old
 # cached results describe different scenarios and must not be reused.
-@register_task("validation-case", version=2,
+# version 3: every battery gained the solver-backends differential and
+# the params carry the resolved max-min backend (``solver``), so
+# backend-less version-2 hashes describe a different check set.
+@register_task("validation-case", version=3,
                description="one repro.validation fuzz case")
 def run_validation_case(params: Dict[str, Any]) -> Dict[str, Any]:
-    """Params: ``seed``, ``index``, optional ``fast`` (default True)."""
+    """Params: ``seed``, ``index``, optional ``fast`` (default True),
+    optional ``solver`` (resolved max-min backend name)."""
     from ..validation.runner import run_case
     report = run_case(int(params["seed"]), int(params["index"]),
-                      fast=bool(params.get("fast", True)))
+                      fast=bool(params.get("fast", True)),
+                      solver=params.get("solver"))
     return report.to_dict()
 
 
@@ -72,15 +77,19 @@ def run_validation_case(params: Dict[str, Any]) -> Dict[str, Any]:
 # resilience
 # ---------------------------------------------------------------------------
 
-@register_task("resilience-campaign", version=1,
+# version 2: params may carry the resolved max-min solver backend
+# (``solver``), which changes nothing about results (backends are
+# bit-identical) but versions the hash with the code that honors it.
+@register_task("resilience-campaign", version=2,
                description="seeded failure-injection campaign")
 def run_resilience_campaign(params: Dict[str, Any]) -> Dict[str, Any]:
     """Params mirror the ``repro resilience`` CLI.
 
     ``seed``, ``scale``, ``jobs``, ``hosts_per_job``, ``iterations``,
     ``faults``, ``fault_at_s``, ``checkpoint_interval_s``,
-    ``compute_s``, ``collective_bits``.
+    ``compute_s``, ``collective_bits``, optional ``solver``.
     """
+    from ..network.solver import use_backend
     from ..resilience.campaign import (ResilienceCampaign,
                                        default_tor_faults)
     scale = params.get("scale", "small")
@@ -100,7 +109,8 @@ def run_resilience_campaign(params: Dict[str, Any]) -> Dict[str, Any]:
         checkpoint_interval_s=float(
             params.get("checkpoint_interval_s", 3600.0)),
         seed=seed)
-    return campaign.run().to_dict()
+    with use_backend(params.get("solver")):
+        return campaign.run().to_dict()
 
 
 # ---------------------------------------------------------------------------
@@ -142,32 +152,37 @@ def run_monitoring_campaign(params: Dict[str, Any]) -> Dict[str, Any]:
 # cluster
 # ---------------------------------------------------------------------------
 
-@register_task("cluster-sweep", version=1,
+# version 2: params may carry the resolved max-min solver backend
+# (``solver``); see the validation-case v3 note.
+@register_task("cluster-sweep", version=2,
                description="one scheduler run over a seeded job trace")
 def run_cluster_sweep(params: Dict[str, Any]) -> Dict[str, Any]:
     """Params mirror ``repro cluster``: ``seed``, ``scale``, ``jobs``,
-    ``policy``, ``failure_scale``, ``tidal``, ``contention``."""
+    ``policy``, ``failure_scale``, ``tidal``, ``contention``, optional
+    ``solver``."""
     from ..core import AstralInfrastructure
+    from ..network.solver import use_backend
     scale = params.get("scale", "small")
     seed = int(params.get("seed", 0))
     infra = AstralInfrastructure(params=_params_for_scale(scale),
                                  seed=seed)
-    report = infra.run_cluster(
-        jobs=int(params.get("jobs", 20)),
-        policy=params.get("policy", "topology"),
-        seed=seed,
-        failure_scale=float(params.get("failure_scale", 1.0)),
-        tidal_cap=bool(params.get("tidal", True)))
-    result = report.to_dict()
-    if params.get("contention", False):
-        outcomes = infra.cluster_contention(report)
-        result["contention"] = {
-            name: {
-                "efficiency": outcomes[name].efficiency,
-                "mean_iteration_s": outcomes[name].mean_iteration_s,
+    with use_backend(params.get("solver")):
+        report = infra.run_cluster(
+            jobs=int(params.get("jobs", 20)),
+            policy=params.get("policy", "topology"),
+            seed=seed,
+            failure_scale=float(params.get("failure_scale", 1.0)),
+            tidal_cap=bool(params.get("tidal", True)))
+        result = report.to_dict()
+        if params.get("contention", False):
+            outcomes = infra.cluster_contention(report)
+            result["contention"] = {
+                name: {
+                    "efficiency": outcomes[name].efficiency,
+                    "mean_iteration_s": outcomes[name].mean_iteration_s,
+                }
+                for name in sorted(outcomes)
             }
-            for name in sorted(outcomes)
-        }
     return result
 
 
@@ -282,7 +297,9 @@ def run_figure_bench(params: Dict[str, Any]) -> Dict[str, Any]:
 # hierarchy
 # ---------------------------------------------------------------------------
 
-@register_task("hierarchy-run", version=1,
+# version 2: params may carry the resolved max-min solver backend
+# (``solver``); see the validation-case v3 note.
+@register_task("hierarchy-run", version=2,
                description="symmetry-folded hierarchical simulation")
 def run_hierarchy(params: Dict[str, Any]) -> Dict[str, Any]:
     """Params mirror ``repro scale``.
@@ -292,7 +309,8 @@ def run_hierarchy(params: Dict[str, Any]) -> Dict[str, Any]:
     ``comm_bits``, ``collective``, ``seed``, ``tail_shapes``,
     ``faults`` (count of deterministic ToR fail-slows, armed on the
     first jobs in placement order), ``power_caps`` (pod index ->
-    compute factor; keys are strings because specs are JSON).
+    compute factor; keys are strings because specs are JSON), optional
+    ``solver`` (resolved max-min backend name).
     """
     from ..hierarchy import HierarchicalRun, preset_params, uniform_jobs
     from ..hierarchy.virtual import place_jobs
@@ -324,9 +342,11 @@ def run_hierarchy(params: Dict[str, Any]) -> Dict[str, Any]:
             target=f"p{pod}.b{block}.r0.g0.tor")
     caps = {int(pod): float(factor)
             for pod, factor in (params.get("power_caps") or {}).items()}
+    from ..network.solver import use_backend
     run = HierarchicalRun(topo, jobs, faults=faults or None,
                           pod_power_caps=caps or None)
-    run.run()
+    with use_backend(params.get("solver")):
+        run.run()
     return run.report.to_dict()
 
 

@@ -25,53 +25,57 @@ the active population has halved, so long multi-tenant runs do not
 degrade to one permanent super-component.  :class:`SolverStats` counts
 the work (solver calls, link visits) so the saving vs the epoch-global
 baseline is measurable — see ``benchmarks/test_bench_fabric_engine.py``.
+
+The progressive-filling loop itself lives in
+:mod:`repro.network.solver`, with two bit-identical backends.  Under
+the ``python`` backend the engine behaves exactly as it historically
+did: dict-shaped component solves, one deadline timeout per flow.
+Under the ``vector`` backend the whole fluid core is array-shaped —
+per-flow ``remaining``/``rate``/absolute-``deadline`` numpy arrays,
+cached compiled per-component incidence matrices (patched in place as
+flows finish), one engine-level deadline event at the minimum of the
+deadline array — and every float is still produced by the same
+element-wise operation sequence, so finish times remain ``==`` across
+backends (the validation harness pins this).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
 from ..simcore import Event, SimulationError, Simulator
 from .fabric import DONE_BITS as _DONE_BITS
 from .fabric import Fabric, FabricRun, LinkDir
 from .flows import Flow, FlowPath
 from .routing import RoutingError
+from .solver import (
+    CompiledIncidence,
+    IncidenceIndex,
+    SolverStats,
+    compile_component,
+    fill_rates_python,
+    progressive_fill_vector,
+    resolve_backend,
+)
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - vector backend then unselectable
+    np = None
 
 __all__ = ["FabricEngine", "SolverStats"]
 
 
-
-@dataclass
-class SolverStats:
-    """Work counters for the (incremental) max-min rate solver.
-
-    ``link_visits`` counts every per-link unit of solver work: a
-    (flow, hop) membership registration, a capacity read, or one
-    fair-share evaluation inside the progressive-filling loop.  The
-    epoch-global batch loop and the incremental engine count with the
-    same ruler, so their totals are directly comparable.
-    """
-
-    events: int = 0
-    solves: int = 0
-    link_visits: int = 0
-    flows_resolved: int = 0
-    components_solved: int = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        return {
-            "events": self.events,
-            "solves": self.solves,
-            "link_visits": self.link_visits,
-            "flows_resolved": self.flows_resolved,
-            "components_solved": self.components_solved,
-        }
-
-
 @dataclass
 class _FlowState:
-    """Book-keeping for one in-flight flow."""
+    """Book-keeping for one in-flight flow.
+
+    Under the vector backend the fluid quantities (``remaining_bits``,
+    ``rate_gbps``) live in the engine's arrays and ``row`` is the
+    flow's index into them; the fields here then only hold the
+    arrival-time values.
+    """
 
     flow: Flow
     remaining_bits: float
@@ -79,6 +83,77 @@ class _FlowState:
     generation: int = 0
     done: Optional[Event] = None
     hops: List[LinkDir] = field(default_factory=list)
+    row: int = -1
+
+
+class _VecFluid:
+    """Array-of-flows fluid state (vector backend).
+
+    One row per submitted flow, assigned in arrival order so row order
+    matches the python backend's dict iteration order everywhere it is
+    observable (completion detection, finish-dict insertion).  Rows
+    are retired in place and compacted away once dead rows dominate.
+    """
+
+    __slots__ = ("rem", "rate", "deadline", "alive", "synced", "fids",
+                 "n", "n_alive")
+
+    def __init__(self, capacity: int = 64):
+        self.rem = np.zeros(capacity, dtype=np.float64)
+        self.rate = np.zeros(capacity, dtype=np.float64)
+        self.deadline = np.full(capacity, np.inf, dtype=np.float64)
+        self.alive = np.zeros(capacity, dtype=bool)
+        #: row's ``flow.rate_gbps`` attribute has been written at least
+        #: once by :meth:`FabricEngine._apply_rates` (see there).
+        self.synced = np.zeros(capacity, dtype=bool)
+        self.fids: List[int] = []
+        self.n = 0
+        self.n_alive = 0
+
+    def _grow(self) -> None:
+        cap = self.rem.shape[0] * 2
+        for name in ("rem", "rate", "deadline", "alive", "synced"):
+            old = getattr(self, name)
+            fill = np.inf if name == "deadline" else 0
+            grown = np.full(cap, fill, dtype=old.dtype)
+            grown[:old.shape[0]] = old
+            setattr(self, name, grown)
+
+    def add(self, fid: int, remaining_bits: float) -> int:
+        if self.n == self.rem.shape[0]:
+            self._grow()
+        row = self.n
+        self.n += 1
+        self.rem[row] = remaining_bits
+        self.rate[row] = 0.0
+        self.deadline[row] = np.inf
+        self.alive[row] = True
+        self.synced[row] = False
+        self.fids.append(fid)
+        self.n_alive += 1
+        return row
+
+    def retire(self, row: int) -> None:
+        self.alive[row] = False
+        self.rate[row] = 0.0
+        self.deadline[row] = np.inf
+        self.n_alive -= 1
+
+
+@dataclass
+class _CompEntry:
+    """One cached compiled component (vector backend).
+
+    ``rows``/``flows`` are aligned with ``inc``'s row order: the
+    flow's fluid-array row and its :class:`Flow` object, resolved once
+    at compile time so per-solve scatter and attribute sync never go
+    through dict lookups.
+    """
+
+    inc: CompiledIncidence
+    l2g: Any
+    rows: Any
+    flows: List[Flow]
 
 
 class FabricEngine:
@@ -93,17 +168,33 @@ class FabricEngine:
     backpressure multipliers are instead re-derived from the *current*
     active-flow loads at every solve, so a tenant's storm throttles
     exactly the links it is storming while it is storming them.
+
+    ``solver`` picks the max-min backend ("python", "vector", "auto");
+    it defaults to the owning fabric's setting and is resolved once at
+    construction, so one engine never mixes fluid representations
+    mid-run.
     """
 
     def __init__(self, fabric: Fabric, sim: Optional[Simulator] = None,
                  capacity_factors: Optional[Dict[LinkDir, float]] = None,
                  pfc_spreading: bool = False,
                  congestion=None,
-                 stats: Optional[SolverStats] = None):
+                 stats: Optional[SolverStats] = None,
+                 solver: Optional[str] = None):
         self.fabric = fabric
         self.sim = sim or Simulator()
         self.stats = stats or SolverStats()
         self.pfc_spreading = pfc_spreading
+        self.solver = resolve_backend(
+            solver if solver is not None else fabric.solver)
+        if self.solver == "vector":
+            self._vec: Optional[_VecFluid] = _VecFluid()
+            self._index = IncidenceIndex()
+        else:
+            self._vec = None
+            self._index = None
+        self._comp_cache: Dict[int, _CompEntry] = {}
+        self._vec_gen = 0
         if pfc_spreading:
             from .congestion import CongestionModel
             self._congestion = congestion or CongestionModel()
@@ -150,7 +241,11 @@ class FabricEngine:
 
     def rate_of(self, flow_id: int) -> float:
         state = self._states.get(flow_id)
-        return state.rate_gbps if state is not None else 0.0
+        if state is None:
+            return 0.0
+        if self._vec is not None:
+            return float(self._vec.rate[state.row])
+        return state.rate_gbps
 
     def finish_time(self, flow_id: int) -> Optional[float]:
         return self._finish.get(flow_id)
@@ -222,6 +317,11 @@ class FabricEngine:
         self._paths[fid] = new_path
         if new_hops == state.hops:
             return False
+        if self._vec is not None:
+            # The flow's component changes shape: invalidate its
+            # compiled incidence both under its old root and (after
+            # re-registration may have merged roots) its new one.
+            self._comp_cache.pop(self._find(fid), None)
         for hop in state.hops:
             members = self._members.get(hop)
             if members is not None:
@@ -232,6 +332,9 @@ class FabricEngine:
             self._dirty.add(hop)
         self.stats.link_visits += len(new_hops)
         state.hops = new_hops
+        if self._vec is not None:
+            self._index.register_flow(fid, new_hops)
+            self._comp_cache.pop(self._find(fid), None)
         return True
 
     def on_stranded(self, handler: Callable[[Flow, RoutingError], None]
@@ -259,6 +362,8 @@ class FabricEngine:
         if state is None:
             return False
         state.generation += 1
+        if self._vec is not None:
+            self._retire_row(flow_id, state)
         for hop in state.hops:
             members = self._members.get(hop)
             if members is not None:
@@ -329,8 +434,8 @@ class FabricEngine:
         self.sim.run(until)
         if until is None and self._states:
             starved = sorted(
-                fid for fid, state in self._states.items()
-                if state.rate_gbps <= 0)
+                fid for fid in self._states
+                if self.rate_of(fid) <= 0)
             detail = ""
             if self.stranded:
                 detail = ("; stranded (no surviving path): "
@@ -378,6 +483,13 @@ class FabricEngine:
         for hop in state.hops:
             self._register_hop(fid, hop)
             self._dirty.add(hop)
+        if self._vec is not None:
+            state.row = self._vec.add(fid, state.remaining_bits)
+            self._index.register_flow(fid, state.hops)
+            # A resubmitted flow id inherits its old union-find root,
+            # so its arrival can grow a component without triggering a
+            # union — invalidate the compiled incidence explicitly.
+            self._comp_cache.pop(self._find(fid), None)
         self._request_solve()
 
     def _on_deadline(self, fid: int, generation: int) -> None:
@@ -451,6 +563,9 @@ class FabricEngine:
 
     # -- fluid bookkeeping -------------------------------------------------
     def _advance_to(self, now: float) -> None:
+        if self._vec is not None:
+            self._advance_to_vector(now)
+            return
         elapsed = now - self._clock
         if elapsed < 0:
             raise SimulationError(
@@ -467,9 +582,40 @@ class FabricEngine:
         for fid in done:
             self._complete(fid)
 
+    def _advance_to_vector(self, now: float) -> None:
+        elapsed = now - self._clock
+        if elapsed < 0:
+            raise SimulationError(
+                f"fabric engine clock moved backwards: {now} < "
+                f"{self._clock}")
+        if elapsed <= 0:
+            # Residues only move when time does, so zero-elapsed
+            # advances can never surface a completion (the python loop
+            # scans anyway and finds nothing).
+            return
+        vec = self._vec
+        n = vec.n
+        if n:
+            # Same per-flow update as the reference: rate*1e9*elapsed,
+            # left to right.  Rows at rate 0 subtract an exact 0.0,
+            # which is a bitwise no-op, so no rate>0 mask is needed.
+            vec.rem[:n] -= vec.rate[:n] * 1e9 * elapsed
+        self._clock = now
+        if vec.n_alive:
+            done = vec.alive[:n] & (vec.rem[:n] <= _DONE_BITS)
+            rows = np.flatnonzero(done)
+            if rows.size:
+                # Row order is arrival order — the same order the
+                # python backend's dict scan completes them in.
+                fids = [vec.fids[row] for row in rows.tolist()]
+                for fid in fids:
+                    self._complete(fid)
+
     def _complete(self, fid: int) -> None:
         state = self._states.pop(fid)
         state.generation += 1
+        if self._vec is not None:
+            self._retire_row(fid, state)
         for hop in state.hops:
             members = self._members.get(hop)
             if members is not None:
@@ -480,6 +626,48 @@ class FabricEngine:
         state.done.succeed(self._clock)
         self._maybe_rebuild_dsu()
         self._request_solve()
+
+    def _retire_row(self, fid: int, state: _FlowState) -> None:
+        """Patch the vector structures for a finished/cancelled flow."""
+        vec = self._vec
+        vec.retire(state.row)
+        root = self._find(fid)
+        entry = self._comp_cache.get(root)
+        if entry is not None and entry.inc.retire(fid):
+            if entry.inc.n_alive * 2 < entry.inc.n_rows:
+                # Mostly-dead incidence: recompiling on next demand is
+                # cheaper than dragging the dead columns through every
+                # solve.
+                self._comp_cache.pop(root, None)
+        self._index.drop_flow(fid)
+        if vec.n > 256 and vec.n - vec.n_alive > 2 * vec.n_alive:
+            self._compact_rows()
+
+    def _compact_rows(self) -> None:
+        """Rebuild the fluid arrays with live rows only.
+
+        Triggered when dead rows outnumber live ones 2:1; separate
+        from the union-find rebuild because steady-state populations
+        (arrivals balancing completions) never halve the active count
+        but do accrete dead rows without bound.
+        """
+        vec = self._vec
+        keep = np.flatnonzero(vec.alive[:vec.n])
+        n = int(keep.size)
+        fresh = _VecFluid(capacity=max(64, 2 * n))
+        fresh.rem[:n] = vec.rem[keep]
+        fresh.rate[:n] = vec.rate[keep]
+        fresh.deadline[:n] = vec.deadline[keep]
+        fresh.alive[:n] = True
+        fresh.synced[:n] = vec.synced[keep]
+        fresh.fids = [vec.fids[row] for row in keep.tolist()]
+        fresh.n = n
+        fresh.n_alive = n
+        for row, fid in enumerate(fresh.fids):
+            self._states[fid].row = row
+        self._vec = fresh
+        # Cached components index into the old row space.
+        self._comp_cache.clear()
 
     def _schedule_deadline(self, state: _FlowState) -> None:
         state.generation += 1
@@ -513,6 +701,12 @@ class FabricEngine:
         ra, rb = self._find(a), self._find(b)
         if ra != rb:
             self._dsu[rb] = ra
+            if self._comp_cache:
+                # Every structural component merge funnels through
+                # here, so popping both roots keeps the compiled
+                # incidence cache consistent.
+                self._comp_cache.pop(ra, None)
+                self._comp_cache.pop(rb, None)
 
     def _maybe_rebuild_dsu(self) -> None:
         """Re-derive components from the live flow set once it has
@@ -530,6 +724,9 @@ class FabricEngine:
                 else:
                     self._union(fid, owner)
         self._dsu_peak = len(self._states)
+        # Roots were re-keyed wholesale; compiled components are keyed
+        # by root, so none of them can be trusted any more.
+        self._comp_cache.clear()
 
     # -- rate allocation ---------------------------------------------------
     def _refresh_pfc_factors(self) -> None:
@@ -546,6 +743,20 @@ class FabricEngine:
                 self._dirty.add(hop)
         self._pfc_factors = factors
 
+    def _effective_capacity(self, hop: LinkDir) -> float:
+        """Effective directed capacity: health × static × PFC factors.
+
+        One helper for both backends — a dead link carries nothing, so
+        flows still pinned to it (stranded, or mid-failover) starve
+        rather than silently riding a failed optic.
+        """
+        link = self.fabric.topology.links[hop[0]]
+        if not link.healthy:
+            return 0.0
+        return (link.capacity_gbps
+                * self._static_factors.get(hop, 1.0)
+                * self._pfc_factors.get(hop, 1.0))
+
     def _solve(self) -> None:
         stats = self.stats
         topo = self.fabric.topology
@@ -560,6 +771,9 @@ class FabricEngine:
             self._failover()
         if self.pfc_spreading:
             self._refresh_pfc_factors()
+        if self._vec is not None:
+            self._solve_vector()
+            return
         roots: Set[int] = set()
         for hop in self._dirty:
             if self._members.get(hop):
@@ -572,70 +786,22 @@ class FabricEngine:
 
         comp_flows = [fid for fid in self._states
                       if self._find(fid) in roots]
-        comp_links: List[LinkDir] = []
         remaining: Dict[LinkDir, float] = {}
         for hop, members in self._members.items():
             if not members or self._find(self._link_owner[hop]) not in roots:
                 continue
-            link = topo.links[hop[0]]
-            # A dead link carries nothing: flows still pinned to it
-            # (stranded, or mid-failover) starve rather than silently
-            # riding a failed optic.
-            remaining[hop] = 0.0 if not link.healthy else (
-                link.capacity_gbps
-                * self._static_factors.get(hop, 1.0)
-                * self._pfc_factors.get(hop, 1.0))
-            comp_links.append(hop)
+            remaining[hop] = self._effective_capacity(hop)
             stats.link_visits += 1
         stats.flows_resolved += len(comp_flows)
 
         # Progressive filling restricted to the touched component(s);
         # max-min allocations are separable by connected component, so
         # this equals the global solve on these flows.
-        line_rate = self.fabric.host_line_rate_gbps
-        members = self._members
         states = self._states
-        rates: Dict[int, float] = {}
-        unfrozen = set(comp_flows)
-        # Same incremental-count filling as the batch solver: member
-        # sets in the component are all-active at solve start, counts
-        # decrement as flows freeze, drained links drop off the scan.
-        active_count = {hop: len(members[hop]) for hop in comp_links}
-        scan = comp_links
-        while unfrozen:
-            bottleneck_share = line_rate
-            tied: List[LinkDir] = []
-            live = []
-            for hop in scan:
-                count = active_count[hop]
-                if not count:
-                    continue
-                live.append(hop)
-                share = remaining[hop] / count
-                if share < bottleneck_share:
-                    bottleneck_share = share
-                    tied = [hop]
-                elif tied and share == bottleneck_share:
-                    tied.append(hop)
-            scan = live
-            stats.link_visits += len(live)
-            if not tied:
-                for fid in unfrozen:
-                    rates[fid] = line_rate
-                    for hop in states[fid].hops:
-                        remaining[hop] -= line_rate
-                break
-            # Water-filling tie groups, exactly as in the batch solver.
-            frozen_now = set()
-            for hop in tied:
-                frozen_now |= members[hop]
-            frozen_now &= unfrozen
-            for fid in frozen_now:
-                rates[fid] = bottleneck_share
-                for hop in states[fid].hops:
-                    remaining[hop] -= bottleneck_share
-                    active_count[hop] -= 1
-            unfrozen -= frozen_now
+        hops_of = {fid: states[fid].hops for fid in comp_flows}
+        rates = fill_rates_python(
+            remaining, self._members, hops_of,
+            self.fabric.host_line_rate_gbps, stats)
 
         for fid, rate in rates.items():
             state = states[fid]
@@ -647,3 +813,155 @@ class FabricEngine:
                 self._schedule_deadline(state)
             else:
                 state.generation += 1  # starved: cancel any deadline
+
+    # -- vector backend ----------------------------------------------------
+    def _solve_vector(self) -> None:
+        stats = self.stats
+        index = self._index
+        roots: Set[int] = set()
+        for hop in self._dirty:
+            # The python path re-reads link state per solve; the
+            # vector path refreshes exactly the dirtied columns, so
+            # the persistent capacity array is always current by the
+            # time a component gathers from it.
+            index.set_capacity(hop, self._effective_capacity(hop))
+            if self._members.get(hop):
+                roots.add(self._find(self._link_owner[hop]))
+        self._dirty.clear()
+        if not roots:
+            self._arm_deadline()
+            return
+        stats.solves += 1
+        stats.components_solved += len(roots)
+        missing = [root for root in roots
+                   if root not in self._comp_cache]
+        if missing:
+            self._compile_components(missing)
+        line_rate = self.fabric.host_line_rate_gbps
+        now = self.sim.now
+        for root in sorted(roots):
+            entry = self._comp_cache[root]
+            remaining = index.gather_capacity(entry.l2g)
+            stats.link_visits += int(remaining.shape[0])
+            stats.flows_resolved += entry.inc.n_alive
+            rates = progressive_fill_vector(
+                entry.inc, remaining, line_rate, stats)
+            self._apply_rates(entry, rates, now)
+        self._arm_deadline()
+
+    def _compile_components(self, roots: List[int]) -> None:
+        """Compile the incidence problems for *roots* in one pass.
+
+        A single O(active flows) grouping scan covers every missing
+        root — compiles are rare (component topology changed), solves
+        are not, so all per-flow python cost lives here.
+        """
+        groups: Dict[int, List[int]] = {root: [] for root in roots}
+        for fid in self._states:
+            root = self._find(fid)
+            if root in groups:
+                groups[root].append(fid)
+        states = self._states
+        for root, fids in groups.items():
+            inc, l2g = compile_component(fids, self._index)
+            rows = np.fromiter((states[fid].row for fid in fids),
+                               dtype=np.int64, count=len(fids))
+            flows = [states[fid].flow for fid in fids]
+            self._comp_cache[root] = _CompEntry(
+                inc=inc, l2g=l2g, rows=rows, flows=flows)
+            # Memberships re-materialized into solver structures —
+            # the same ruler the dict paths count with.
+            self.stats.link_visits += inc.nnz
+
+    def _apply_rates(self, entry: _CompEntry, rates, now: float) -> None:
+        """Scatter one component's solved rates into the fluid arrays.
+
+        Deadlines move only where the rate actually changed (the
+        python path's ``rate == state.rate_gbps: continue``), and are
+        computed with the same expression — ``now + rem/(rate*1e9)``
+        — so they land on the same bits the per-flow timeouts would.
+        """
+        inc = entry.inc
+        vec = self._vec
+        alive_idx = np.flatnonzero(inc.alive)
+        arows = entry.rows[alive_idx]
+        new = rates[alive_idx]
+        changed = new != vec.rate[arows]
+        if changed.any():
+            ch_rows = arows[changed]
+            ch_new = new[changed]
+            vec.rate[ch_rows] = ch_new
+            vec.deadline[ch_rows] = np.inf  # starved: cancel deadline
+            pos = ch_new > 0
+            if pos.any():
+                pos_rows = ch_rows[pos]
+                vec.deadline[pos_rows] = now + \
+                    vec.rem[pos_rows] / (ch_new[pos] * 1e9)
+        # Attribute sync.  The python apply loop writes
+        # ``flow.rate_gbps`` unconditionally on every covering solve;
+        # an external reader (job sims, telemetry) can only tell that
+        # apart from changed-only sync on a row whose attribute was
+        # never written — a reused Flow object carrying a stale rate
+        # from an earlier run.  Writing every row once on its first
+        # covering solve (``synced``) and thereafter only on change
+        # leaves the attribute equal to the python path's at every
+        # observation point, without the O(component) python loop.
+        need = changed | ~vec.synced[arows]
+        if need.any():
+            vec.synced[arows[need]] = True
+            flows = entry.flows
+            for i, value in zip(alive_idx[need].tolist(),
+                                new[need].tolist()):
+                flows[i].rate_gbps = value
+
+    def _arm_deadline(self) -> None:
+        """(Re-)aim the single engine-level deadline event.
+
+        The vector backend keeps one absolute deadline per flow and
+        schedules exactly one event at their minimum — the same fire
+        time as the earliest of the python backend's per-flow timeouts
+        (min(now_i + d_i) is the earliest scheduled time, and
+        ``timeout_at`` lands on the stored bits without re-rounding).
+        A generation counter staleness-checks old firings, mirroring
+        the per-flow generation check.
+        """
+        self._vec_gen += 1
+        vec = self._vec
+        n = vec.n
+        if n == 0:
+            return
+        dmin = vec.deadline[:n].min()
+        if dmin == np.inf:
+            return
+        generation = self._vec_gen
+        self.sim.timeout_at(float(dmin)).add_callback(
+            lambda _event, generation=generation:
+            self._on_vec_deadline(generation))
+
+    def _on_vec_deadline(self, generation: int) -> None:
+        if generation != self._vec_gen:
+            return  # stale deadline from a superseded arming
+        self.stats.events += 1
+        now = self.sim.now
+        self._advance_to(now)
+        vec = self._vec
+        n = vec.n
+        if n:
+            expired = vec.alive[:n] & (vec.deadline[:n] <= now)
+            rows = np.flatnonzero(expired)
+            if rows.size:
+                # Float residue kept these flows fractionally alive
+                # past their deadlines — the python backend's stall
+                # branch, vectorized: re-aim from the surviving
+                # residue, completing the flows whose residual delay
+                # is below the clock resolution.
+                target = now + \
+                    vec.rem[rows] / (vec.rate[rows] * 1e9)
+                done = target == now
+                done_fids = [vec.fids[row]
+                             for row in rows[done].tolist()]
+                live_rows = rows[~done]
+                vec.deadline[live_rows] = target[~done]
+                for fid in done_fids:
+                    self._complete(fid)
+        self._arm_deadline()

@@ -20,6 +20,7 @@ from ..simcore import SimulationError
 from ..topology.elements import Topology
 from .flows import Flow, FlowPath
 from .routing import EcmpRouter
+from .solver import fill_rates_python, resolve_backend, solve_incidence_vector
 
 __all__ = ["DONE_BITS", "Fabric", "FabricRun", "LinkDir", "LinkLoad"]
 
@@ -76,11 +77,16 @@ class Fabric:
 
     def __init__(self, topology: Topology,
                  router: Optional[EcmpRouter] = None,
-                 host_line_rate_gbps: float = 200.0):
+                 host_line_rate_gbps: float = 200.0,
+                 solver: Optional[str] = None):
         self.topology = topology
         self.router = router or EcmpRouter(topology)
         #: per-port NIC line rate; flows never exceed this at the source.
         self.host_line_rate_gbps = host_line_rate_gbps
+        #: max-min solver backend: "python", "vector", "auto", or None
+        #: to follow the process default at each solve (so a scoped
+        #: ``use_backend`` override applies to already-built fabrics).
+        self.solver = solver
         #: directed-hop memo per flow id: (topology version, link ids,
         #: hops).  Invalidated when the topology is rewired or the flow
         #: is re-hashed onto a different path.
@@ -128,11 +134,15 @@ class Fabric:
 
         Progressive filling: repeatedly find the tightest link (smallest
         fair share for its unfrozen flows), freeze its flows at that
-        share, remove the consumed capacity, and continue.
-        ``capacity_factors`` scales individual directed links (e.g. PFC
-        backpressure shrinking a hop's effective capacity).  *stats*, a
-        :class:`~repro.network.engine.SolverStats`, counts the per-link
-        work for comparison against the incremental engine.
+        share, remove the consumed capacity, and continue.  The loop
+        itself lives in :mod:`repro.network.solver`; this adapter
+        builds the dict-shaped problem and dispatches to the backend
+        selected by ``self.solver`` (both backends return bit-identical
+        rates).  ``capacity_factors`` scales individual directed links
+        (e.g. PFC backpressure shrinking a hop's effective capacity).
+        *stats*, a :class:`~repro.network.solver.SolverStats`, counts
+        the per-link work for comparison against the incremental
+        engine.
         """
         if paths is None:
             paths = self.resolve_paths(flows)
@@ -156,60 +166,21 @@ class Fabric:
         if stats is not None:
             stats.solves += 1
             stats.flows_resolved += len(flow_by_id)
+            # Memberships materialized + capacities loaded — the same
+            # ruler the engine path uses (see repro.network.solver).
             stats.link_visits += sum(
                 len(hops) for hops in hops_of.values())
+            stats.link_visits += len(remaining)
 
-        rates: Dict[int, float] = {}
-        unfrozen = set(flow_by_id)
         # Source line-rate cap is modelled as a virtual per-flow link.
         line_rate = self.host_line_rate_gbps
-
-        # Active (unfrozen) member counts are maintained incrementally
-        # and fully-frozen links pruned from the scan list, so each
-        # filling iteration costs O(live links) instead of
-        # O(total memberships).  Scan order preserves ``members``
-        # insertion order, so bottleneck tie-breaks are unchanged.
-        active_count = {hop: len(ids) for hop, ids in members.items()}
-        scan = list(members)
-        while unfrozen:
-            bottleneck_share = line_rate
-            tied: List[LinkDir] = []
-            live = []
-            for hop in scan:
-                count = active_count[hop]
-                if not count:
-                    continue
-                live.append(hop)
-                share = remaining[hop] / count
-                if share < bottleneck_share:
-                    bottleneck_share = share
-                    tied = [hop]
-                elif tied and share == bottleneck_share:
-                    tied.append(hop)
-            scan = live
-            if stats is not None:
-                stats.link_visits += len(live)
-            if not tied:
-                # Every remaining flow is line-rate limited.
-                for fid in unfrozen:
-                    rates[fid] = line_rate
-                    for hop in hops_of[fid]:
-                        remaining[hop] -= line_rate
-                break
-            # Water-filling: every link tied at the bottleneck share
-            # saturates together (freezing one tied link leaves the
-            # others' shares unchanged), so symmetric workloads freeze
-            # whole tie groups per iteration instead of one link each.
-            frozen_now = set()
-            for hop in tied:
-                frozen_now |= members[hop]
-            frozen_now &= unfrozen
-            for fid in frozen_now:
-                rates[fid] = bottleneck_share
-                for hop in hops_of[fid]:
-                    remaining[hop] -= bottleneck_share
-                    active_count[hop] -= 1
-            unfrozen -= frozen_now
+        backend = resolve_backend(self.solver)
+        if backend == "vector":
+            rates = solve_incidence_vector(
+                hops_of, remaining, line_rate, stats)
+        else:
+            rates = fill_rates_python(
+                remaining, members, hops_of, line_rate, stats)
 
         for fid, rate in rates.items():
             flow_by_id[fid].rate_gbps = rate

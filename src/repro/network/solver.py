@@ -1,0 +1,576 @@
+"""Max-min fair-share solver core: one kernel, two backends.
+
+This module owns the progressive-filling loop that used to exist twice
+— nearly copy-pasted — in :meth:`Fabric.max_min_rates` and
+:meth:`FabricEngine._solve`.  Both call sites are now thin adapters
+over the two interchangeable backends defined here:
+
+* ``python`` — the reference implementation, a dict-shaped loop that is
+  byte-for-byte the historical algorithm;
+* ``vector`` — a numpy kernel over a flow×link CSR-style incidence
+  representation (row = flow, column = directed link), with vectorized
+  share computation, batched bottleneck-group freezing via boolean
+  masks, and scatter-subtract of frozen rates.
+
+**Bit-identity contract.**  The two backends return *identical floats*,
+not merely close ones, because the solve is scan-order independent and
+the vector kernel performs exactly the element-wise operations of the
+reference:
+
+* the bottleneck share is a pure ``min`` over per-link divisions
+  ``remaining / count`` — comparison only, no rounding, so any scan
+  order finds the same value;
+* the tied bottleneck group is *every* live link whose share equals
+  that minimum (and the minimum is strictly below the line rate), so
+  tie detection is order-preserving equality, never an accumulated
+  reduction;
+* frozen flows subtract the same share once per (flow, hop)
+  membership; the kernel uses ``np.subtract.at`` — the unbuffered
+  scatter that applies per duplicate index — which reproduces the
+  reference's repeated per-flow subtractions bit-for-bit.  A
+  reassociated update (``remaining -= k * share``) would not.
+
+The validation harness pins this contract on every fuzz profile
+(``repro.validation.differential.check_solver_backends``), on top of
+the engine-vs-batch and flat-vs-folded ``==`` differentials that both
+backends must keep exact.
+
+**Work accounting.**  :class:`SolverStats.link_visits` counts with one
+ruler across paths and backends:
+
+* +1 per (flow, hop) membership materialized into solver structures —
+  the batch path rebuilds them every solve, the engine registers them
+  once per flow arrival/reroute (and re-materializes per component
+  compile under the vector backend);
+* +1 per link capacity loaded into a solve's ``remaining`` vector;
+* +1 per live link per progressive-filling iteration.
+
+The per-hop subtractions of the freeze step are deliberately uncounted
+on both paths (they are proportional to the memberships already
+counted at materialization).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+__all__ = [
+    "BACKENDS",
+    "HAVE_NUMPY",
+    "CompiledIncidence",
+    "IncidenceIndex",
+    "SolverStats",
+    "available_backends",
+    "compile_component",
+    "default_backend",
+    "fill_rates_python",
+    "progressive_fill_vector",
+    "resolve_backend",
+    "set_default_backend",
+    "solve_incidence_vector",
+    "use_backend",
+]
+
+HAVE_NUMPY = _np is not None
+
+#: The selectable backends.  "auto" is accepted wherever a backend name
+#: is, and resolves to vector-when-numpy-is-available.
+BACKENDS = ("python", "vector")
+
+#: Environment override for the process-wide default backend.
+ENV_VAR = "REPRO_SOLVER"
+
+#: A directed link traversal; opaque to the solver (any hashable).
+Hop = Hashable
+
+
+@dataclass
+class SolverStats:
+    """Work counters for the max-min rate solver.
+
+    ``link_visits`` counts every per-link unit of solver work — a
+    (flow, hop) membership materialization, a capacity load, or one
+    fair-share evaluation inside the progressive-filling loop.  The
+    epoch-global batch path and the incremental engine count with the
+    same ruler (see the module docstring), so their totals are
+    directly comparable.
+    """
+
+    events: int = 0
+    solves: int = 0
+    link_visits: int = 0
+    flows_resolved: int = 0
+    components_solved: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "events": self.events,
+            "solves": self.solves,
+            "link_visits": self.link_visits,
+            "flows_resolved": self.flows_resolved,
+            "components_solved": self.components_solved,
+        }
+
+
+# --------------------------------------------------------------------------
+# Backend selection
+# --------------------------------------------------------------------------
+
+_default_override: Optional[str] = None
+
+
+class SolverUnavailable(RuntimeError):
+    """Requested a backend whose dependencies are missing."""
+
+
+def available_backends() -> Tuple[str, ...]:
+    return BACKENDS if HAVE_NUMPY else ("python",)
+
+
+def _validate(name: str) -> str:
+    if name == "auto":
+        return "vector" if HAVE_NUMPY else "python"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown solver backend {name!r}; expected one of "
+            f"{('auto',) + BACKENDS}")
+    if name == "vector" and not HAVE_NUMPY:
+        raise SolverUnavailable(
+            "solver backend 'vector' requires numpy, which is not "
+            "importable in this environment")
+    return name
+
+
+def default_backend() -> str:
+    """The process-wide default backend.
+
+    Priority: :func:`set_default_backend` override, then the
+    ``REPRO_SOLVER`` environment variable, then ``vector`` when numpy
+    is importable (the hot path should be fast by default), else
+    ``python``.
+    """
+    if _default_override is not None:
+        return _default_override
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return _validate(env)
+    return "vector" if HAVE_NUMPY else "python"
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or, with ``None``, reset) the process-wide default."""
+    global _default_override
+    _default_override = _validate(name) if name is not None else None
+
+
+def resolve_backend(name: Optional[str]) -> str:
+    """Resolve an explicit/``"auto"``/``None`` request to a backend."""
+    if name is None:
+        return default_backend()
+    return _validate(name)
+
+
+@contextmanager
+def use_backend(name: Optional[str]) -> Iterator[None]:
+    """Scoped default backend (no-op when *name* is ``None``).
+
+    This is how the CLI / farm runners thread ``--solver`` down to
+    every :class:`~repro.network.fabric.Fabric` a scenario constructs
+    without widening each constructor call.
+    """
+    if name is None:
+        yield
+        return
+    global _default_override
+    previous = _default_override
+    _default_override = _validate(name)
+    try:
+        yield
+    finally:
+        _default_override = previous
+
+
+# --------------------------------------------------------------------------
+# Python reference backend
+# --------------------------------------------------------------------------
+
+def fill_rates_python(remaining: Dict[Hop, float],
+                      members: Mapping[Hop, Any],
+                      hops_of: Mapping[int, Sequence[Hop]],
+                      line_rate: float,
+                      stats: Optional[SolverStats] = None
+                      ) -> Dict[int, float]:
+    """Progressive filling over dict-shaped state (the reference).
+
+    ``remaining`` maps each directed link to its unconsumed capacity
+    and defines the scan order (insertion order); it is consumed in
+    place.  ``members`` maps each of those links to the set of flow
+    ids crossing it; ``hops_of`` maps every flow being solved to its
+    hop list.  The source line-rate cap is modelled as a virtual
+    per-flow link.  Returns the max-min rate per flow id.
+
+    Repeatedly: find the tightest link (smallest fair share among its
+    unfrozen flows), freeze every flow crossing a link tied at that
+    share, remove the consumed capacity, continue.  Active (unfrozen)
+    member counts are maintained incrementally and fully-frozen links
+    are pruned from the scan list, so each iteration costs
+    O(live links) instead of O(total memberships).
+    """
+    rates: Dict[int, float] = {}
+    unfrozen = set(hops_of)
+    active_count = {hop: len(members[hop]) for hop in remaining}
+    scan: List[Hop] = list(remaining)
+    while unfrozen:
+        bottleneck_share = line_rate
+        tied: List[Hop] = []
+        live = []
+        for hop in scan:
+            count = active_count[hop]
+            if not count:
+                continue
+            live.append(hop)
+            share = remaining[hop] / count
+            if share < bottleneck_share:
+                bottleneck_share = share
+                tied = [hop]
+            elif tied and share == bottleneck_share:
+                tied.append(hop)
+        scan = live
+        if stats is not None:
+            stats.link_visits += len(live)
+        if not tied:
+            # Every remaining flow is line-rate limited.
+            for fid in unfrozen:
+                rates[fid] = line_rate
+                for hop in hops_of[fid]:
+                    remaining[hop] -= line_rate
+            break
+        # Water-filling: every link tied at the bottleneck share
+        # saturates together (freezing one tied link leaves the
+        # others' shares unchanged), so symmetric workloads freeze
+        # whole tie groups per iteration instead of one link each.
+        frozen_now = set()
+        for hop in tied:
+            frozen_now |= members[hop]
+        frozen_now &= unfrozen
+        for fid in frozen_now:
+            rates[fid] = bottleneck_share
+            for hop in hops_of[fid]:
+                remaining[hop] -= bottleneck_share
+                active_count[hop] -= 1
+        unfrozen -= frozen_now
+    return rates
+
+
+# --------------------------------------------------------------------------
+# Vector backend: incidence representation
+# --------------------------------------------------------------------------
+
+def _concat_ranges(starts, lens):
+    """Concatenate ``arange(starts[i], starts[i]+lens[i])`` ranges."""
+    total = int(lens.sum())
+    if total == 0:
+        return _np.empty(0, dtype=_np.int64)
+    offsets = _np.cumsum(lens) - lens
+    return _np.repeat(starts - offsets, lens) + _np.arange(total)
+
+
+class CompiledIncidence:
+    """A flow×link incidence matrix in CSR form, both directions.
+
+    Rows are flows (in the order of ``fids``), columns are directed
+    links local to this problem.  ``indptr``/``mem_cols`` is the
+    row-major CSR; a column-major view (``link -> member rows``) is
+    derived once at construction so tie-group freezing can expand
+    bottleneck links to their member flows without scanning.
+
+    The engine retires rows in place as flows complete
+    (:meth:`retire` flips ``alive`` and patches ``base_count``), so a
+    compiled component survives arbitrarily many completion events
+    without recompiling.
+    """
+
+    __slots__ = ("fids", "indptr", "mem_cols", "n_links", "row_lens",
+                 "l_indptr", "l_lens", "l_rows", "base_count", "alive",
+                 "n_alive", "row_of")
+
+    def __init__(self, fids: Sequence[int], indptr, mem_cols,
+                 n_links: int):
+        np_ = _np
+        self.fids = list(fids)
+        self.indptr = np_.asarray(indptr, dtype=np_.int64)
+        self.mem_cols = np_.asarray(mem_cols, dtype=np_.int64)
+        self.n_links = int(n_links)
+        n = len(self.fids)
+        self.row_lens = self.indptr[1:] - self.indptr[:-1]
+        counts = np_.bincount(self.mem_cols, minlength=self.n_links
+                              ).astype(np_.int64)
+        self.l_lens = counts
+        l_indptr = np_.zeros(self.n_links + 1, dtype=np_.int64)
+        np_.cumsum(counts, out=l_indptr[1:])
+        self.l_indptr = l_indptr
+        mem_rows = np_.repeat(np_.arange(n, dtype=np_.int64),
+                              self.row_lens)
+        order = np_.argsort(self.mem_cols, kind="stable")
+        self.l_rows = mem_rows[order]
+        self.base_count = counts.copy()
+        self.alive = np_.ones(n, dtype=bool)
+        self.n_alive = n
+        self.row_of = {fid: row for row, fid in enumerate(self.fids)}
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.fids)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.mem_cols.shape[0])
+
+    # Tie groups and freeze sets are usually a handful of entries, so
+    # the CSR expanders take a sliced python loop below a small-N
+    # threshold — same values, a fraction of the fixed numpy-call
+    # overhead — and the vectorized range concat above it.
+    _SMALL_N = 64
+
+    def row_members(self, rows):
+        """Concatenated membership indices of *rows* (into mem_cols)."""
+        return _concat_ranges(self.indptr[rows], self.row_lens[rows])
+
+    def rows_cols(self, rows):
+        """Concatenated member columns of *rows*."""
+        indptr = self.indptr
+        if 0 < rows.shape[0] <= self._SMALL_N:
+            mem = self.mem_cols
+            return _np.concatenate(
+                [mem[indptr[row]:indptr[row + 1]]
+                 for row in rows.tolist()])
+        return self.mem_cols[
+            _concat_ranges(indptr[rows], self.row_lens[rows])]
+
+    def link_rows(self, cols):
+        """Concatenated member rows of links *cols*."""
+        indptr = self.l_indptr
+        if 0 < cols.shape[0] <= self._SMALL_N:
+            rows = self.l_rows
+            return _np.concatenate(
+                [rows[indptr[col]:indptr[col + 1]]
+                 for col in cols.tolist()])
+        return self.l_rows[
+            _concat_ranges(indptr[cols], self.l_lens[cols])]
+
+    def retire(self, fid: int) -> bool:
+        """Mark *fid*'s row dead and drop its memberships from the
+        active counts.  Returns False when the flow is not a live row
+        of this problem."""
+        row = self.row_of.get(fid)
+        if row is None or not self.alive[row]:
+            return False
+        self.alive[row] = False
+        self.n_alive -= 1
+        cols = self.mem_cols[self.indptr[row]:self.indptr[row + 1]]
+        _np.subtract.at(self.base_count, cols, 1)
+        return True
+
+    def alive_fids(self) -> List[int]:
+        return [self.fids[row]
+                for row in _np.flatnonzero(self.alive)]
+
+
+def progressive_fill_vector(inc: CompiledIncidence, remaining,
+                            line_rate: float,
+                            stats: Optional[SolverStats] = None):
+    """The vector kernel: progressive filling over compiled arrays.
+
+    *remaining* is the per-link unconsumed capacity (float64, consumed
+    in place — pass a copy).  Returns the rate per row (dead rows stay
+    at 0.0).  Every operation is element-wise or an order-independent
+    comparison min, so the result is bit-identical to
+    :func:`fill_rates_python` on the same problem — see the module
+    docstring for why.
+    """
+    np_ = _np
+    n = inc.n_rows
+    rates = np_.zeros(n, dtype=np_.float64)
+    if inc.n_alive == 0:
+        return rates
+    unfrozen = inc.alive.copy()
+    n_unfrozen = int(inc.n_alive)
+    counts = inc.base_count.copy()
+    scan = np_.arange(inc.n_links, dtype=np_.int64)
+    while n_unfrozen:
+        live_counts = counts[scan]
+        live = live_counts > 0
+        scan = scan[live]
+        if stats is not None:
+            stats.link_visits += int(scan.size)
+        if scan.size:
+            shares = remaining[scan] / live_counts[live]
+            min_share = shares.min()
+        else:
+            min_share = line_rate
+        if not (min_share < line_rate):
+            # Every remaining flow is line-rate limited.  (The
+            # reference also drains `remaining` here; the dict is
+            # dead state after the break on both paths, so the
+            # kernel skips mirroring that final subtraction.)
+            rates[unfrozen] = line_rate
+            break
+        tied = scan[shares == min_share]
+        cand = inc.link_rows(tied)
+        cand = cand[unfrozen[cand]]
+        # A flow crossing several tied links must freeze (and
+        # subtract) exactly once — same dedupe as the reference's
+        # frozen_now set union (inlined sorted-unique: ``np.unique``'s
+        # wrapper chain costs more than the whole small array).
+        cand.sort(kind="stable")
+        if cand.shape[0] > 1:
+            keep = np_.empty(cand.shape[0], dtype=bool)
+            keep[0] = True
+            np_.not_equal(cand[1:], cand[:-1], out=keep[1:])
+            rows = cand[keep]
+        else:
+            rows = cand
+        rates[rows] = min_share
+        unfrozen[rows] = False
+        n_unfrozen -= int(rows.size)
+        cols = inc.rows_cols(rows)
+        np_.subtract.at(remaining, cols, min_share)
+        np_.subtract.at(counts, cols, 1)
+    return rates
+
+
+def solve_incidence_vector(hops_of: Mapping[int, Sequence[Hop]],
+                           remaining: Mapping[Hop, float],
+                           line_rate: float,
+                           stats: Optional[SolverStats] = None
+                           ) -> Dict[int, float]:
+    """One-shot vector solve from dict-shaped inputs (batch adapter).
+
+    *remaining* defines the link universe and initial capacities (its
+    insertion order becomes the column order); *hops_of* the flows.
+    The input dict is not consumed.  Returns the rate per flow id,
+    bit-identical to :func:`fill_rates_python` on the same problem.
+    """
+    np_ = _np
+    col_of: Dict[Hop, int] = {}
+    for hop in remaining:
+        col_of[hop] = len(col_of)
+    fids = []
+    mem_cols: List[int] = []
+    indptr = [0]
+    for fid, hops in hops_of.items():
+        fids.append(fid)
+        for hop in hops:
+            mem_cols.append(col_of[hop])
+        indptr.append(len(mem_cols))
+    inc = CompiledIncidence(fids, indptr, mem_cols, len(col_of))
+    capacity = np_.fromiter(remaining.values(), dtype=np_.float64,
+                            count=len(col_of))
+    rates = progressive_fill_vector(inc, capacity, line_rate, stats)
+    out = rates.tolist()
+    return {fid: out[row] for row, fid in enumerate(fids)}
+
+
+# --------------------------------------------------------------------------
+# Persistent incidence index (engine adapter support)
+# --------------------------------------------------------------------------
+
+class IncidenceIndex:
+    """Persistent flow/link column universe for an incremental solver.
+
+    Directed links get stable integer columns on first occupancy; the
+    per-column effective capacity is patched in place as links fail,
+    degrade, or change PFC factors (the engine patches exactly its
+    dirty links).  Per-flow column arrays are registered once per
+    arrival/reroute, so compiling a component is a pure array
+    concatenation plus one ``np.unique`` — no per-membership python.
+    """
+
+    def __init__(self) -> None:
+        np_ = _np
+        self._col_of: Dict[Hop, int] = {}
+        self._capacity = np_.zeros(64, dtype=np_.float64)
+        self._flow_cols: Dict[int, Any] = {}
+
+    @property
+    def n_cols(self) -> int:
+        return len(self._col_of)
+
+    def ensure_col(self, hop: Hop) -> int:
+        col = self._col_of.get(hop)
+        if col is None:
+            col = len(self._col_of)
+            self._col_of[hop] = col
+            if col >= self._capacity.shape[0]:
+                grown = _np.zeros(2 * self._capacity.shape[0],
+                                  dtype=_np.float64)
+                grown[:self._capacity.shape[0]] = self._capacity
+                self._capacity = grown
+        return col
+
+    def col(self, hop: Hop) -> Optional[int]:
+        return self._col_of.get(hop)
+
+    def set_capacity(self, hop: Hop, value: float) -> None:
+        self._capacity[self.ensure_col(hop)] = value
+
+    def register_flow(self, fid: int, hops: Sequence[Hop]) -> None:
+        self._flow_cols[fid] = _np.fromiter(
+            (self.ensure_col(hop) for hop in hops),
+            dtype=_np.int64, count=len(hops))
+
+    def drop_flow(self, fid: int) -> None:
+        self._flow_cols.pop(fid, None)
+
+    def flow_cols(self, fid: int):
+        return self._flow_cols[fid]
+
+    def gather_capacity(self, cols):
+        """Fresh per-solve ``remaining`` vector for local columns."""
+        return self._capacity[cols]
+
+
+def compile_component(fids: Sequence[int],
+                      index: IncidenceIndex
+                      ) -> Tuple[CompiledIncidence, Any]:
+    """Compile one component's flows into a local incidence problem.
+
+    Returns ``(inc, l2g)``: the compiled incidence over local columns
+    plus the local→global column map used to gather capacities per
+    solve.  Local column order is ascending global column id — the
+    solve result is scan-order independent, so this changes nothing
+    observable.
+    """
+    np_ = _np
+    fids = list(fids)
+    col_arrays = [index.flow_cols(fid) for fid in fids]
+    lens = np_.fromiter((arr.shape[0] for arr in col_arrays),
+                        dtype=np_.int64, count=len(col_arrays))
+    indptr = np_.zeros(len(fids) + 1, dtype=np_.int64)
+    np_.cumsum(lens, out=indptr[1:])
+    if col_arrays:
+        all_cols = np_.concatenate(col_arrays)
+    else:
+        all_cols = np_.empty(0, dtype=np_.int64)
+    l2g, local = np_.unique(all_cols, return_inverse=True)
+    inc = CompiledIncidence(fids, indptr, local.astype(np_.int64),
+                            int(l2g.shape[0]))
+    return inc, l2g

@@ -209,6 +209,24 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def timeout_at(self, at: float, value: Any = None) -> Event:
+        """An event firing at the *exact* absolute time ``at`` (>= now).
+
+        ``timeout(delay)`` fires at ``now + delay``, which re-rounds
+        when the caller starts from an absolute deadline (``at - now``
+        then ``now + (at - now)`` is not ``at`` bitwise).  Schedulers
+        that maintain absolute deadlines — the vector-backend fabric
+        engine keeps a whole array of them — need the event to land on
+        the deadline's own bits, so this schedules at ``at`` verbatim.
+        """
+        if at < self._now:
+            raise ValueError(
+                f"timeout_at({at}) before now={self._now}")
+        event = Event(self, name=f"timeout_at({at})", value=value)
+        event._triggered = True
+        self._schedule(at, event)
+        return event
+
     def event(self, name: str = "") -> Event:
         return Event(self, name=name)
 

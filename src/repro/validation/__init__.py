@@ -23,6 +23,7 @@ from .differential import (
     check_fluid_vs_packet,
     check_ring_vs_analytic,
     check_rs_ag_composition,
+    check_solver_backends,
     ring_busbw_gbps,
 )
 from .metamorphic import (
@@ -34,6 +35,7 @@ from .oracles import (
     TracingSimulator,
     Violation,
     check_clock_monotonic,
+    check_incidence_solution,
     check_max_min_bottleneck,
     check_rate_feasibility,
     check_same_result,
@@ -71,6 +73,7 @@ __all__ = [
     "check_engine_vs_batch",
     "check_fluid_vs_packet",
     "check_idle_job_noop",
+    "check_incidence_solution",
     "check_max_min_bottleneck",
     "check_rate_feasibility",
     "check_rate_scaling",
@@ -78,6 +81,7 @@ __all__ = [
     "check_rs_ag_composition",
     "check_same_result",
     "check_solution",
+    "check_solver_backends",
     "check_unused_link_noop",
     "check_work_conservation",
     "link_usage",

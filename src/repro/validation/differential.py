@@ -37,6 +37,7 @@ from ..network.congestion import CongestionModel
 from ..network.fabric import Fabric, LinkLoad
 from ..network.flows import Flow, FlowPath, reset_flow_ids
 from ..network.packetsim import PacketQueueSim
+from ..network.solver import HAVE_NUMPY, use_backend
 from .oracles import Violation
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "check_fluid_vs_packet",
     "check_ring_vs_analytic",
     "check_rs_ag_composition",
+    "check_solver_backends",
     "ring_busbw_gbps",
 ]
 
@@ -85,6 +87,33 @@ def check_engine_vs_batch(fabric: Fabric, flows: Sequence[Flow],
                 f"flow {fid}: engine finished at {engine_t!r}, batch "
                 f"at {batch_t!r} ({distance:.0f} ulp apart)"))
     return violations
+
+
+def check_solver_backends(run_fn, label: str = "scenario"
+                          ) -> List[Violation]:
+    """Vector and python solver backends must agree bit-for-bit.
+
+    *run_fn* rebuilds its whole world from a seed and returns a
+    comparable summary (finish times, rates, reroutes — anything but
+    event traces, which legitimately differ: the vector backend fires
+    one engine-level deadline event where the python backend fires one
+    timeout per flow).  The kernel in :mod:`repro.network.solver` uses
+    only element-wise operations and order-preserving tie detection,
+    so equality here is exact ``==`` — any mismatch is a backend bug,
+    not float noise.  Skipped (empty) when numpy is unavailable.
+    """
+    if not HAVE_NUMPY:
+        return []
+    with use_backend("python"):
+        reference = run_fn()
+    with use_backend("vector"):
+        vectorized = run_fn()
+    if reference != vectorized:
+        return [Violation(
+            "solver-backends",
+            f"{label}: python and vector solver backends disagree: "
+            f"{reference!r} vs {vectorized!r}")]
+    return []
 
 
 # --------------------------------------------------------------------------

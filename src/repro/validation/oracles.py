@@ -38,6 +38,7 @@ __all__ = [
     "Violation",
     "TracingSimulator",
     "check_clock_monotonic",
+    "check_incidence_solution",
     "check_max_min_bottleneck",
     "check_rate_feasibility",
     "check_same_result",
@@ -215,6 +216,67 @@ def check_solution(fabric: Fabric, flows: Sequence[Flow],
         + check_max_min_bottleneck(fabric, flows, paths, rates,
                                    capacity_factors)
     )
+
+
+def check_incidence_solution(hops_of: Dict[int, Sequence],
+                             capacity: Dict,
+                             line_rate: float,
+                             rates: Dict[int, float],
+                             tol_gbps: float = RATE_TOL_GBPS
+                             ) -> List[Violation]:
+    """Rate-allocation oracles on a raw incidence problem.
+
+    The fabric-free twin of :func:`check_solution`, for driving the
+    solver backends (:mod:`repro.network.solver`) directly with
+    synthetic flow×link problems — ``hops_of`` maps flow id to its
+    hops (any hashables), ``capacity`` gives each hop's Gbps.  Checks
+    feasibility, work conservation (a flow earns rate 0 only by
+    crossing a zero-capacity hop), and the max-min KKT condition.
+    """
+    violations = []
+    usage: Dict = {hop: 0.0 for hop in capacity}
+    hop_max_rate: Dict = {}
+    for fid, hops in hops_of.items():
+        rate = rates.get(fid, 0.0)
+        for hop in hops:
+            usage[hop] += rate
+            if rate > hop_max_rate.get(hop, 0.0):
+                hop_max_rate[hop] = rate
+    for hop, used in usage.items():
+        if used > capacity[hop] + tol_gbps:
+            violations.append(Violation(
+                "rate-feasibility",
+                f"hop {hop!r} carries {used:.9g} Gbps > capacity "
+                f"{capacity[hop]:.9g} Gbps"))
+    for fid, hops in hops_of.items():
+        rate = rates.get(fid, 0.0)
+        dead = any(capacity[hop] <= 0.0 for hop in hops)
+        if rate <= 0.0 and not dead:
+            violations.append(Violation(
+                "work-conservation",
+                f"flow {fid} crosses only live hops but was "
+                f"allocated rate {rate!r}"))
+        if rate > 0.0 and dead:
+            violations.append(Violation(
+                "rate-feasibility",
+                f"flow {fid} crosses a zero-capacity hop but was "
+                f"allocated rate {rate!r}"))
+        if rate >= line_rate - tol_gbps or dead:
+            continue
+        bottlenecked = False
+        for hop in hops:
+            saturated = usage[hop] >= capacity[hop] - tol_gbps
+            maximal = rate >= hop_max_rate[hop] - tol_gbps
+            if saturated and maximal:
+                bottlenecked = True
+                break
+        if not bottlenecked:
+            violations.append(Violation(
+                "max-min-kkt",
+                f"flow {fid} at {rate:.9g} Gbps (< line rate "
+                f"{line_rate:.9g}) has no saturated bottleneck hop "
+                "where its rate is maximal"))
+    return violations
 
 
 # --------------------------------------------------------------------------
