@@ -186,6 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--case", type=int, default=None,
                           help="re-run exactly one case index "
                                "(reproduces a printed failure)")
+    validate.add_argument("--profile", default=None,
+                          help="pin every case to one scenario "
+                               "profile (e.g. 'faulted-hierarchical'):"
+                               " runs the first --cases indices that "
+                               "map to it")
     validate.add_argument("--json", metavar="PATH", default=None,
                           help="write the full campaign report "
                                "(including failing specs) to PATH")
@@ -246,10 +251,18 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--tail-shapes", type=int, default=1,
                        help="2 gives the last pod a distinct job "
                             "shape (exercises multiple pod classes)")
-    scale.add_argument("--faults", type=int, default=0,
-                       help="deterministic ToR fail-slow faults to "
-                            "arm (each refines its pod to exact "
-                            "flat simulation)")
+    scale.add_argument("--faults", default="0", metavar="N|FILE",
+                       help="an integer arms N deterministic ToR "
+                            "fail-slow faults; a path reads a JSON "
+                            "fault document ({'domains': [...], "
+                            "'faults': [...]}) of correlated fault "
+                            "domains and explicit fault specs")
+    scale.add_argument("--refine", default="bounded",
+                       choices=["bounded", "pod"],
+                       help="fault refinement scope: 'bounded' unfolds "
+                            "only the blast-radius blocks, 'pod' the "
+                            "whole pod (results are identical; bounded "
+                            "simulates fewer hosts)")
     scale.add_argument("--power-cap", action="append", default=[],
                        metavar="POD=FACTOR",
                        help="cap a pod's compute rate, e.g. 1=0.8 "
@@ -523,7 +536,21 @@ def _cmd_validate(args) -> int:
               f"[{case.profile}/{case.family}] {verdict} "
               f"({len(case.checks)} checks, {case.elapsed_s:6.2f}s)")
 
-    indices = [args.case] if args.case is not None else None
+    if args.case is not None:
+        indices = [args.case]
+    elif args.profile is not None:
+        from repro.validation.scenarios import PROFILES
+        if args.profile not in PROFILES:
+            raise SystemExit(
+                f"unknown profile {args.profile!r}; expected one of "
+                f"{list(PROFILES)}")
+        # The profile cycle is index % len(PROFILES): the first
+        # --cases indices landing on the requested profile.
+        offset = PROFILES.index(args.profile)
+        indices = [offset + step * len(PROFILES)
+                   for step in range(args.cases)]
+    else:
+        indices = None
     started = time.perf_counter()
     report = run_campaign(args.seed, args.cases, indices=indices,
                           fast=args.fast, progress=_progress,
@@ -617,8 +644,25 @@ def _cmd_scale(args) -> int:
         "collective": args.collective,
         "seed": args.seed,
         "tail_shapes": args.tail_shapes,
-        "faults": args.faults,
+        "refine": args.refine,
     }
+    fault_document = None
+    try:
+        task_params["faults"] = int(args.faults)
+    except ValueError:
+        task_params["faults"] = 0
+        try:
+            with open(args.faults, "r", encoding="utf-8") as handle:
+                fault_document = json.load(handle)
+        except OSError as exc:
+            raise SystemExit(
+                f"--faults {args.faults!r} is neither an integer nor "
+                f"a readable file: {exc}")
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"--faults file {args.faults!r} is not valid JSON: "
+                f"{exc}")
+        task_params["fault_document"] = fault_document
     if args.solver is not None:
         # Resolve to a concrete backend name so the farm's content
         # hash never mixes "auto" runs across machines with and
@@ -640,6 +684,27 @@ def _cmd_scale(args) -> int:
         hosts_per_block = preset_params(args.gpus).hosts_per_block
     if args.hosts_per_job is None:
         task_params["hosts_per_job"] = hosts_per_block
+    if fault_document is not None:
+        # Validate the document against the actual cluster shape and
+        # tenant placement up front: a malformed target must fail here
+        # with the offending fault named, not as a KeyError from deep
+        # inside a farm worker's topology renaming.
+        from repro.hierarchy import uniform_jobs
+        from repro.hierarchy.virtual import place_jobs
+        from repro.resilience import faults_from_document
+        from repro.topology import AstralParams
+        topo = (AstralParams(**task_params["dims"])
+                if args.pods is not None else preset_params(args.gpus))
+        jobs = uniform_jobs(
+            topo, task_params["hosts_per_job"],
+            iterations=args.iterations, compute_time_s=args.compute_s,
+            comm_size_bits=args.comm_bits, collective=args.collective,
+            seed=args.seed, tail_shapes=args.tail_shapes)
+        try:
+            faults_from_document(topo, place_jobs(topo, jobs),
+                                 fault_document)
+        except ValueError as exc:
+            raise SystemExit(f"--faults {args.faults}: {exc}")
     caps = {}
     for entry in args.power_cap:
         pod, _, factor = entry.partition("=")
@@ -690,6 +755,13 @@ def _cmd_scale(args) -> int:
           f"{fold['engine_hosts']:,} hosts "
           f"(fold factor {fold['fold_factor']:,.0f}x, "
           f"{fold['n_memo_hits']} memo hits)")
+    refine = fold.get("refine", {})
+    if refine.get("levels"):
+        levels = ", ".join(f"{count} {level}" for level, count
+                           in sorted(refine["levels"].items()))
+        print(f"refine          : mode {refine['mode']} "
+              f"[{levels}] — {refine['engine_hosts']:,} engine hosts "
+              f"vs {refine['full_unfold_hosts']:,} at full-pod scope")
     print(f"mean efficiency : {aggregate['mean_efficiency']:.1%} "
           f"({aggregate['mean_iteration_s']:.4f} s/iter)")
     print(f"wall            : {wall_s:.2f} s")

@@ -13,7 +13,9 @@ to completion with
   of sinking the sweep;
 * **per-task timeouts** — enforced *inside* the executing process via
   ``SIGALRM`` (POSIX), so a hung task is interrupted and its worker
-  survives to take the next task;
+  survives to take the next task; a spec's own ``timeout_s`` (not part
+  of its content hash) overrides the executor-wide budget, so one
+  known-slow kind doesn't force a sweep-wide ceiling;
 * **deterministic output** — results are reported in submission order,
   every runner goes through the same
   :func:`~repro.farm.spec.execute_spec` choke point as the serial
@@ -26,12 +28,16 @@ Clean exceptions and timeouts are *not* retried: registered runners
 are deterministic, so a failure would simply repeat.  Only worker
 death is retried, because the deaths the retry exists for (a co-tenant
 OOM-killing the box, a pool torn down by an unrelated task's crash)
-are environmental, not functional.
+are environmental, not functional — and retries back off
+exponentially with deterministic per-task jitter
+(:meth:`FarmExecutor._retry_delay_s`), so a transiently sick box isn't
+hammered in lockstep.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import signal
 import time
 import traceback
@@ -214,8 +220,13 @@ class FarmExecutor:
     workers: int = 1
     use_cache: bool = True
     cache: Optional[ResultCache] = None
+    #: generic per-task budget; a spec's own ``timeout_s`` overrides it.
     timeout_s: Optional[float] = None
     max_retries: int = 1
+    #: first retry delay after a proven crash; doubles per further
+    #: crash of the same task, capped at ``retry_backoff_cap_s``.
+    retry_backoff_s: float = 0.1
+    retry_backoff_cap_s: float = 5.0
     progress: Optional[ProgressFn] = None
 
     def __post_init__(self) -> None:
@@ -275,7 +286,7 @@ class FarmExecutor:
         for index, attempts in pending:
             outcome = _farm_worker({
                 "spec": specs[index].to_dict(),
-                "timeout_s": self.timeout_s})
+                "timeout_s": self._timeout_for(specs[index])})
             slots[index] = self._to_result(specs[index], outcome,
                                            attempts + 1)
             self._finish(slots, slots[index])
@@ -295,7 +306,8 @@ class FarmExecutor:
                     try:
                         future = pool.submit(_farm_worker, {
                             "spec": specs[index].to_dict(),
-                            "timeout_s": self.timeout_s})
+                            "timeout_s": self._timeout_for(
+                                specs[index])})
                     except BrokenProcessPool:
                         # A worker died between waits; this task never
                         # ran, so requeue it against a fresh pool.
@@ -351,7 +363,8 @@ class FarmExecutor:
                 try:
                     outcome = pool.submit(_farm_worker, {
                         "spec": specs[index].to_dict(),
-                        "timeout_s": self.timeout_s}).result()
+                        "timeout_s": self._timeout_for(
+                            specs[index])}).result()
                 except BrokenProcessPool:
                     proven_crashes += 1
                     if proven_crashes > self.max_retries:
@@ -363,6 +376,13 @@ class FarmExecutor:
                             attempts=attempts)
                         self._finish(slots, slots[index])
                         break
+                    # The crash causes the retry exists for (co-tenant
+                    # OOM pressure, a box being drained) need time to
+                    # clear — back off exponentially, with seeded
+                    # jitter so a fleet of farms retrying the same
+                    # sweep doesn't hammer the box in lockstep.
+                    time.sleep(self._retry_delay_s(specs[index],
+                                                   proven_crashes))
                     continue
                 finally:
                     pool.shutdown(wait=False, cancel_futures=True)
@@ -373,6 +393,24 @@ class FarmExecutor:
 
     def _make_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _timeout_for(self, spec: TaskSpec) -> Optional[float]:
+        """The spec's own budget when declared, else the generic one."""
+        return spec.timeout_s if spec.timeout_s is not None \
+            else self.timeout_s
+
+    def _retry_delay_s(self, spec: TaskSpec, crash_count: int) -> float:
+        """Exponential backoff with deterministic per-task jitter.
+
+        Seeded from the spec hash and the crash ordinal, so the delay
+        sequence is reproducible (testable) while distinct tasks and
+        distinct attempts still spread out in time.
+        """
+        rng = random.Random(
+            f"farm-backoff:{spec.content_hash}:{crash_count}")
+        base = min(self.retry_backoff_s * (2.0 ** (crash_count - 1)),
+                   self.retry_backoff_cap_s)
+        return base * (0.5 + rng.random())
 
     # -- shared plumbing -----------------------------------------------------
     def _to_result(self, spec: TaskSpec, outcome: Dict[str, Any],

@@ -121,6 +121,12 @@ class TaskSpec:
     params: Dict[str, Any] = field(default_factory=dict)
     #: free-form display label; NOT part of the hash.
     label: str = ""
+    #: per-task wall-clock budget, overriding the executor's generic
+    #: ``timeout_s`` — slow kinds (a faulted 512K ``hierarchy-run``)
+    #: declare their own budget instead of inflating everyone's.  Like
+    #: ``label``, NOT part of the hash: it shapes execution, never the
+    #: result.
+    timeout_s: Optional[float] = None
 
     # -- canonical identity -------------------------------------------------
     def canonical(self) -> str:
@@ -156,12 +162,15 @@ class TaskSpec:
                                 "params": dict(self.params)}
         if self.label:
             data["label"] = self.label
+        if self.timeout_s is not None:
+            data["timeout_s"] = self.timeout_s
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "TaskSpec":
         return cls(kind=data["kind"], params=dict(data.get("params", {})),
-                   label=data.get("label", ""))
+                   label=data.get("label", ""),
+                   timeout_s=data.get("timeout_s"))
 
 
 def execute_spec(spec: TaskSpec) -> Any:

@@ -61,7 +61,10 @@ def _params_for_scale(scale: str):
 # version 3: every battery gained the solver-backends differential and
 # the params carry the resolved max-min backend (``solver``), so
 # backend-less version-2 hashes describe a different check set.
-@register_task("validation-case", version=3,
+# version 4: the oracle profile cycle grew from 6 to 7 entries
+# ("faulted-hierarchical" joined), remapping every case index again —
+# see the version-2 note.
+@register_task("validation-case", version=4,
                description="one repro.validation fuzz case")
 def run_validation_case(params: Dict[str, Any]) -> Dict[str, Any]:
     """Params: ``seed``, ``index``, optional ``fast`` (default True),
@@ -299,7 +302,12 @@ def run_figure_bench(params: Dict[str, Any]) -> Dict[str, Any]:
 
 # version 2: params may carry the resolved max-min solver backend
 # (``solver``); see the validation-case v3 note.
-@register_task("hierarchy-run", version=2,
+# version 3: faults generalised — ``fault_document`` (correlated fault
+# domains + explicit specs, the ``repro scale --faults FILE`` JSON
+# format) and the bounded-refinement mode (``refine``) joined the
+# params, and the report grew the ``fold.refine`` section; version-2
+# hashes describe runs without either input.
+@register_task("hierarchy-run", version=3,
                description="symmetry-folded hierarchical simulation")
 def run_hierarchy(params: Dict[str, Any]) -> Dict[str, Any]:
     """Params mirror ``repro scale``.
@@ -308,14 +316,18 @@ def run_hierarchy(params: Dict[str, Any]) -> Dict[str, Any]:
     kwargs), ``hosts_per_job``, ``iterations``, ``compute_s``,
     ``comm_bits``, ``collective``, ``seed``, ``tail_shapes``,
     ``faults`` (count of deterministic ToR fail-slows, armed on the
-    first jobs in placement order), ``power_caps`` (pod index ->
-    compute factor; keys are strings because specs are JSON), optional
+    first jobs in placement order), ``fault_document`` (a
+    ``{"domains": [...], "faults": [...]}`` object — see
+    ``repro.resilience.faults_from_document``), ``refine``
+    (``bounded``/``pod``), ``power_caps`` (pod index -> compute
+    factor; keys are strings because specs are JSON), optional
     ``solver`` (resolved max-min backend name).
     """
     from ..hierarchy import HierarchicalRun, preset_params, uniform_jobs
     from ..hierarchy.virtual import place_jobs
     from ..monitoring.faults import (FaultSpec, Manifestation,
                                      RootCause)
+    from ..resilience import faults_from_document
     from ..topology import AstralParams
 
     if params.get("dims"):
@@ -333,18 +345,23 @@ def run_hierarchy(params: Dict[str, Any]) -> Dict[str, Any]:
         collective=params.get("collective", "allreduce"),
         seed=seed,
         tail_shapes=int(params.get("tail_shapes", 1)))
+    placed = place_jobs(topo, jobs)
     faults = {}
-    for placed in place_jobs(topo, jobs)[:int(params.get("faults", 0))]:
-        pod, block, _ = placed.coords[0]
-        faults[placed.name] = FaultSpec(
+    for p in placed[:int(params.get("faults", 0))]:
+        pod, block, _ = p.coords[0]
+        faults[p.name] = FaultSpec(
             cause=RootCause.SWITCH_BUG,
             manifestation=Manifestation.FAIL_SLOW,
             target=f"p{pod}.b{block}.r0.g0.tor")
+    if params.get("fault_document"):
+        faults.update(faults_from_document(topo, placed,
+                                           params["fault_document"]))
     caps = {int(pod): float(factor)
             for pod, factor in (params.get("power_caps") or {}).items()}
     from ..network.solver import use_backend
     run = HierarchicalRun(topo, jobs, faults=faults or None,
-                          pod_power_caps=caps or None)
+                          pod_power_caps=caps or None,
+                          refine=params.get("refine", "bounded"))
     with use_backend(params.get("solver")):
         run.run()
     return run.report.to_dict()

@@ -19,6 +19,8 @@ Entry point: :class:`HierarchicalRun`, result-compatible with
 
 from .compose import analytic_outcomes, compute_draws, pod_egress_gbps
 from .presets import SCALE_PRESETS, preset_params, uniform_jobs
+from .refine import (REFINE_MODES, FaultEvidence, RefinePlan,
+                     plan_refined_group)
 from .run import (HierarchicalReport, HierarchicalRun,
                   build_flat_fabric, flat_job_configs)
 from .symmetry import (PodClass, RefinedGroup, SymmetryMap,
@@ -27,14 +29,18 @@ from .symmetry import (PodClass, RefinedGroup, SymmetryMap,
 from .virtual import HierJob, PlacedJob, place_jobs
 
 __all__ = [
+    "FaultEvidence",
     "HierJob",
     "HierarchicalReport",
     "HierarchicalRun",
     "PlacedJob",
     "PodClass",
+    "REFINE_MODES",
+    "RefinePlan",
     "RefinedGroup",
     "SCALE_PRESETS",
     "SymmetryMap",
+    "plan_refined_group",
     "analytic_outcomes",
     "build_flat_fabric",
     "compute_draws",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..monitoring.faults import FaultSpec
 from ..monitoring.jobsim import JobConfig
@@ -25,12 +25,19 @@ from ..network.fabric import Fabric
 from ..topology.astral import AstralParams, build_astral
 from .compose import analytic_outcomes, scaled_compute_s
 from .fold import EngineRunner, fold_pod_class
-from .refine import run_refined_groups
+from .refine import REFINE_MODES, RefinePlan, run_refined_groups
 from .symmetry import SymmetryMap, detect_symmetry
 from .virtual import HierJob, place_jobs
 
 __all__ = ["HierarchicalReport", "HierarchicalRun", "build_flat_fabric",
            "flat_job_configs"]
+
+
+def _level_histogram(plans: Sequence[RefinePlan]) -> Dict[str, int]:
+    levels: Dict[str, int] = {}
+    for plan in plans:
+        levels[plan.level] = levels.get(plan.level, 0) + 1
+    return levels
 
 
 def build_flat_fabric(params: AstralParams) -> Fabric:
@@ -83,6 +90,15 @@ class HierarchicalReport:
     engine_hosts: int = 0
     exact: bool = False
     flat_fallback: bool = False
+    refine_mode: str = "bounded"
+    #: ladder level -> how many refinement groups ran at it.
+    refine_levels: Dict[str, int] = field(default_factory=dict)
+    #: engine hosts billed by refinement groups (bounded bill).
+    n_refine_engine_hosts: int = 0
+    #: engine hosts a full-pod unfold would have billed for the same
+    #: groups — the denominator of the bounded-refinement win.
+    n_full_unfold_hosts: int = 0
+    refine_reasons: Tuple[str, ...] = ()
     outcomes: Dict[str, JobOutcome] = field(default_factory=dict)
     elapsed_s: float = 0.0
 
@@ -127,6 +143,13 @@ class HierarchicalReport:
                 "fold_factor": self.fold_factor,
                 "exact": self.exact,
                 "flat_fallback": self.flat_fallback,
+                "refine": {
+                    "mode": self.refine_mode,
+                    "levels": dict(sorted(self.refine_levels.items())),
+                    "engine_hosts": self.n_refine_engine_hosts,
+                    "full_unfold_hosts": self.n_full_unfold_hosts,
+                    "reasons": list(self.refine_reasons),
+                },
             },
             "aggregate": {
                 "mean_efficiency": self.mean_efficiency,
@@ -151,17 +174,24 @@ class HierarchicalRun:
     def __init__(self, params: AstralParams,
                  jobs: Sequence[HierJob],
                  faults: Optional[Dict[str, FaultSpec]] = None,
-                 pod_power_caps: Optional[Dict[int, float]] = None):
+                 pod_power_caps: Optional[Dict[int, float]] = None,
+                 refine: str = "bounded"):
         self.params = params
         self.jobs = list(jobs)
         if not self.jobs:
             raise ValueError("need at least one job")
+        if refine not in REFINE_MODES:
+            raise ValueError(
+                f"unknown refine mode {refine!r}; expected one of "
+                f"{REFINE_MODES}")
+        self.refine = refine
         self.faults = dict(faults or {})
         self.power_caps = dict(pod_power_caps or {})
         self.placed = place_jobs(params, self.jobs)
         self.symmetry: SymmetryMap = detect_symmetry(
             params, self.placed, self.faults, self.power_caps)
         self.report = HierarchicalReport()
+        self.refine_plans: List[RefinePlan] = []
         self._outcomes: Optional[Dict[str, JobOutcome]] = None
 
     def run(self) -> Dict[str, JobOutcome]:
@@ -174,8 +204,10 @@ class HierarchicalRun:
         for cls in symmetry.classes:
             solved.update(fold_pod_class(self.params, cls,
                                          symmetry.power_caps, runner))
-        solved.update(run_refined_groups(self.params, symmetry,
-                                         runner))
+        refined, plans = run_refined_groups(self.params, symmetry,
+                                            runner, mode=self.refine)
+        solved.update(refined)
+        self.refine_plans = plans
         solved.update(analytic_outcomes(self.params, symmetry.analytic,
                                         symmetry.power_caps))
         # Placement order, like MultiJobRun's config order.
@@ -195,6 +227,12 @@ class HierarchicalRun:
             engine_hosts=runner.engine_hosts,
             exact=symmetry.exact,
             flat_fallback=symmetry.flat_fallback,
+            refine_mode=self.refine,
+            refine_levels=_level_histogram(plans),
+            n_refine_engine_hosts=sum(p.n_engine_hosts for p in plans),
+            n_full_unfold_hosts=sum(p.n_full_hosts for p in plans),
+            refine_reasons=tuple(sorted(
+                {reason for plan in plans for reason in plan.reasons})),
             outcomes=outcomes,
             elapsed_s=time.perf_counter() - began,
         )

@@ -219,10 +219,11 @@ def detect_symmetry(params: AstralParams, placed: Sequence[PlacedJob],
             flat_fallback = True
         elif target_pod is None:
             # An unlocatable target (link id, opaque name) on a
-            # pod-local job still pins at least that job's pod; if the
-            # target might live elsewhere we cannot know, so be safe
-            # and fall back to flat.
-            if fault.target.startswith("link:"):
+            # pod-local job still pins at least that job's pod; link
+            # ids shift under renaming and core switches are shared by
+            # every pod, so both escalate straight to flat.
+            if (fault.target.startswith("link:")
+                    or fault.target.split(".")[-1] == "core"):
                 flat_fallback = True
             else:
                 _break(job.pod, f"fault {name}: {fault.target}")

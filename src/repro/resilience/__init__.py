@@ -16,16 +16,30 @@ simulated clock:
 * :class:`ResilienceCampaign` runs seeded training jobs with real
   collectives through a fault schedule and prices the measured goodput
   penalty against the analytic
-  :func:`~repro.core.reliability.failure_penalty_s` prediction.
+  :func:`~repro.core.reliability.failure_penalty_s` prediction;
+* :class:`FaultDomain` models *correlated* failures — one power,
+  ASIC-batch, optics-batch or rack event expanding into many
+  co-located member faults, in a loud ``hard`` mode or a ``gray``
+  mode the pingmesh census cannot see.
 """
 
 from .campaign import (JobOutcome, ResilienceCampaign, ResilienceReport,
                        ResilientJob, default_tor_faults,
                        run_campaign_matrix)
+from .domains import (DOMAIN_KINDS, DOMAIN_MODES, FaultDomain,
+                      domain_fault_specs, expand_domains,
+                      faults_from_document, inject_domain)
 from .injector import FailureInjector, FaultEvent
 from .pipeline import RecoveryPipeline, RecoveryRecord
 
 __all__ = [
+    "DOMAIN_KINDS",
+    "DOMAIN_MODES",
+    "FaultDomain",
+    "domain_fault_specs",
+    "expand_domains",
+    "faults_from_document",
+    "inject_domain",
     "FailureInjector",
     "FaultEvent",
     "RecoveryPipeline",

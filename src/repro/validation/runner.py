@@ -28,6 +28,11 @@ hierarchical flat-vs-folded bit-exact differential (certified pod
             symmetry: iteration times and expectations must match
             ``==``), fold effectiveness (the fold must actually
             shrink the engine-simulated host count), determinism
+faulted-    bounded-vs-whole-pod refinement bit-exact differential
+hierarchical under a sampled fault document (correlated domains and
+            explicit faults), the escalation-ladder assertion (the
+            fault class predicts the refinement level), and — for
+            iteration-indexed faults — the flat differential too
 ==========  ==========================================================
 
 Every profile additionally runs the **solver-backends** differential:
@@ -453,6 +458,105 @@ def _check_hierarchical(spec: ScenarioSpec, fast: bool
     return checks, violations
 
 
+def _check_faulted_hierarchical(spec: ScenarioSpec, fast: bool
+                                ) -> (List[str], List[Violation]):
+    checks = ["bounded-vs-pod-exact", "refine-ladder",
+              "flat-vs-refined-exact", "bit-identical-replay",
+              "solver-backends"]
+    violations: List[Violation] = []
+    from ..hierarchy import (HierJob, HierarchicalRun,
+                             build_flat_fabric, flat_job_configs)
+    from ..hierarchy.virtual import place_jobs
+    from ..monitoring.multijob import MultiJobRun
+    from ..network.flows import reset_flow_ids
+    from ..resilience import faults_from_document
+    from ..topology import AstralParams
+
+    conf = spec.hierarchy or {}
+    params = AstralParams(**spec.topo)
+    jobs = [HierJob(**job) for job in conf.get("jobs", [])]
+    caps = {int(pod): factor
+            for pod, factor in (conf.get("power_caps") or {}).items()}
+    placed = place_jobs(params, jobs)
+    faults = faults_from_document(params, placed,
+                                  conf.get("fault_document") or {})
+
+    def _run(mode: str):
+        reset_flow_ids()
+        run = HierarchicalRun(params, jobs, faults=faults,
+                              pod_power_caps=caps, refine=mode)
+        return run, run.run()
+
+    bounded_run, bounded = _run("bounded")
+    pod_run, pod = _run("pod")
+    for name, outcome in bounded.items():
+        other = pod[name]
+        if outcome.iteration_times_s != other.iteration_times_s:
+            violations.append(Violation(
+                "bounded-vs-pod-exact",
+                f"job {name}: bounded {outcome.iteration_times_s!r} != "
+                f"pod {other.iteration_times_s!r}"))
+        if outcome.expected_iteration_s != other.expected_iteration_s:
+            violations.append(Violation(
+                "bounded-vs-pod-exact",
+                f"job {name}: bounded expectation "
+                f"{outcome.expected_iteration_s!r} != pod "
+                f"{other.expected_iteration_s!r}"))
+
+    # The escalation ladder, not just the result: the sampled fault
+    # class predicts exactly which rung every refined group lands on.
+    expect = conf.get("expect_level")
+    levels = bounded_run.report.refine_levels
+    if expect and levels and set(levels) != {expect}:
+        violations.append(Violation(
+            "refine-ladder",
+            f"fault class predicts level {expect!r}, bounded run "
+            f"refined at {levels!r} "
+            f"(reasons: {bounded_run.report.refine_reasons!r})"))
+    pod_levels = pod_run.report.refine_levels
+    if pod_levels and set(pod_levels) - {"pod", "flat"}:
+        violations.append(Violation(
+            "refine-ladder",
+            f"refine='pod' run must never plan block scope, got "
+            f"{pod_levels!r}"))
+
+    # Timestamp faults are epoch-sensitive (the refined sub-simulation
+    # re-solves on a different epoch grid than the flat run), so the
+    # flat differential is only demanded for iteration-indexed faults.
+    timed = any(fault.at_time_s is not None
+                for fault in faults.values())
+    if not timed:
+        reset_flow_ids()
+        flat = MultiJobRun(build_flat_fabric(params),
+                           flat_job_configs(params, jobs, caps),
+                           faults=faults).run()
+        for name, outcome in flat.items():
+            refined = bounded[name]
+            if outcome.iteration_times_s != refined.iteration_times_s:
+                violations.append(Violation(
+                    "flat-vs-refined-exact",
+                    f"job {name}: flat {outcome.iteration_times_s!r} "
+                    f"!= bounded {refined.iteration_times_s!r}"))
+            if outcome.expected_iteration_s \
+                    != refined.expected_iteration_s:
+                violations.append(Violation(
+                    "flat-vs-refined-exact",
+                    f"job {name}: flat expectation "
+                    f"{outcome.expected_iteration_s!r} != bounded "
+                    f"{refined.expected_iteration_s!r}"))
+
+    def _fingerprint():
+        _, rerun = _run("bounded")
+        return {name: tuple(outcome.iteration_times_s)
+                for name, outcome in rerun.items()}
+
+    violations += check_same_result(_fingerprint,
+                                    label=f"case {spec.index}")
+    violations += check_solver_backends(_fingerprint,
+                                        label=f"case {spec.index}")
+    return checks, violations
+
+
 _BATTERIES: Dict[str, Callable] = {
     "batch": _check_batch,
     "timed": _check_timed,
@@ -460,6 +564,7 @@ _BATTERIES: Dict[str, Callable] = {
     "faulted": _check_faulted,
     "collective": _check_collective,
     "hierarchical": _check_hierarchical,
+    "faulted-hierarchical": _check_faulted_hierarchical,
 }
 
 

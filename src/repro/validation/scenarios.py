@@ -52,7 +52,7 @@ FAMILIES = ("astral", "astral_oversub", "clos", "tier2_full",
 #: Workload/fault profiles, cycled by case index so a fixed-size
 #: campaign always covers all of them.
 PROFILES = ("batch", "timed", "degrade", "faulted", "collective",
-            "hierarchical")
+            "hierarchical", "faulted-hierarchical")
 
 
 @dataclass(frozen=True)
@@ -319,6 +319,86 @@ class ScenarioGenerator:
                     power_caps[str(pod)] = rng.choice([0.6, 0.8])
         return {"jobs": jobs, "power_caps": power_caps}
 
+    def _sample_hierarchy_faults(self, rng: random.Random,
+                                 topo: Dict[str, Any],
+                                 hierarchy: Dict[str, Any]) -> None:
+        """Attach a fault document plus the ladder level it predicts.
+
+        Variants cover every rung the bounded-refinement oracle needs:
+        correlated domains whose member faults stay inside the
+        block-level certificate (``expect_level == "block"``), a
+        fail-stop switch-ASIC domain and a timestamp fault that must
+        provably escalate to whole-pod refinement (``"pod"``).  The
+        expected level is recorded in the spec so the oracle asserts
+        the *ladder*, not just result equality.
+        """
+        hosts_per_block = topo["hosts_per_block"]
+        per_pod = [job for job in hierarchy["jobs"]
+                   if job["name"].startswith("t00")]
+        starts, cursor = [], 0
+        for job in per_pod:
+            starts.append(cursor)
+            cursor += max(1, job["n_hosts"] // hosts_per_block)
+        pod = rng.randrange(topo["pods"])
+        k = rng.randrange(len(per_pod))
+        block = starts[k]
+        job_name = f"t{pod:02d}x{k:02d}"
+        variant = rng.choice(["domain-hard", "domain-gray", "asic-stop",
+                              "explicit", "timed"])
+        document: Dict[str, Any] = {}
+        if variant == "domain-hard":
+            kind = rng.choice(["power-domain", "optics-batch", "rack"])
+            document["domains"] = [{
+                "kind": kind, "pod": pod, "block": block,
+                "size": min(2, hosts_per_block), "mode": "hard",
+                "seed": rng.randrange(1000)}]
+            expect = "block"
+        elif variant == "domain-gray":
+            kind = rng.choice(["power-domain", "optics-batch",
+                               "switch-asic", "rack"])
+            pool = (topo["gpus_per_host"] * topo["nic_ports"]
+                    if kind == "switch-asic" else hosts_per_block)
+            document["domains"] = [{
+                "kind": kind, "pod": pod, "block": block,
+                "size": min(2, pool), "mode": "gray",
+                "seed": rng.randrange(1000)}]
+            # The optics gray crawl (NIC fail-slow) degrades capacity
+            # while still transmitting: off line rate, so the block
+            # certificate refuses it.
+            expect = "pod" if kind == "optics-batch" else "block"
+        elif variant == "asic-stop":
+            # SWITCH_BUG fail-stop severs paths: hash-sensitive, so the
+            # certificate must refuse block scope.
+            document["domains"] = [{
+                "kind": "switch-asic", "pod": pod, "block": block,
+                "size": 1, "mode": "hard",
+                "seed": rng.randrange(1000)}]
+            expect = "pod"
+        elif variant == "explicit":
+            fault = rng.choice([
+                {"cause": "nic-error", "manifestation": "fail-hang",
+                 "target": f"p{pod}.b{block}.h0"},
+                {"cause": "user-code", "manifestation": "fail-stop",
+                 "target": job_name},
+                {"cause": "gpu-hardware", "manifestation": "fail-stop",
+                 "target": f"p{pod}.b{block}.h0"},
+                {"cause": "ccl-bug", "manifestation": "fail-hang",
+                 "target": f"p{pod}.b{block}.h0"},
+            ])
+            document["faults"] = [dict(fault, job=job_name,
+                                       at_iteration=rng.choice([1, 2]))]
+            expect = "block"
+        else:
+            # Timestamp onset: epoch-sensitive, always whole-pod.
+            document["faults"] = [{
+                "job": job_name, "cause": "nic-error",
+                "manifestation": "fail-slow",
+                "target": f"p{pod}.b{block}.h0",
+                "at_time_s": round(rng.uniform(0.05, 0.4), 3)}]
+            expect = "pod"
+        hierarchy["fault_document"] = document
+        hierarchy["expect_level"] = expect
+
     def _sample_collective(self, rng: random.Random, spec: ScenarioSpec
                            ) -> Dict[str, Any]:
         hosts_per_block = spec.topo["hosts_per_block"]
@@ -351,7 +431,7 @@ class ScenarioGenerator:
                                 topo=topo)
             spec.collective = self._sample_collective(rng, spec)
             return spec
-        if profile == "hierarchical":
+        if profile in ("hierarchical", "faulted-hierarchical"):
             # Folding is an Astral-shape property (pod/rail symmetry).
             topo = asdict(AstralParams(
                 pods=rng.choice([2, 3]),
@@ -366,6 +446,8 @@ class ScenarioGenerator:
                                 family="astral", profile=profile,
                                 topo=topo)
             spec.hierarchy = self._sample_hierarchy(rng, topo)
+            if profile == "faulted-hierarchical":
+                self._sample_hierarchy_faults(rng, topo, spec.hierarchy)
             return spec
         family = rng.choice(FAMILIES)
         if profile == "faulted" and family == "rail_only":

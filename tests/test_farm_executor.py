@@ -130,3 +130,56 @@ class TestErrors:
         assert len(report.failures) == 1
         data = report.to_dict()
         assert data["n_tasks"] == 2 and data["ok"] is False
+
+
+class TestRetryBackoff:
+    def test_delay_is_deterministic_per_task_and_ordinal(self, tmp_path):
+        executor = _executor(tmp_path)
+        spec = _ok(1)
+        assert executor._retry_delay_s(spec, 1) \
+            == executor._retry_delay_s(spec, 1)
+        # Distinct tasks and distinct crash ordinals spread out.
+        assert executor._retry_delay_s(spec, 1) \
+            != executor._retry_delay_s(_ok(2), 1)
+        assert executor._retry_delay_s(spec, 1) \
+            != executor._retry_delay_s(spec, 2)
+
+    def test_base_doubles_then_caps_and_jitter_is_bounded(self, tmp_path):
+        executor = _executor(tmp_path, retry_backoff_s=0.1,
+                             retry_backoff_cap_s=0.4)
+        spec = _ok(7)
+        for crash_count, base in [(1, 0.1), (2, 0.2), (3, 0.4),
+                                  (4, 0.4), (9, 0.4)]:
+            delay = executor._retry_delay_s(spec, crash_count)
+            assert 0.5 * base <= delay < 1.5 * base
+
+    def test_crashing_task_still_recovers_with_backoff(self, tmp_path):
+        # End-to-end: backoff delays between quarantine retries do not
+        # change the outcome, only the pacing.
+        marker = tmp_path / "flaky-marker"
+        spec = TaskSpec("farm-selftest",
+                        {"mode": "flaky", "crashes": 1,
+                         "marker": str(marker), "value": 9})
+        report = _executor(tmp_path, workers=2, max_retries=2,
+                           retry_backoff_s=0.05).run([spec])
+        result = report.results[0]
+        assert result.status == "ok" and result.attempts >= 2
+
+
+class TestPerSpecTimeout:
+    def test_spec_budget_overrides_the_generic_one(self, tmp_path):
+        specs = [TaskSpec("farm-selftest",
+                          {"mode": "hang", "sleep_s": 30.0},
+                          timeout_s=0.5),
+                 _ok(1)]
+        report = _executor(tmp_path, workers=2, timeout_s=30.0).run(specs)
+        hang, ok = report.results
+        assert hang.status == "timeout"
+        assert ok.status == "ok"
+
+    def test_generic_budget_applies_when_spec_is_silent(self, tmp_path):
+        executor = _executor(tmp_path, timeout_s=30.0)
+        assert executor._timeout_for(_ok(1)) == 30.0
+        assert executor._timeout_for(
+            TaskSpec("farm-selftest", {"mode": "ok"},
+                     timeout_s=0.5)) == 0.5

@@ -139,3 +139,19 @@ class TestSpecDocument:
         a = TaskSpec("farm-selftest", {"mode": "ok", "value": 1})
         b = TaskSpec("farm-selftest", {"mode": "ok", "value": 2})
         assert dedupe_specs([a, b, a, b, a]) == [a, b]
+
+
+class TestPerSpecTimeout:
+    def test_timeout_is_not_part_of_identity(self):
+        params = {"scale": "tiny", "seed": 3}
+        assert TaskSpec("cluster-sweep", params).content_hash \
+            == TaskSpec("cluster-sweep", params,
+                        timeout_s=1.5).content_hash
+
+    def test_timeout_round_trips(self):
+        spec = TaskSpec("cluster-sweep", {"scale": "tiny", "seed": 3},
+                        timeout_s=2.5)
+        clone = TaskSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone.timeout_s == 2.5
+        assert clone.content_hash == spec.content_hash

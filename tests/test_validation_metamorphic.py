@@ -18,9 +18,9 @@ def _fresh_flow_ids():
 
 
 def _batch_specs(seed, count=3):
-    """Batch-profile specs (index % 6 == 0) from one campaign seed."""
+    """Batch-profile specs (index % 7 == 0) from one campaign seed."""
     generator = ScenarioGenerator(seed)
-    return [generator.spec(index * 6) for index in range(count)]
+    return [generator.spec(index * 7) for index in range(count)]
 
 
 class TestRateScaling:
