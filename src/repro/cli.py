@@ -23,7 +23,11 @@ Commands map to the library's main entry points:
   (``repro.farm``);
 * ``scale`` — symmetry-folded hierarchical simulation at paper scale
   (``repro.hierarchy``): named presets up to the published 512K-GPU
-  deployment, or explicit dimensions for small differential runs.
+  deployment, or explicit dimensions for small differential runs;
+* ``serve`` — diurnal inference serving co-scheduled with training on
+  the twin (``repro.serving``): regional demand tides, prefill/decode
+  pod pairs, KV traffic on the training fabric, and the tidal
+  autoscaler preempting/admitting training against the power contract.
 """
 
 from __future__ import annotations
@@ -275,6 +279,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "content-addressed result cache at PATH")
     _add_solver_arg(scale)
     scale.add_argument("--json", metavar="PATH", default=None,
+                       help="write the full report to PATH")
+
+    serve = sub.add_parser(
+        "serve",
+        help="diurnal inference serving co-scheduled with training")
+    serve.add_argument("--preset", default="64k",
+                       choices=["4k", "64k", "512k"],
+                       help="cluster scale preset the pools carve up")
+    serve.add_argument("--seed", default="0",
+                       help="campaign seed (int or string); feeds every "
+                            "string-keyed draw stream")
+    serve.add_argument("--duration", type=float, default=86400.0,
+                       help="simulated horizon in seconds (default one "
+                            "day)")
+    serve.add_argument("--bucket", type=float, default=1800.0,
+                       help="trace/autoscale bucket width in seconds")
+    serve.add_argument("--users-scale", type=float, default=1.0,
+                       help="multiply every region's user base "
+                            "(0 = zero-arrival no-op)")
+    serve.add_argument("--power-cap-frac", type=float, default=0.85,
+                       help="constant-power contract as a fraction of "
+                            "the fleet's nameplate draw; 1.0 never "
+                            "binds, negative disables the cap")
+    serve.add_argument("--train-jobs", type=int, default=96,
+                       help="training jobs co-scheduled in the trough "
+                            "(0 disables the training tenant)")
+    serve.add_argument("--slo-ttft", type=float, default=5.0,
+                       help="TTFT goodput threshold in seconds")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="route through the experiment farm with "
+                            "N workers")
+    serve.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="serve unchanged runs from the farm's "
+                            "content-addressed result cache at PATH")
+    _add_solver_arg(serve)
+    serve.add_argument("--json", metavar="PATH", default=None,
                        help="write the full report to PATH")
 
     return parser
@@ -772,6 +812,69 @@ def _cmd_scale(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+    import time
+
+    from repro.farm import TaskSpec, execute_spec
+    from repro.serving import ServingReport, ServingScenario
+
+    seed = args.seed
+    try:
+        seed = int(seed)
+    except ValueError:
+        pass  # string seeds are first-class in the draw convention
+    cap = args.power_cap_frac
+    scenario = ServingScenario(
+        preset=args.preset,
+        duration_s=args.duration,
+        bucket_s=args.bucket,
+        users_m_scale=args.users_scale,
+        seed=seed,
+        power_cap_frac=None if cap is not None and cap < 0 else cap,
+        train_jobs=args.train_jobs,
+        slo_ttft_s=args.slo_ttft)
+    task_params = {"scenario": scenario.to_params()}
+    if args.solver is not None:
+        # Resolve to a concrete backend name so the farm's content
+        # hash never mixes "auto" runs across machines with and
+        # without numpy (same discipline as `repro scale`).
+        from repro.network.solver import resolve_backend
+        task_params["solver"] = resolve_backend(args.solver)
+    spec = TaskSpec("serving-run", task_params, label="cli")
+    started = time.perf_counter()
+    if args.workers > 1 or args.cache_dir is not None:
+        from repro.farm import FarmExecutor, ResultCache
+        cache = ResultCache(root=args.cache_dir) if args.cache_dir \
+            else ResultCache()
+        report = FarmExecutor(
+            workers=args.workers,
+            use_cache=args.cache_dir is not None,
+            cache=cache).run([spec])
+        if not report.ok:
+            failure = report.failures[0]
+            print(f"FAILED [{failure.status}] "
+                  f"{(failure.error or '').splitlines()[0]}")
+            return 1
+        result = report.results[0].result
+        print(f"farm: {report.n_executed} executed, "
+              f"{report.n_cached} from cache "
+              f"(workers {args.workers})")
+    else:
+        result = execute_spec(spec)
+    wall_s = time.perf_counter() - started
+
+    print(ServingReport(**{key: result[key] for key in (
+        "scenario", "trace", "pools", "autoscale", "slo", "cosim",
+        "training", "power", "fold")}).render())
+    print(f"  wall      : {wall_s:.2f} s")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"report written to {args.json}")
+    return 0
+
+
 _HANDLERS = {
     "describe": _cmd_describe,
     "forecast": _cmd_forecast,
@@ -788,6 +891,7 @@ _HANDLERS = {
     "validate": _cmd_validate,
     "farm": _cmd_farm,
     "scale": _cmd_scale,
+    "serve": _cmd_serve,
 }
 
 

@@ -11,7 +11,7 @@ reliability model (:mod:`.recovery`), tidal-aware admission
 """
 
 from .metrics import ClusterReport, JobRecord
-from .powercap import TidalHostCap
+from .powercap import ScheduleHostCap, TidalHostCap
 from .recovery import RecoveryManager, RecoveryPolicy, RequeuePlan
 from .scheduler import ClusterScheduler, SchedulingPolicy
 from .workload import JobSpec, WorkloadConfig, WorkloadGenerator
@@ -24,6 +24,7 @@ __all__ = [
     "RecoveryManager",
     "RecoveryPolicy",
     "RequeuePlan",
+    "ScheduleHostCap",
     "SchedulingPolicy",
     "TidalHostCap",
     "WorkloadConfig",

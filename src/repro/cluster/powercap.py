@@ -15,13 +15,14 @@ switches so the scheduler can wake itself exactly then.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Sequence, Tuple
 
 from ..power.tidal import TidalProfile, daily_inference_power
 
-__all__ = ["TidalHostCap"]
+__all__ = ["ScheduleHostCap", "TidalHostCap"]
 
 _SECONDS_PER_HOUR = 3600.0
 _SECONDS_PER_DAY = 24.0 * _SECONDS_PER_HOUR
@@ -118,3 +119,63 @@ class TidalHostCap:
                    trough_host_frac=to_frac(trough_headroom),
                    day_host_frac=to_frac(day_headroom),
                    start_hour=start_hour)
+
+
+@dataclass(frozen=True)
+class ScheduleHostCap:
+    """Piecewise-constant host cap from an explicit schedule.
+
+    Duck-type-compatible with :class:`TidalHostCap` (the scheduler only
+    needs ``hosts_allowed`` / ``boundaries`` / ``total_hosts``), but the
+    cap values come from a precomputed ``(times_s, allowed)`` step
+    function instead of the analytic tide — this is how the serving
+    autoscaler hands the training scheduler its residual power budget:
+    at each trace bucket the autoscaler converts contract-minus-serving
+    headroom into a host count, and the scheduler preempts/admits
+    training jobs at exactly the instants the budget steps.
+
+    ``times_s`` must be sorted ascending and start at 0.0; ``allowed[i]``
+    holds on ``[times_s[i], times_s[i+1])`` and the final value holds
+    forever.  Only *changes* in the allowed value are boundaries, so a
+    flat schedule plants no wake events at all (this is what makes a
+    never-binding cap bit-identical to no cap).
+    """
+
+    total_hosts: int
+    times_s: Tuple[float, ...]
+    allowed: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.total_hosts < 0:
+            raise ValueError("total_hosts cannot be negative")
+        if len(self.times_s) != len(self.allowed) or not self.times_s:
+            raise ValueError("times_s and allowed must be equal-length "
+                             "and non-empty")
+        if self.times_s[0] != 0.0:
+            raise ValueError("schedule must start at t=0")
+        if list(self.times_s) != sorted(self.times_s):
+            raise ValueError("times_s must be sorted ascending")
+        for n in self.allowed:
+            if not 0 <= n <= self.total_hosts:
+                raise ValueError(f"allowed host count out of range: {n}")
+
+    @classmethod
+    def from_series(cls, total_hosts: int, times_s: Sequence[float],
+                    allowed: Sequence[int]) -> "ScheduleHostCap":
+        return cls(total_hosts=total_hosts,
+                   times_s=tuple(float(t) for t in times_s),
+                   allowed=tuple(int(n) for n in allowed))
+
+    def hosts_allowed(self, t_s: float) -> int:
+        """Hosts the scheduler may have powered at ``t_s``."""
+        i = bisect.bisect_right(self.times_s, t_s) - 1
+        return self.allowed[max(0, i)]
+
+    def boundaries(self, horizon_s: float) -> List[float]:
+        """Times in ``(0, horizon_s]`` at which the cap *changes*."""
+        times: List[float] = []
+        for i in range(1, len(self.times_s)):
+            if self.allowed[i] != self.allowed[i - 1] \
+                    and 0.0 < self.times_s[i] <= horizon_s:
+                times.append(self.times_s[i])
+        return times

@@ -28,13 +28,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..core.placement import GpuAllocator, PlacementPolicy
 from ..simcore.engine import Event, Simulator
 from ..topology.elements import Topology
 from .metrics import ClusterReport, JobRecord
-from .powercap import TidalHostCap
+from .powercap import ScheduleHostCap, TidalHostCap
 from .recovery import RecoveryManager
 from .workload import JobSpec
 
@@ -85,15 +85,28 @@ class ClusterScheduler:
                  workload: Sequence[JobSpec],
                  policy: SchedulingPolicy = SchedulingPolicy.TOPOLOGY,
                  recovery: Optional[RecoveryManager] = None,
-                 power_cap: Optional[TidalHostCap] = None,
+                 power_cap: Optional[
+                     Union[TidalHostCap, ScheduleHostCap]] = None,
                  allocator: Optional[GpuAllocator] = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 enforce_cap: bool = False):
+        """``power_cap`` is duck-typed: anything with ``hosts_allowed``
+        / ``boundaries`` / ``total_hosts`` works (the tidal cap or an
+        autoscaler-produced :class:`ScheduleHostCap` schedule).
+
+        By default the cap gates *admission* only; with
+        ``enforce_cap=True`` the scheduler also preempts running jobs at
+        tightening boundaries until the in-use host count fits back
+        under the cap — this is the serving autoscaler reclaiming power
+        from training as the morning tide comes in.
+        """
         if isinstance(policy, str):
             policy = SchedulingPolicy(policy)
         self.topology = topology
         self.policy = policy
         self.recovery = recovery
         self.power_cap = power_cap
+        self.enforce_cap = enforce_cap
         self.allocator = allocator or GpuAllocator(topology)
         self.total_hosts = self.allocator.free_hosts
         self.seed = seed
@@ -183,7 +196,36 @@ class ClusterScheduler:
 
     def _cap_boundary(self, at: float):
         yield self.sim.timeout(at)
+        if self.enforce_cap:
+            self._preempt_to_cap()
         self._kick()
+
+    def _preempt_to_cap(self) -> int:
+        """Preempt runners until in-use hosts fit under the current cap.
+
+        Victims are chosen lowest-priority first, youngest first (least
+        sunk work), name as the final deterministic tiebreak.  Their
+        interrupt events fire at this timestamp; the run processes
+        release hosts and requeue before the subsequent ``_kick``'s
+        dispatch pass observes the state.  Returns hosts being released.
+        """
+        cap = self._hosts_cap()
+        excess = self._in_use_hosts - cap
+        if excess <= 0:
+            return 0
+        released = 0
+        victims = sorted(
+            self._running.values(),
+            key=lambda r: (r.job.spec.priority, -r.started_s,
+                           r.job.spec.name))
+        for victim in victims:
+            if released >= excess:
+                break
+            if victim.interrupt.triggered:
+                continue
+            victim.interrupt.succeed(_PREEMPTED)
+            released += victim.n_hosts
+        return released
 
     def _scheduler_loop(self):
         while True:

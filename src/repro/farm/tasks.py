@@ -20,6 +20,8 @@ Registered kinds:
                       overhead, taxonomy)
 ``hierarchy-run``     a symmetry-folded hierarchical simulation at a
                       named scale preset or explicit dimensions (PR 6)
+``serving-run``       one diurnal inference-serving scenario co-scheduled
+                      with training on the twin (PR 9)
 ``farm-selftest``     controllable ok/fail/hang/crash task for testing
                       the executor's isolation paths
 ====================  ====================================================
@@ -64,7 +66,10 @@ def _params_for_scale(scale: str):
 # version 4: the oracle profile cycle grew from 6 to 7 entries
 # ("faulted-hierarchical" joined), remapping every case index again —
 # see the version-2 note.
-@register_task("validation-case", version=4,
+# version 5: the oracle profile cycle grew from 7 to 8 entries
+# ("serving" joined), remapping every case index again — see the
+# version-2 note.
+@register_task("validation-case", version=5,
                description="one repro.validation fuzz case")
 def run_validation_case(params: Dict[str, Any]) -> Dict[str, Any]:
     """Params: ``seed``, ``index``, optional ``fast`` (default True),
@@ -365,6 +370,28 @@ def run_hierarchy(params: Dict[str, Any]) -> Dict[str, Any]:
     with use_backend(params.get("solver")):
         run.run()
     return run.report.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# serving
+# ---------------------------------------------------------------------------
+
+@register_task("serving-run", version=1,
+               description="diurnal serving scenario co-scheduled with "
+                           "training")
+def run_serving(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Params: ``scenario`` (a ``ServingScenario.to_params()`` dict)
+    plus optional ``solver`` (resolved max-min backend name).  The
+    backend is folded into the content hash so cached results never
+    cross backends — even though the backends are bit-identical, the
+    differential oracles depend on which one actually ran.
+    """
+    from ..network.solver import use_backend
+    from ..serving import ServingRun, ServingScenario
+    scenario = ServingScenario.from_params(dict(params["scenario"]))
+    with use_backend(params.get("solver")):
+        return ServingRun(scenario,
+                          solver=params.get("solver")).run().to_dict()
 
 
 # ---------------------------------------------------------------------------

@@ -36,6 +36,7 @@ from .tidal import (
     NightTrainingScheduler,
     TidalProfile,
     daily_inference_power,
+    demand_fraction,
 )
 
 __all__ = [
@@ -62,6 +63,7 @@ __all__ = [
     "astral_vs_traditional",
     "compute_pue",
     "daily_inference_power",
+    "demand_fraction",
     "inference_request_phases",
     "pue_evolution",
     "supply_stability",

@@ -18,6 +18,7 @@ __all__ = [
     "TidalProfile",
     "NightTrainingScheduler",
     "daily_inference_power",
+    "demand_fraction",
 ]
 
 
@@ -69,6 +70,28 @@ def daily_inference_power(profile: TidalProfile,
         else:
             power[i] = profile.peak_mw
     return power
+
+
+def demand_fraction(profile: TidalProfile, hour: float) -> float:
+    """Scalar demand at ``hour`` as a fraction of the daytime plateau.
+
+    Pure-python companion to :func:`daily_inference_power` (same ramp
+    shape, no numpy) so the serving trace generator can evaluate the
+    tide at arbitrary local hours without building an array.
+    """
+    hour = hour % 24.0
+    trough = profile.trough_frac
+    if not profile.is_night(hour):
+        return 1.0
+    since_start = (hour - profile.night_start_hour) % 24.0
+    until_end = (profile.night_end_hour - hour) % 24.0
+    if since_start < profile.ramp_hours:
+        frac = since_start / profile.ramp_hours
+        return (1.0 - frac) + trough * frac
+    if until_end < profile.ramp_hours:
+        frac = 1.0 - until_end / profile.ramp_hours
+        return trough * (1.0 - frac) + frac
+    return trough
 
 
 @dataclass

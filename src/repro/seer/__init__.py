@@ -41,10 +41,12 @@ from .operators import (
 )
 from .render import render_comparison, render_timeline
 from .serving import (
+    RequestDraw,
     RequestRecord,
     ServingConfig,
     ServingReport,
     ServingSimulator,
+    draw_requests,
 )
 from .sweep import LayoutCandidate, sweep_parallelism
 from .timeline import Timeline, TimelineEngine, TimelineEntry
@@ -79,10 +81,12 @@ __all__ = [
     "LayoutCandidate",
     "render_comparison",
     "render_timeline",
+    "RequestDraw",
     "RequestRecord",
     "ServingConfig",
     "ServingReport",
     "ServingSimulator",
+    "draw_requests",
     "sweep_parallelism",
     "Timeline",
     "TimelineEngine",

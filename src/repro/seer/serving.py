@@ -18,27 +18,71 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from .forecaster import Seer
 from .models.config import ModelConfig, ParallelismConfig
 
-__all__ = ["ServingConfig", "RequestRecord", "ServingReport",
-           "ServingSimulator"]
+__all__ = ["ServingConfig", "RequestDraw", "RequestRecord",
+           "ServingReport", "ServingSimulator", "draw_requests"]
 
 
 @dataclass(frozen=True)
 class ServingConfig:
-    """A serving deployment and its workload."""
+    """A serving deployment and its workload.
+
+    ``seed`` may be an int or a string; all randomness is drawn from a
+    ``random.Random(f"serving:{seed}:{stream}")`` string-keyed stream so
+    results are independent of ``PYTHONHASHSEED`` and bit-identical
+    across processes (the PR-3 draw convention).
+    """
 
     batch_max: int = 16
     context_len: int = 2048
     output_len_mean: int = 256
     arrival_rate_per_s: float = 2.0
     duration_s: float = 60.0
-    seed: int = 0
+    seed: Union[int, str] = 0
+
+
+@dataclass(frozen=True)
+class RequestDraw:
+    """One request's pre-drawn workload: when it arrives, how long it is.
+
+    Output length is attached at draw time (not during the simulation
+    loop) so the same request population can be replayed under a
+    different offered load — e.g. the rate-doubling metamorphic oracle
+    superposes a second independent draw onto a base draw and compares
+    per-request latencies.
+    """
+
+    arrival_s: float
+    output_tokens: int
+
+
+def draw_requests(config: ServingConfig,
+                  stream: str = "requests") -> List[RequestDraw]:
+    """Seeded Poisson arrivals with exponential output lengths.
+
+    ``stream`` qualifies the seed string so callers can draw additional
+    independent request populations from the same config (Poisson
+    superposition: the union of two rate-λ draws is a rate-2λ draw).
+    """
+    rng = random.Random(f"serving:{config.seed}:{stream}")
+    draws: List[RequestDraw] = []
+    if config.arrival_rate_per_s <= 0.0:
+        return draws
+    t = 0.0
+    while True:
+        t += rng.expovariate(config.arrival_rate_per_s)
+        if t > config.duration_s:
+            break
+        tokens = max(1, int(rng.expovariate(
+            1.0 / config.output_len_mean)))
+        draws.append(RequestDraw(arrival_s=t, output_tokens=tokens))
+    return draws
 
 
 @dataclass
@@ -103,13 +147,23 @@ class ServingSimulator:
 
     def __init__(self, seer: Seer, model: ModelConfig,
                  parallel: ParallelismConfig,
-                 config: Optional[ServingConfig] = None):
+                 config: Optional[ServingConfig] = None,
+                 cost_cache: Optional[Dict[str, Dict[int, float]]] = None):
+        """``cost_cache`` shares memoized per-batch step costs between
+        simulator instances; callers must only share it across
+        simulators with the same (model, parallel, context_len) since
+        the costs are keyed by batch size alone.
+        """
         self.seer = seer
         self.model = model
         self.parallel = parallel
         self.config = config or ServingConfig()
-        self._prefill_s: Dict[int, float] = {}
-        self._decode_s: Dict[int, float] = {}
+        if cost_cache is None:
+            cost_cache = {}
+        self._prefill_s: Dict[int, float] = cost_cache.setdefault(
+            "prefill_s", {})
+        self._decode_s: Dict[int, float] = cost_cache.setdefault(
+            "decode_s", {})
 
     # -- Seer-derived step costs -------------------------------------------
     def _forecast_steps(self, batch: int) -> None:
@@ -133,20 +187,20 @@ class ServingSimulator:
         return self._decode_s[batch]
 
     # -- simulation -----------------------------------------------------------
-    def run(self) -> ServingReport:
+    def run(self,
+            requests: Optional[Sequence[RequestDraw]] = None
+            ) -> ServingReport:
+        """Simulate the deployment over a request population.
+
+        ``requests`` defaults to :func:`draw_requests` on the config;
+        passing an explicit (arrival-sorted) population lets callers
+        replay the same requests under perturbed load.
+        """
         cfg = self.config
-        rng = random.Random(cfg.seed)
+        if requests is None:
+            requests = draw_requests(cfg)
 
-        # Pre-draw arrivals over the window (Poisson process).
-        arrivals: List[float] = []
-        t = 0.0
-        while True:
-            t += rng.expovariate(cfg.arrival_rate_per_s)
-            if t > cfg.duration_s:
-                break
-            arrivals.append(t)
-
-        report = ServingReport(arrived=len(arrivals),
+        report = ServingReport(arrived=len(requests),
                                duration_s=cfg.duration_s)
         waiting: List[RequestRecord] = []
         running: List[RequestRecord] = []
@@ -156,20 +210,18 @@ class ServingSimulator:
 
         while now < cfg.duration_s or running or waiting:
             # Admit arrivals up to the current time.
-            while next_arrival < len(arrivals) \
-                    and arrivals[next_arrival] <= now:
+            while next_arrival < len(requests) \
+                    and requests[next_arrival].arrival_s <= now:
+                draw = requests[next_arrival]
                 record = RequestRecord(request_id=next_arrival,
-                                       arrival_s=arrivals[
-                                           next_arrival])
-                tokens = max(1, int(rng.expovariate(
-                    1.0 / cfg.output_len_mean)))
-                target_tokens[record.request_id] = tokens
+                                       arrival_s=draw.arrival_s)
+                target_tokens[record.request_id] = draw.output_tokens
                 waiting.append(record)
                 next_arrival += 1
             if not running and not waiting:
-                if next_arrival >= len(arrivals):
+                if next_arrival >= len(requests):
                     break
-                now = arrivals[next_arrival]
+                now = requests[next_arrival].arrival_s
                 continue
 
             # Scheduler: prefill one waiting request if a slot is free

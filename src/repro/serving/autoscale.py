@@ -1,0 +1,167 @@
+"""Tidal autoscaling: decode replicas vs. the constant-power contract.
+
+The loop the paper's Figure 16 implies but never spells out: as the
+request tide rises, decode replicas scale out and draw power; whatever
+headroom the constant-power contract leaves becomes the *training* host
+budget, handed to the cluster scheduler as a piecewise-constant
+:class:`~repro.cluster.powercap.ScheduleHostCap`.  At dawn the serving
+fleet grows, the budget steps down, and the scheduler preempts training
+jobs back under the line; at dusk the budget steps up and the trough
+fills with admitted training work.
+
+Everything here is pure arithmetic over the demand trace — no RNG, no
+simulation — so the plan is trivially bit-identical across processes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.powercap import ScheduleHostCap
+from .pools import PoolPlan
+from .trace import RequestTrace
+
+__all__ = ["AutoscaleConfig", "BucketPlan", "AutoscalePlan",
+           "TidalAutoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Autoscaler policy and the power economics it answers to."""
+
+    target_util: float = 0.7        # replica load factor the SLO allows
+    min_replicas_per_pair: int = 1
+    host_kw: float = 10.0           # per powered host, IT + cooling share
+    #: contract as a fraction of the whole cluster at full power;
+    #: ``None`` disables the cap entirely, ``1.0`` keeps a cap that can
+    #: never bind (provably equal to ``None`` — the validation oracle).
+    contract_frac: Optional[float] = 0.85
+
+    def contract_mw(self, total_hosts: int) -> Optional[float]:
+        if self.contract_frac is None:
+            return None
+        return self.contract_frac * total_hosts * self.host_kw / 1000.0
+
+
+@dataclass(frozen=True)
+class BucketPlan:
+    """The autoscaler's decision for one trace bucket."""
+
+    index: int
+    t_start_s: float
+    rate_per_s: float               # global offered load
+    per_pair_rate: float
+    replicas_per_pair: int
+    per_replica_rate: float
+    serving_hosts: int              # powered for serving, all pairs
+    serving_mw: float
+    train_hosts_allowed: int
+
+    def to_dict(self) -> Dict:
+        return {
+            "t_start_s": self.t_start_s,
+            "rate_per_s": round(self.rate_per_s, 6),
+            "replicas_per_pair": self.replicas_per_pair,
+            "per_replica_rate": round(self.per_replica_rate, 6),
+            "serving_hosts": self.serving_hosts,
+            "serving_mw": round(self.serving_mw, 6),
+            "train_hosts_allowed": self.train_hosts_allowed,
+        }
+
+
+@dataclass(frozen=True)
+class AutoscalePlan:
+    """Per-bucket replica counts and the training host budget."""
+
+    buckets: Tuple[BucketPlan, ...]
+    pool_plan: PoolPlan
+    config: AutoscaleConfig
+
+    @property
+    def peak_replicas_per_pair(self) -> int:
+        return max((b.replicas_per_pair for b in self.buckets), default=0)
+
+    @property
+    def trough_replicas_per_pair(self) -> int:
+        return min((b.replicas_per_pair for b in self.buckets), default=0)
+
+    def train_cap_schedule(self) -> Tuple[Tuple[float, ...],
+                                          Tuple[int, ...]]:
+        """(times_s, allowed) step function of the training budget."""
+        times = tuple(b.t_start_s for b in self.buckets)
+        allowed = tuple(b.train_hosts_allowed for b in self.buckets)
+        return times, allowed
+
+    def train_host_cap(self, total_hosts: int,
+                       scale: float = 1.0) -> Optional[ScheduleHostCap]:
+        """The budget as a scheduler cap, optionally folded down.
+
+        ``scale`` maps the full training fleet onto a representative
+        slice of ``total_hosts`` (the same symmetry-folding trick the
+        hierarchy uses): ``allowed`` is divided by ``scale`` and
+        clipped to the slice.  With no contract there is no cap.
+        """
+        if self.config.contract_frac is None:
+            return None
+        times, allowed = self.train_cap_schedule()
+        folded = tuple(
+            max(0, min(total_hosts, int(math.floor(n / scale))))
+            for n in allowed)
+        return ScheduleHostCap(total_hosts=total_hosts,
+                               times_s=times, allowed=folded)
+
+    def to_dict(self) -> Dict:
+        return {
+            "peak_replicas_per_pair": self.peak_replicas_per_pair,
+            "trough_replicas_per_pair": self.trough_replicas_per_pair,
+            "buckets": [b.to_dict() for b in self.buckets],
+        }
+
+
+class TidalAutoscaler:
+    """Plan replica counts and the residual training budget."""
+
+    def __init__(self, config: Optional[AutoscaleConfig] = None):
+        self.config = config or AutoscaleConfig()
+
+    def plan(self, trace: RequestTrace, pools: PoolPlan,
+             per_replica_capacity: float) -> AutoscalePlan:
+        """``per_replica_capacity`` is sustainable requests/s per decode
+        replica (from Seer step costs); the autoscaler provisions to run
+        replicas at ``target_util`` of it.
+        """
+        if per_replica_capacity <= 0:
+            raise ValueError("per-replica capacity must be positive")
+        cfg = self.config
+        usable = cfg.target_util * per_replica_capacity
+        contract_mw = cfg.contract_mw(pools.total_hosts)
+        buckets: List[BucketPlan] = []
+        for bucket in trace.buckets:
+            per_pair = bucket.rate_per_s / pools.n_pairs
+            want = int(math.ceil(per_pair / usable)) if per_pair > 0 \
+                else 0
+            replicas = max(cfg.min_replicas_per_pair,
+                           min(pools.max_replicas_per_pair, want))
+            serving_hosts = pools.serving_hosts_at(replicas)
+            serving_mw = serving_hosts * cfg.host_kw / 1000.0
+            if contract_mw is None:
+                allowed = pools.train_hosts
+            else:
+                headroom_hosts = int(math.floor(
+                    contract_mw * 1000.0 / cfg.host_kw)) - serving_hosts
+                allowed = max(0, min(pools.train_hosts, headroom_hosts))
+            buckets.append(BucketPlan(
+                index=bucket.index,
+                t_start_s=bucket.t_start_s,
+                rate_per_s=bucket.rate_per_s,
+                per_pair_rate=per_pair,
+                replicas_per_pair=replicas,
+                per_replica_rate=per_pair / replicas if replicas else 0.0,
+                serving_hosts=serving_hosts,
+                serving_mw=serving_mw,
+                train_hosts_allowed=allowed,
+            ))
+        return AutoscalePlan(buckets=tuple(buckets), pool_plan=pools,
+                             config=cfg)

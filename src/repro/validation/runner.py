@@ -33,6 +33,9 @@ hierarchical under a sampled fault document (correlated domains and
             explicit faults), the escalation-ladder assertion (the
             fault class predicts the refinement level), and — for
             iteration-indexed faults — the flat differential too
+serving     rate-doubling monotonicity (Poisson superposition over the
+            same base population), the zero-arrival fabric no-op, the
+            full-contract power-cap identity, determinism
 ==========  ==========================================================
 
 Every profile additionally runs the **solver-backends** differential:
@@ -66,6 +69,9 @@ from .differential import (
 from .metamorphic import (
     check_idle_job_noop,
     check_rate_scaling,
+    check_serving_powercap_identity,
+    check_serving_rate_doubling,
+    check_serving_zero_arrival,
     check_unused_link_noop,
 )
 from .oracles import (
@@ -557,6 +563,30 @@ def _check_faulted_hierarchical(spec: ScenarioSpec, fast: bool
     return checks, violations
 
 
+def _check_serving(spec: ScenarioSpec, fast: bool
+                   ) -> (List[str], List[Violation]):
+    checks = ["rate-doubling-monotone", "zero-arrival-noop",
+              "powercap-identity", "bit-identical-replay",
+              "solver-backends"]
+    violations: List[Violation] = []
+    violations += check_serving_rate_doubling(spec)
+    violations += check_serving_zero_arrival(spec)
+    violations += check_serving_powercap_identity(spec)
+    violations += check_same_result(
+        lambda: _serving_fingerprint(spec), label=f"case {spec.index}")
+    violations += check_solver_backends(
+        lambda: _serving_fingerprint(spec), label=f"case {spec.index}")
+    return checks, violations
+
+
+def _serving_fingerprint(spec: ScenarioSpec) -> Dict[str, Any]:
+    from ..serving import ServingRun, ServingScenario
+    conf = spec.serving or {}
+    scenario = ServingScenario.from_params(
+        dict(conf.get("scenario", {})))
+    return ServingRun(scenario).run().to_dict()
+
+
 _BATTERIES: Dict[str, Callable] = {
     "batch": _check_batch,
     "timed": _check_timed,
@@ -565,6 +595,7 @@ _BATTERIES: Dict[str, Callable] = {
     "collective": _check_collective,
     "hierarchical": _check_hierarchical,
     "faulted-hierarchical": _check_faulted_hierarchical,
+    "serving": _check_serving,
 }
 
 

@@ -52,7 +52,7 @@ FAMILIES = ("astral", "astral_oversub", "clos", "tier2_full",
 #: Workload/fault profiles, cycled by case index so a fixed-size
 #: campaign always covers all of them.
 PROFILES = ("batch", "timed", "degrade", "faulted", "collective",
-            "hierarchical", "faulted-hierarchical")
+            "hierarchical", "faulted-hierarchical", "serving")
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,9 @@ class ScenarioSpec:
     #: hierarchical profile only: {jobs: [...], power_caps: {...}} —
     #: the folded-vs-flat cross-check scenario.
     hierarchy: Optional[Dict[str, Any]] = None
+    #: serving profile only: {scenario: ServingScenario.to_params(),
+    #: probe_rate: float} — the diurnal co-schedule oracle scenario.
+    serving: Optional[Dict[str, Any]] = None
 
     @property
     def repro_command(self) -> str:
@@ -120,6 +123,8 @@ class ScenarioSpec:
             if self.collective else None,
             "hierarchy": dict(self.hierarchy)
             if self.hierarchy else None,
+            "serving": dict(self.serving)
+            if self.serving else None,
             "repro": self.repro_command,
         }
 
@@ -138,6 +143,8 @@ class ScenarioSpec:
             if data.get("collective") else None,
             hierarchy=dict(data["hierarchy"])
             if data.get("hierarchy") else None,
+            serving=dict(data["serving"])
+            if data.get("serving") else None,
         )
 
 
@@ -399,6 +406,54 @@ class ScenarioGenerator:
         hierarchy["fault_document"] = document
         hierarchy["expect_level"] = expect
 
+    def _sample_serving(self, rng: random.Random,
+                        index: int) -> Dict[str, Any]:
+        """A minutes-scale diurnal serving scenario for the oracles.
+
+        Dimensions stay tiny (2 pods, 1 block) and demand is scaled to
+        a few requests/s so the whole co-schedule — trace, autoscale,
+        folded pool sims, KV co-sim, capped training — runs in well
+        under a second per battery invocation, of which the powercap
+        identity oracle needs three.  ``power_cap_frac`` deliberately
+        samples 1.0 sometimes: that is the never-binding-cap identity
+        in its natural habitat rather than a synthetic transform.
+        """
+        scenario = {
+            "preset": None,
+            "dims": {
+                "pods": 2,
+                "blocks_per_pod": 1,
+                "hosts_per_block": rng.choice([4, 8]),
+                "gpus_per_host": 2,
+                "aggs_per_group": 2,
+                "cores_per_group": 2,
+            },
+            "duration_s": float(rng.choice([3600, 7200])),
+            "bucket_s": float(rng.choice([900, 1800])),
+            "start_hour": float(rng.choice([0, 6, 12])),
+            "users_m_scale": rng.choice([0.0005, 0.001, 0.002]),
+            "seed": f"{self.seed}:{index}",
+            "batch_max": rng.choice([4, 8]),
+            "context_len": rng.choice([512, 1024]),
+            "output_len_mean": 32,
+            "prefill_hosts_per_pair": 1,
+            "decode_hosts_per_pair": rng.choice([2, 4]),
+            "replica_hosts": 1,
+            "target_util": rng.choice([0.6, 0.7]),
+            "power_cap_frac": rng.choice([0.7, 0.9, 1.0]),
+            "pool_window_s": float(rng.choice([20, 30])),
+            "train_jobs": rng.choice([0, 4, 8]),
+            "cosim_iterations": 2,
+            "max_kv_flows": 8,
+            "slice_prefill_hosts": 1,
+            "slice_decode_hosts": 2,
+            "slice_train_hosts": 2,
+        }
+        return {
+            "scenario": scenario,
+            "probe_rate": rng.choice([0.5, 1.0, 2.0]),
+        }
+
     def _sample_collective(self, rng: random.Random, spec: ScenarioSpec
                            ) -> Dict[str, Any]:
         hosts_per_block = spec.topo["hosts_per_block"]
@@ -449,6 +504,12 @@ class ScenarioGenerator:
             if profile == "faulted-hierarchical":
                 self._sample_hierarchy_faults(rng, topo, spec.hierarchy)
             return spec
+        if profile == "serving":
+            serving = self._sample_serving(rng, index)
+            topo = dict(serving["scenario"]["dims"])
+            return ScenarioSpec(seed=self.seed, index=index,
+                                family="astral", profile=profile,
+                                topo=topo, serving=serving)
         family = rng.choice(FAMILIES)
         if profile == "faulted" and family == "rail_only":
             # Rail-only has no Core detour; a kill strands every flow

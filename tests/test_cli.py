@@ -23,7 +23,7 @@ class TestParser:
             "describe", "forecast", "inference", "memory", "pue",
             "sweep", "taxonomy", "overhead", "goodput",
             "diagnose-demo", "cluster", "resilience", "validate",
-            "farm", "scale",
+            "farm", "scale", "serve",
         }
 
 
@@ -186,6 +186,50 @@ class TestScaleCommand:
         assert "0 executed, 1 from cache" in warm
         # The folded numbers themselves must agree bit-for-bit.
         assert cold.splitlines()[1:-1] == warm.splitlines()[1:-1]
+
+
+class TestServeCommand:
+    _FAST = ["serve", "--preset", "4k", "--duration", "7200",
+             "--users-scale", "0.05", "--train-jobs", "8"]
+
+    def test_smoke(self, capsys):
+        assert main(self._FAST) == 0
+        out = capsys.readouterr().out
+        assert "TTFT" in out
+        assert "pod pair" in out
+
+    def test_farm_route_caches(self, capsys, tmp_path):
+        args = [*self._FAST, "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "1 executed, 0 from cache" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "0 executed, 1 from cache" in warm
+        # The simulated numbers themselves must agree bit-for-bit
+        # (only the farm/wall lines may differ).
+        def _body(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith("farm:")
+                    and "wall" not in line]
+        assert _body(cold) == _body(warm)
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "serve.json"
+        assert main([*self._FAST, "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["slo"]["goodput_fraction"] is not None
+        assert data["power"]["contract_mw"] is not None
+        assert data["fold"]["n_pool_sims"] >= 1
+
+    def test_negative_cap_disables_contract(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "serve.json"
+        assert main([*self._FAST, "--power-cap-frac", "-1",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["power"]["contract_mw"] is None
 
 
 class TestResilienceCommand:

@@ -1,5 +1,8 @@
 """Tests for the continuous-batching serving simulator."""
 
+import subprocess
+import sys
+
 import pytest
 
 from repro.seer import (
@@ -10,6 +13,7 @@ from repro.seer import (
     Seer,
     ServingConfig,
     ServingSimulator,
+    draw_requests,
 )
 
 PARALLEL = ParallelismConfig(tp=8, pp=1, dp=1, ep=16)
@@ -93,3 +97,89 @@ class TestModels:
                       model=LLAMA3_70B.with_seq_len(2048))
         assert report.completion_rate == 1.0
         assert report.output_tokens_per_s() > 0
+
+
+class TestRequestDraws:
+    """The pre-drawn request population behind the simulator."""
+
+    def test_arrivals_sorted_and_bounded(self):
+        cfg = ServingConfig(arrival_rate_per_s=3.0, duration_s=40.0,
+                            seed=2)
+        draws = draw_requests(cfg)
+        assert draws
+        arrivals = [d.arrival_s for d in draws]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 < t <= cfg.duration_s for t in arrivals)
+        assert all(d.output_tokens >= 1 for d in draws)
+
+    def test_zero_rate_draws_nothing(self):
+        cfg = ServingConfig(arrival_rate_per_s=0.0, seed=0)
+        assert draw_requests(cfg) == []
+
+    def test_streams_are_independent(self):
+        cfg = ServingConfig(arrival_rate_per_s=3.0, duration_s=40.0,
+                            seed=2)
+        base = draw_requests(cfg)
+        extra = draw_requests(cfg, stream="requests-double")
+        assert base != extra
+        # Same stream name replays the same population exactly.
+        assert base == draw_requests(cfg)
+
+    def test_string_and_int_seeds_are_distinct_streams(self):
+        by_int = draw_requests(ServingConfig(arrival_rate_per_s=2.0,
+                                             seed=7))
+        by_str = draw_requests(ServingConfig(arrival_rate_per_s=2.0,
+                                             seed="7"))
+        # Both key the same string stream ("serving:7:requests"), so
+        # int and str spellings of a seed agree — the PR-3 convention.
+        assert by_int == by_str
+
+    def test_explicit_population_replays_default(self, seer):
+        cfg = ServingConfig(arrival_rate_per_s=1.0, duration_s=60.0,
+                            seed=4)
+        implicit = ServingSimulator(seer, HUNYUAN_MOE, PARALLEL,
+                                    cfg).run()
+        explicit = ServingSimulator(seer, HUNYUAN_MOE, PARALLEL,
+                                    cfg).run(draw_requests(cfg))
+        assert [(r.arrival_s, r.first_token_s, r.finish_s)
+                for r in implicit.completed] \
+            == [(r.arrival_s, r.first_token_s, r.finish_s)
+                for r in explicit.completed]
+
+
+_SUBPROCESS_DIGEST = """
+import json, sys
+from repro.seer import (HUNYUAN_MOE, NetworkSuite, ParallelismConfig,
+                        Seer, ServingConfig, ServingSimulator,
+                        draw_requests)
+cfg = ServingConfig(arrival_rate_per_s=2.0, duration_s=45.0, seed=11)
+seer = Seer(gpu="H800", network=NetworkSuite())
+sim = ServingSimulator(seer, HUNYUAN_MOE,
+                       ParallelismConfig(tp=8, pp=1, dp=1, ep=16), cfg)
+report = sim.run()
+print(json.dumps({
+    "draws": [[d.arrival_s, d.output_tokens]
+              for d in draw_requests(cfg)],
+    "finish": [r.finish_s for r in report.completed],
+}))
+"""
+
+
+class TestCrossProcessDeterminism:
+    def test_digest_stable_across_hash_seeds(self):
+        """The PR-3 hard bar: bit-identical under PYTHONHASHSEED."""
+        import os
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        digests = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ,
+                       PYTHONHASHSEED=hash_seed,
+                       PYTHONPATH=src_dir)
+            out = subprocess.run(
+                [sys.executable, "-c", _SUBPROCESS_DIGEST],
+                capture_output=True, text=True, check=True,
+                env=env).stdout
+            digests.append(out)
+        assert digests[0] == digests[1]
+        assert '"finish"' in digests[0]

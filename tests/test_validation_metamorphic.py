@@ -18,9 +18,11 @@ def _fresh_flow_ids():
 
 
 def _batch_specs(seed, count=3):
-    """Batch-profile specs (index % 7 == 0) from one campaign seed."""
+    """Batch-profile specs (index 0 mod the cycle) from one seed."""
+    from repro.validation.scenarios import PROFILES
     generator = ScenarioGenerator(seed)
-    return [generator.spec(index * 7) for index in range(count)]
+    return [generator.spec(index * len(PROFILES))
+            for index in range(count)]
 
 
 class TestRateScaling:
