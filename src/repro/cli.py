@@ -27,7 +27,12 @@ Commands map to the library's main entry points:
 * ``serve`` — diurnal inference serving co-scheduled with training on
   the twin (``repro.serving``): regional demand tides, prefill/decode
   pod pairs, KV traffic on the training fabric, and the tidal
-  autoscaler preempting/admitting training against the power contract.
+  autoscaler preempting/admitting training against the power contract;
+* ``twin`` — the long-running digital-twin service (``repro.twin``):
+  ``twin serve`` hosts persistent simulated datacenters behind an
+  HTTP API with live telemetry streams and a closed operator action
+  loop; ``twin demo`` runs the scripted cordon → fault → power-cap →
+  heal scenario and verifies the replay digest.
 """
 
 from __future__ import annotations
@@ -36,7 +41,34 @@ import argparse
 import sys
 from typing import List, Optional
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "package_version"]
+
+
+def package_version() -> str:
+    """The installed ``repro`` version, or the pyproject dev value.
+
+    ``importlib.metadata`` answers for installed checkouts (including
+    ``pip install -e .``); a source tree run straight off
+    ``PYTHONPATH=src`` falls back to parsing ``pyproject.toml`` next
+    to the package, and finally to a dev marker.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        return version("repro")
+    except PackageNotFoundError:
+        pass
+    except Exception:  # noqa: BLE001 — metadata is best-effort
+        pass
+    try:
+        import os
+        import tomllib
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        with open(os.path.join(root, "pyproject.toml"), "rb") as handle:
+            project = tomllib.load(handle)
+        return project["project"]["version"] + "+dev"
+    except Exception:  # noqa: BLE001 — any miss means unknown dev tree
+        return "0.0.0+dev"
 
 _MODELS = {
     "gpt3-175b": "GPT3_175B",
@@ -70,6 +102,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Astral (SIGCOMM 2025) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("describe", help="deployment scale numbers") \
@@ -316,6 +350,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solver_arg(serve)
     serve.add_argument("--json", metavar="PATH", default=None,
                        help="write the full report to PATH")
+
+    twin = sub.add_parser(
+        "twin",
+        help="long-running digital-twin service (repro.twin)")
+    twin_sub = twin.add_subparsers(dest="twin_command", required=True)
+    twin_serve = twin_sub.add_parser(
+        "serve", help="host persistent simulated datacenters over "
+                      "HTTP until Ctrl-C")
+    twin_serve.add_argument("--host", default="127.0.0.1",
+                            help="bind address")
+    twin_serve.add_argument("--port", type=int, default=8787,
+                            help="bind port (0 picks a free port)")
+    twin_serve.add_argument("--workers", type=int, default=0,
+                            help="shard sessions across N worker "
+                                 "processes (0 = in-process)")
+    twin_demo = twin_sub.add_parser(
+        "demo", help="scripted operator scenario + replay-digest "
+                     "verification against an in-process server")
+    twin_demo.add_argument("--scale", default="small",
+                           choices=["tiny", "small", "cluster",
+                                    "4k", "64k"],
+                           help="session cluster scale")
+    twin_demo.add_argument("--seed", default="0",
+                           help="session seed (int or string)")
+    twin_demo.add_argument("--workers", type=int, default=0,
+                           help="shard sessions across N worker "
+                                "processes (0 = in-process)")
 
     return parser
 
@@ -666,6 +727,10 @@ def _cmd_farm(args) -> int:
               f"[{result.status}] {result.error.splitlines()[0]}"
               if result.error else
               f"FAILED {result.spec.describe()} [{result.status}]")
+    if report.interrupted:
+        print("interrupted: partial report above (unfinished tasks "
+              "are marked skipped)")
+        return 130
     return 0 if report.ok else 1
 
 
@@ -875,6 +940,22 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_twin(args) -> int:
+    if args.twin_command == "serve":
+        import asyncio
+
+        from repro.twin import serve_forever
+        return asyncio.run(serve_forever(
+            host=args.host, port=args.port, workers=args.workers))
+    seed = args.seed
+    try:
+        seed = int(seed)
+    except ValueError:
+        pass  # string seeds are first-class in the draw convention
+    from repro.twin import run_demo
+    return run_demo(scale=args.scale, workers=args.workers, seed=seed)
+
+
 _HANDLERS = {
     "describe": _cmd_describe,
     "forecast": _cmd_forecast,
@@ -892,6 +973,7 @@ _HANDLERS = {
     "farm": _cmd_farm,
     "scale": _cmd_scale,
     "serve": _cmd_serve,
+    "twin": _cmd_twin,
 }
 
 

@@ -89,7 +89,8 @@ class ClusterScheduler:
                      Union[TidalHostCap, ScheduleHostCap]] = None,
                  allocator: Optional[GpuAllocator] = None,
                  seed: int = 0,
-                 enforce_cap: bool = False):
+                 enforce_cap: bool = False,
+                 sim: Optional[Simulator] = None):
         """``power_cap`` is duck-typed: anything with ``hosts_allowed``
         / ``boundaries`` / ``total_hosts`` works (the tidal cap or an
         autoscaler-produced :class:`ScheduleHostCap` schedule).
@@ -99,6 +100,10 @@ class ClusterScheduler:
         tightening boundaries until the in-use host count fits back
         under the cap — this is the serving autoscaler reclaiming power
         from training as the morning tide comes in.
+
+        ``sim`` lets callers share one DES clock between the scheduler
+        and other components (the fabric engine, a resilience pipeline,
+        a digital-twin session); by default the scheduler owns its own.
         """
         if isinstance(policy, str):
             policy = SchedulingPolicy(policy)
@@ -118,7 +123,9 @@ class ClusterScheduler:
                 f"power cap sized for {power_cap.total_hosts} hosts, "
                 f"cluster has {self.total_hosts}")
 
-        self.sim = Simulator()
+        self.sim = sim if sim is not None else Simulator()
+        self._started = False
+        self._horizon_s: Optional[float] = None
         self._queue: List[_QueuedJob] = []
         self._running: Dict[str, _RunningJob] = {}
         self._records: Dict[str, JobRecord] = {}
@@ -140,8 +147,21 @@ class ClusterScheduler:
         running.interrupt.succeed(_PREEMPTED if preempt else _FAILED)
         return True
 
-    def run(self, until: Optional[float] = None) -> ClusterReport:
-        """Drive the whole trace; returns the roll-up report."""
+    def start(self, until: Optional[float] = None) -> None:
+        """Register all processes without running the clock.
+
+        Splitting :meth:`run` into :meth:`start` + ``sim.run`` +
+        :meth:`report` lets a long-lived caller (the digital twin)
+        advance the shared clock incrementally and mutate the schedule
+        between steps.  ``until`` only sizes the cap-boundary horizon;
+        pass the same value to ``sim.run``/:meth:`report` to reproduce
+        :meth:`run` exactly.
+        """
+        if self._started:
+            raise RuntimeError("scheduler already started")
+        self._started = True
+        self._horizon_s = until if until is not None else \
+            self._cap_horizon_s()
         for spec in self.workload:
             self._records[spec.name] = JobRecord(
                 name=spec.name, priority=spec.priority,
@@ -152,13 +172,70 @@ class ClusterScheduler:
             self.sim.process(self._arrival(spec, order),
                              name=f"arrival:{spec.name}")
         if self.power_cap is not None:
-            horizon = until if until is not None else \
-                self._cap_horizon_s()
-            for at in self.power_cap.boundaries(horizon):
+            self._plant_cap_boundaries(self.power_cap)
+        self.sim.process(self._scheduler_loop(), name="scheduler")
+
+    def _plant_cap_boundaries(self, cap) -> None:
+        for at in cap.boundaries(self._horizon_s):
+            if at > self.sim.now:
                 self.sim.process(self._cap_boundary(at),
                                  name=f"cap@{at}")
-        self.sim.process(self._scheduler_loop(), name="scheduler")
+
+    def set_power_cap(self, cap) -> None:
+        """Swap the host-cap schedule on a live scheduler.
+
+        The new cap takes effect immediately for admission; if
+        ``enforce_cap`` is set, runners are preempted down to the new
+        cap at the current timestamp (their interrupts resolve on the
+        next clock advance).  Boundary wakes for the new schedule are
+        planted out to the horizon chosen at :meth:`start`.
+        """
+        if cap is not None and cap.total_hosts != self.total_hosts:
+            raise ValueError(
+                f"power cap sized for {cap.total_hosts} hosts, "
+                f"cluster has {self.total_hosts}")
+        self.power_cap = cap
+        if not self._started or cap is None:
+            return
+        self._plant_cap_boundaries(cap)
+        if self.enforce_cap:
+            self._preempt_to_cap()
+        self._kick()
+
+    def running_jobs(self) -> List[str]:
+        """Names of currently running jobs, deterministically ordered."""
+        return sorted(self._running)
+
+    def job_states(self) -> Dict[str, str]:
+        """Live status of every job in the trace (no finalization)."""
+        queued = {job.spec.name for job in self._queue}
+        states: Dict[str, str] = {}
+        for spec in self.workload:
+            record = self._records.get(spec.name)
+            if record is None:
+                states[spec.name] = "pending"
+            elif spec.name in self._running:
+                states[spec.name] = "running"
+            elif spec.name in queued:
+                states[spec.name] = "queued"
+            elif record.status in ("completed", "killed", "rejected"):
+                states[spec.name] = record.status
+            else:
+                states[spec.name] = "pending"
+        return states
+
+    def in_use_hosts(self) -> int:
+        """Hosts currently held by running jobs."""
+        return self._in_use_hosts
+
+    def run(self, until: Optional[float] = None) -> ClusterReport:
+        """Drive the whole trace; returns the roll-up report."""
+        self.start(until=until)
         self.sim.run(until=until)
+        return self.report(until=until)
+
+    def report(self, until: Optional[float] = None) -> ClusterReport:
+        """Finalize statuses and roll up the report."""
         for running in self._running.values():
             self._records[running.job.spec.name].status = "running"
         for queued in self._queue:
@@ -195,7 +272,9 @@ class ClusterScheduler:
         self._kick()
 
     def _cap_boundary(self, at: float):
-        yield self.sim.timeout(at)
+        # Absolute so boundaries planted mid-run (set_power_cap on a
+        # live twin session) land on the schedule's own bits.
+        yield self.sim.timeout_at(at)
         if self.enforce_cap:
             self._preempt_to_cap()
         self._kick()
@@ -270,8 +349,11 @@ class ClusterScheduler:
             job.n_hosts = plan.n_hosts
             self._queue.append(job)
         else:  # _FAILED
+            # ``_requeue_planner()`` rather than ``self.recovery``:
+            # an external ``interrupt_job`` can fail a job even when
+            # the schedule was built without failure injection.
             record.failures += 1
-            plan = self.recovery.plan_requeue(
+            plan = self._requeue_planner().plan_requeue(
                 spec.name, job.attempt, job.n_hosts,
                 elapsed_s=elapsed, remaining_before_s=job.remaining_s)
             record.lost_s += plan.lost_s

@@ -95,6 +95,9 @@ class FarmReport:
     wall_s: float = 0.0
     workers: int = 1
     cache_stats: Optional[Dict[str, int]] = None
+    #: True when the run was cut short by Ctrl-C: finished tasks are
+    #: real, unfinished ones are reported ``skipped``.
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -144,6 +147,7 @@ class FarmReport:
             "ok": self.ok,
             "wall_s": self.wall_s,
             "workers": self.workers,
+            "interrupted": self.interrupted,
             "throughput_per_s": self.throughput,
             "cache": self.cache_stats,
             "results": [result.to_dict() for result in self.results],
@@ -252,18 +256,33 @@ class FarmExecutor:
             else:
                 pending.append((index, 0))
 
+        interrupted = False
         if pending:
-            if self.workers == 1:
-                self._run_serial(specs, slots, pending)
-            else:
-                self._run_pool(specs, slots, pending)
+            try:
+                if self.workers == 1:
+                    self._run_serial(specs, slots, pending)
+                else:
+                    self._run_pool(specs, slots, pending)
+            except KeyboardInterrupt:
+                # Ctrl-C is an orderly stop, not a crash: pools were
+                # already torn down (cancel_futures) on the way up, so
+                # fill what never finished with ``skipped`` and hand
+                # back the partial report for the caller to render.
+                interrupted = True
+                for index, spec in enumerate(specs):
+                    if slots[index] is None:
+                        slots[index] = TaskResult(
+                            spec=spec, status="skipped",
+                            error="interrupted (Ctrl-C) before this "
+                                  "task finished")
 
         report = FarmReport(
             results=[slot for slot in slots if slot is not None],
             wall_s=time.perf_counter() - started,
             workers=self.workers,
             cache_stats=self.cache.stats.to_dict()
-            if self.use_cache else None)
+            if self.use_cache else None,
+            interrupted=interrupted)
         return report
 
     # -- cache ---------------------------------------------------------------

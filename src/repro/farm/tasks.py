@@ -395,6 +395,28 @@ def run_serving(params: Dict[str, Any]) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# digital-twin replay
+# ---------------------------------------------------------------------------
+
+@register_task("twin-replay", version=1,
+               description="rebuild a twin session from its config + "
+                           "action log; returns the state digest")
+def run_twin_replay(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Params: ``config`` (a ``TwinConfig.to_params()`` dict) and
+    ``action_log`` (the session's append-only boundary log).  The
+    digest must equal the live session's — this running under
+    ``execute_spec``'s seeding choke is the twin's replay contract.
+    """
+    from ..twin.config import TwinConfig
+    from ..twin.session import replay
+    session = replay(TwinConfig.from_params(dict(params["config"])),
+                     params["action_log"])
+    return {"digest": session.digest(),
+            "t_s": session.t_s,
+            "snapshot": session.snapshot()}
+
+
+# ---------------------------------------------------------------------------
 # executor self-test
 # ---------------------------------------------------------------------------
 

@@ -19,7 +19,8 @@ hierarchical analyzer can walk the stack top-down.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..network.ecmp import FiveTuple
@@ -368,3 +369,124 @@ class TelemetryStore:
 
     def sensors_for(self, host: str) -> List[HostSensorRecord]:
         return [r for r in self.host_sensors if r.host == host]
+
+    # -- wire format (shared by twin streams and offline analysis) -------
+    _BUCKETS = (
+        ("nccl_timeline", "nccl-timeline"),
+        ("iterations", "iteration"),
+        ("qp_rates", "qp-rate"),
+        ("err_cqes", "err-cqe"),
+        ("sflow_paths", "sflow-path"),
+        ("int_pings", "int-ping"),
+        ("switch_counters", "switch-counter"),
+        ("syslogs", "syslog"),
+        ("host_sensors", "host-sensor"),
+    )
+
+    def to_jsonl(self) -> str:
+        """Serialize every record (and job metadata) as NDJSON.
+
+        One type-tagged JSON object per line; job-metadata lines come
+        first, then each layer bucket in declaration order, preserving
+        insertion order within a bucket — so
+        ``from_jsonl(store.to_jsonl()) == store`` exactly.
+        """
+        lines: List[str] = []
+        for job in self.jobs.values():
+            payload = asdict(job)
+            payload["type"] = "job-metadata"
+            lines.append(json.dumps(payload, sort_keys=True))
+        for attr, tag in self._BUCKETS:
+            for record in getattr(self, attr):
+                payload = asdict(record)
+                payload["type"] = tag
+                lines.append(json.dumps(payload, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TelemetryStore":
+        """Rebuild a store from :meth:`to_jsonl` output."""
+        store = cls()
+        for number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"telemetry line {number} is not JSON: {exc}"
+                ) from None
+            if not isinstance(payload, dict) or "type" not in payload:
+                raise ValueError(
+                    f"telemetry line {number} has no 'type' tag")
+            tag = payload.pop("type")
+            if tag == "job-metadata":
+                store.register_job(_job_from_wire(payload, number))
+                continue
+            store.add(_record_from_wire(tag, payload, number))
+        return store
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TelemetryStore):
+            return NotImplemented
+        return (self.jobs == other.jobs
+                and all(getattr(self, attr) == getattr(other, attr)
+                        for attr, _ in self._BUCKETS))
+
+    __hash__ = None  # mutable container
+
+
+_WIRE_TYPES = {
+    "nccl-timeline": NcclTimelineRecord,
+    "iteration": IterationReport,
+    "qp-rate": QpRateRecord,
+    "err-cqe": ErrCqeRecord,
+    "sflow-path": SflowPathRecord,
+    "int-ping": IntPingRecord,
+    "switch-counter": SwitchCounterRecord,
+    "syslog": SyslogRecord,
+    "host-sensor": HostSensorRecord,
+}
+#: record fields declared as tuples — JSON round-trips them as lists,
+#: so rebuild coerces them back for frozen-dataclass equality.
+_TUPLE_FIELDS = ("devices", "link_ids", "hop_latencies_us")
+
+
+def _record_from_wire(tag: str, payload: Dict, number: int):
+    record_cls = _WIRE_TYPES.get(tag)
+    if record_cls is None:
+        raise ValueError(
+            f"telemetry line {number}: unknown record type {tag!r}; "
+            f"expected one of {sorted(_WIRE_TYPES)} or 'job-metadata'")
+    fields = dict(payload)
+    if "five_tuple" in fields:
+        fields["five_tuple"] = FiveTuple(**fields["five_tuple"])
+    for name in _TUPLE_FIELDS:
+        if name in fields:
+            fields[name] = tuple(fields[name])
+    try:
+        return record_cls(**fields)
+    except TypeError as exc:
+        raise ValueError(f"telemetry line {number}: {exc}") from None
+
+
+def _job_from_wire(payload: Dict, number: int) -> JobMetadata:
+    try:
+        groups = [
+            CommGroup(
+                name=group["name"], kind=group["kind"],
+                hosts=list(group["hosts"]),
+                qps=[QpMetadata(
+                    qp=qp["qp"], src_host=qp["src_host"],
+                    dst_host=qp["dst_host"],
+                    five_tuple=FiveTuple(**qp["five_tuple"]))
+                    for qp in group.get("qps", ())])
+            for group in payload.get("comm_groups", ())
+        ]
+        return JobMetadata(job=payload["job"],
+                           hosts=list(payload["hosts"]),
+                           comm_groups=groups)
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"telemetry line {number}: malformed "
+                         f"job-metadata: {exc}") from None

@@ -23,8 +23,17 @@ class TestParser:
             "describe", "forecast", "inference", "memory", "pue",
             "sweep", "taxonomy", "overhead", "goodput",
             "diagnose-demo", "cluster", "resilience", "validate",
-            "farm", "scale", "serve",
+            "farm", "scale", "serve", "twin",
         }
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # Either the installed version or the pyproject dev fallback.
+        assert any(ch.isdigit() for ch in out)
 
 
 class TestCommands:
